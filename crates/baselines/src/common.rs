@@ -1,0 +1,113 @@
+//! Shared plumbing for the baseline engines.
+
+use std::collections::HashMap;
+
+use deltacfs_net::SimTime;
+
+/// Debounced change detection, modelling inotify-driven sync clients:
+/// a path becomes *ready* once no further event has touched it for the
+/// debounce window (so an editor's burst of operations coalesces into one
+/// sync action, but separate saves trigger separate syncs).
+#[derive(Debug, Default)]
+pub struct DirtyTracker {
+    last_event: HashMap<String, SimTime>,
+    debounce_ms: u64,
+}
+
+impl DirtyTracker {
+    /// Creates a tracker with the given quiet window.
+    pub fn new(debounce_ms: u64) -> Self {
+        DirtyTracker {
+            last_event: HashMap::new(),
+            debounce_ms,
+        }
+    }
+
+    /// Records a change event for `path` at `now`.
+    pub fn touch(&mut self, path: &str, now: SimTime) {
+        self.last_event.insert(path.to_string(), now);
+    }
+
+    /// Forgets `path` (it was deleted).
+    pub fn forget(&mut self, path: &str) {
+        self.last_event.remove(path);
+    }
+
+    /// Moves a pending entry from `src` to `dst` (rename).
+    pub fn rename(&mut self, src: &str, dst: &str) {
+        if let Some(t) = self.last_event.remove(src) {
+            self.last_event.insert(dst.to_string(), t);
+        }
+    }
+
+    /// Number of paths currently pending.
+    pub fn pending(&self) -> usize {
+        self.last_event.len()
+    }
+
+    /// Removes and returns the paths whose quiet window has elapsed,
+    /// sorted for determinism.
+    pub fn take_ready(&mut self, now: SimTime) -> Vec<String> {
+        let debounce = self.debounce_ms;
+        let mut ready: Vec<String> = self
+            .last_event
+            .iter()
+            .filter(|(_, t)| now.since(**t) >= debounce)
+            .map(|(p, _)| p.clone())
+            .collect();
+        ready.sort();
+        for p in &ready {
+            self.last_event.remove(p);
+        }
+        ready
+    }
+
+    /// Removes and returns *all* pending paths (flush).
+    pub fn take_all(&mut self) -> Vec<String> {
+        let mut all: Vec<String> = self.last_event.keys().cloned().collect();
+        all.sort();
+        self.last_event.clear();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_window_gates_readiness() {
+        let mut d = DirtyTracker::new(500);
+        d.touch("/a", SimTime(0));
+        assert!(d.take_ready(SimTime(499)).is_empty());
+        assert_eq!(d.take_ready(SimTime(500)), vec!["/a".to_string()]);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn retouch_extends_window() {
+        let mut d = DirtyTracker::new(500);
+        d.touch("/a", SimTime(0));
+        d.touch("/a", SimTime(400));
+        assert!(d.take_ready(SimTime(700)).is_empty());
+        assert_eq!(d.take_ready(SimTime(900)).len(), 1);
+    }
+
+    #[test]
+    fn rename_moves_pending_entry() {
+        let mut d = DirtyTracker::new(100);
+        d.touch("/a", SimTime(0));
+        d.rename("/a", "/b");
+        assert_eq!(d.take_ready(SimTime(200)), vec!["/b".to_string()]);
+    }
+
+    #[test]
+    fn forget_and_take_all() {
+        let mut d = DirtyTracker::new(100);
+        d.touch("/a", SimTime(0));
+        d.touch("/b", SimTime(0));
+        d.forget("/a");
+        assert_eq!(d.take_all(), vec!["/b".to_string()]);
+        assert_eq!(d.pending(), 0);
+    }
+}

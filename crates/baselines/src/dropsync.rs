@@ -1,0 +1,217 @@
+//! A Dropsync-like mobile auto-sync engine (paper §II-A Fig. 2, §IV-B2/C2).
+//!
+//! Dropsync (Autosync for Dropbox) watches a folder on the phone and
+//! uploads *whole files* through the Dropbox API whenever they change — no
+//! delta encoding, no deduplication. On a slow mobile uplink the transfer
+//! of one version often outlasts the interval to the next modification,
+//! which implicitly batches updates ("the mobile phone ... only completed
+//! limited numbers of sync actions, which has the effect of batching file
+//! updates", §IV-C2) and keeps the radio permanently busy (the CPU and
+//! power profile of Fig. 2).
+
+use deltacfs_core::{EngineReport, SyncEngine};
+use deltacfs_delta::Cost;
+use deltacfs_net::{Link, LinkSpec, SimClock};
+use deltacfs_vfs::{OpEvent, Vfs};
+
+use crate::common::DirtyTracker;
+
+/// Tuning for the Dropsync-like engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropsyncConfig {
+    /// Quiet window before a changed file is considered for upload.
+    pub debounce_ms: u64,
+}
+
+impl Default for DropsyncConfig {
+    fn default() -> Self {
+        DropsyncConfig { debounce_ms: 500 }
+    }
+}
+
+/// The Dropsync-like engine.
+#[derive(Debug)]
+pub struct DropsyncEngine {
+    clock: SimClock,
+    link: Link,
+    dirty: DirtyTracker,
+    cost: Cost,
+    uploads: u64,
+}
+
+impl DropsyncEngine {
+    /// Creates an engine on the given link (normally
+    /// [`LinkSpec::mobile`]).
+    pub fn new(cfg: DropsyncConfig, clock: SimClock, link_spec: LinkSpec) -> Self {
+        DropsyncEngine {
+            dirty: DirtyTracker::new(cfg.debounce_ms),
+            clock,
+            link: Link::new(link_spec),
+            cost: Cost::new(),
+            uploads: 0,
+        }
+    }
+
+    /// Creates an engine with default settings on a mobile link.
+    pub fn with_defaults(clock: SimClock) -> Self {
+        Self::new(DropsyncConfig::default(), clock, LinkSpec::mobile())
+    }
+
+    /// Completed full-file uploads so far.
+    pub fn upload_count(&self) -> u64 {
+        self.uploads
+    }
+
+    fn upload_file(&mut self, path: &str, fs: &Vfs) {
+        let Ok(content) = fs.peek_all(path) else {
+            return;
+        };
+        // Read the whole file from flash and push it through the radio.
+        self.cost.bytes_engine_read += content.len() as u64;
+        self.cost.bytes_copied += content.len() as u64;
+        let now = self.clock.now();
+        self.link.upload(content.len() as u64 + 256, now);
+        self.link.download(256, now); // API response
+        self.uploads += 1;
+    }
+}
+
+impl SyncEngine for DropsyncEngine {
+    fn name(&self) -> &str {
+        "dropsync"
+    }
+
+    fn on_event(&mut self, event: &OpEvent, _fs: &Vfs) {
+        let now = self.clock.now();
+        match event {
+            OpEvent::Create { path }
+            | OpEvent::Write { path, .. }
+            | OpEvent::Truncate { path, .. }
+            | OpEvent::Fsync { path }
+            | OpEvent::Close { path } => self.dirty.touch(path.as_str(), now),
+            OpEvent::Rename { src, dst, .. } => {
+                self.dirty.rename(src.as_str(), dst.as_str());
+                self.dirty.touch(dst.as_str(), now);
+                self.link.upload(128, now);
+            }
+            OpEvent::Link { dst, .. } => self.dirty.touch(dst.as_str(), now),
+            OpEvent::Unlink { path, .. } => {
+                self.dirty.forget(path.as_str());
+                self.link.upload(128, now);
+            }
+            OpEvent::Mkdir { .. } | OpEvent::Rmdir { .. } => {
+                self.link.upload(128, now);
+            }
+        }
+    }
+
+    fn tick(&mut self, fs: &Vfs) {
+        let now = self.clock.now();
+        // The uplink is half-duplex for our purposes: while a transfer is
+        // in flight, changed files keep accumulating in the dirty set
+        // (implicit batching).
+        if self.link.upload_busy_until() > now {
+            return;
+        }
+        for path in self.dirty.take_ready(now) {
+            self.upload_file(&path, fs);
+        }
+    }
+
+    fn finish(&mut self, fs: &Vfs) {
+        for path in self.dirty.take_all() {
+            self.upload_file(&path, fs);
+        }
+    }
+
+    fn report(&self) -> EngineReport {
+        EngineReport {
+            name: self.name().to_string(),
+            client_cost: self.cost,
+            server_cost: None, // Dropbox backend: opaque
+            traffic: self.link.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uploads_whole_file_every_time() {
+        let clock = SimClock::new();
+        let mut engine = DropsyncEngine::with_defaults(clock.clone());
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, &vec![1u8; 100_000]).unwrap();
+        for e in fs.drain_events() {
+            engine.on_event(&e, &fs);
+        }
+        clock.advance(1000);
+        engine.tick(&fs);
+        assert_eq!(engine.upload_count(), 1);
+        let up1 = engine.report().traffic.bytes_up;
+        assert!(up1 >= 100_000);
+
+        // A one-byte edit re-uploads everything.
+        clock.advance(600_000); // let the link drain
+        fs.write("/f", 0, b"!").unwrap();
+        for e in fs.drain_events() {
+            engine.on_event(&e, &fs);
+        }
+        clock.advance(1000);
+        engine.tick(&fs);
+        assert_eq!(engine.upload_count(), 2);
+        assert!(engine.report().traffic.bytes_up >= 2 * 100_000);
+    }
+
+    #[test]
+    fn busy_link_batches_updates() {
+        let clock = SimClock::new();
+        let mut engine = DropsyncEngine::with_defaults(clock.clone());
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        fs.create("/f").unwrap();
+        // 10 MB at 1 MB/s keeps the link busy for ~10 s.
+        fs.write("/f", 0, &vec![1u8; 10 << 20]).unwrap();
+        for e in fs.drain_events() {
+            engine.on_event(&e, &fs);
+        }
+        clock.advance(1000);
+        engine.tick(&fs);
+        assert_eq!(engine.upload_count(), 1);
+
+        // Three edits land while the transfer is still running.
+        for i in 0..3 {
+            clock.advance(1000);
+            fs.write("/f", i * 100, b"edit").unwrap();
+            for e in fs.drain_events() {
+                engine.on_event(&e, &fs);
+            }
+            engine.tick(&fs);
+        }
+        // Still only one upload completed (the link was busy).
+        assert_eq!(engine.upload_count(), 1);
+        // Once the link frees up, the batched state uploads once.
+        clock.advance(60_000);
+        engine.tick(&fs);
+        assert_eq!(engine.upload_count(), 2);
+    }
+
+    #[test]
+    fn finish_flushes() {
+        let clock = SimClock::new();
+        let mut engine = DropsyncEngine::with_defaults(clock.clone());
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, b"hi").unwrap();
+        for e in fs.drain_events() {
+            engine.on_event(&e, &fs);
+        }
+        engine.finish(&fs);
+        assert_eq!(engine.upload_count(), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! An NFSv4-like engine (paper §IV, reference [37], [40], [41]).
+//!
+//! NFS ships every write operation to the server as it happens — which is
+//! exactly what makes it network-efficient for small in-place updates
+//! (the WeChat column of Fig. 8d) and catastrophically chatty for
+//! transactional updates that rewrite whole files (Fig. 8c). Two
+//! second-order effects the paper measures are modelled:
+//!
+//! * **stale filehandle re-fetch**: after `rename tmp → f`, the client's
+//!   cached `f` is stale (RFC 3530 volatile filehandles / close-to-open
+//!   consistency), so `f`'s content is retrieved from the server again —
+//!   this is why the NFS *server* uploads almost as much as the client
+//!   does in the Word trace;
+//! * **fetch-before-write**: a write that does not cover whole 4 KB
+//!   blocks must first fetch the containing block(s) unless they are
+//!   already cached ([41]).
+//!
+//! Client CPU is spent in kernel callbacks, which the paper leaves out of
+//! Table II (`-`); we report an empty client cost accordingly. Server
+//! cost is dominated by moving bytes through the network stack, which the
+//! platform profiles charge per network byte.
+
+use std::collections::{HashMap, HashSet};
+
+use deltacfs_core::{EngineReport, SyncEngine};
+use deltacfs_delta::Cost;
+use deltacfs_net::{Link, LinkSpec, SimClock};
+use deltacfs_vfs::{OpEvent, Vfs};
+
+/// NFS block size for the fetch-before-write rule.
+const NFS_BLOCK: u64 = 4096;
+
+/// Per-operation RPC header overhead.
+const RPC_HEADER: u64 = 120;
+
+/// The NFSv4-like engine.
+#[derive(Debug)]
+pub struct NfsEngine {
+    clock: SimClock,
+    link: Link,
+    /// Blocks of each file the client currently has cached.
+    cached: HashMap<String, HashSet<u64>>,
+    /// Known file sizes (server view == client view; writes are
+    /// synchronous).
+    sizes: HashMap<String, u64>,
+    client_cost: Cost,
+    server_cost: Cost,
+}
+
+impl NfsEngine {
+    /// Creates an engine on the given link.
+    pub fn new(clock: SimClock, link_spec: LinkSpec) -> Self {
+        NfsEngine {
+            clock,
+            link: Link::new(link_spec),
+            cached: HashMap::new(),
+            sizes: HashMap::new(),
+            client_cost: Cost::new(),
+            server_cost: Cost::new(),
+        }
+    }
+
+    /// Creates an engine on a PC-grade link.
+    pub fn with_defaults(clock: SimClock) -> Self {
+        Self::new(clock, LinkSpec::pc())
+    }
+}
+
+impl SyncEngine for NfsEngine {
+    fn name(&self) -> &str {
+        "nfs"
+    }
+
+    fn on_event(&mut self, event: &OpEvent, _fs: &Vfs) {
+        let now = self.clock.now();
+        match event {
+            OpEvent::Create { path } => {
+                self.link.upload(RPC_HEADER, now);
+                self.sizes.insert(path.to_string(), 0);
+                self.cached.insert(path.to_string(), HashSet::new());
+            }
+            OpEvent::Write {
+                path, offset, data, ..
+            } => {
+                let path = path.as_str();
+                let offset = *offset;
+                let size = self.sizes.get(path).copied().unwrap_or(0);
+                let end = offset + data.len() as u64;
+                // Fetch-before-write: partially covered blocks inside the
+                // existing file must be read from the server first unless
+                // cached ([41]).
+                let first_block = offset / NFS_BLOCK;
+                let last_block = if end > 0 { (end - 1) / NFS_BLOCK } else { 0 };
+                let cache = self.cached.entry(path.to_string()).or_default();
+                let mut fetch: u64 = 0;
+                if offset % NFS_BLOCK != 0 && offset < size && !cache.contains(&first_block) {
+                    fetch += NFS_BLOCK.min(size - first_block * NFS_BLOCK);
+                    cache.insert(first_block);
+                }
+                if !end.is_multiple_of(NFS_BLOCK)
+                    && end < size
+                    && last_block != first_block
+                    && !cache.contains(&last_block)
+                {
+                    fetch += NFS_BLOCK.min(size - last_block * NFS_BLOCK);
+                    cache.insert(last_block);
+                }
+                if fetch > 0 {
+                    self.link.download(fetch + RPC_HEADER, now);
+                }
+                // The write itself is shipped synchronously.
+                self.link.upload(data.len() as u64 + RPC_HEADER, now);
+                self.server_cost.bytes_copied += data.len() as u64;
+                self.server_cost.ops += 1;
+                for b in first_block..=last_block {
+                    cache.insert(b);
+                }
+                self.sizes.insert(path.to_string(), size.max(end));
+            }
+            OpEvent::Truncate { path, size, .. } => {
+                self.link.upload(RPC_HEADER, now);
+                self.server_cost.ops += 1;
+                self.sizes.insert(path.to_string(), *size);
+                let bs = *size / NFS_BLOCK;
+                if let Some(cache) = self.cached.get_mut(path.as_str()) {
+                    cache.retain(|b| *b <= bs);
+                }
+            }
+            OpEvent::Rename { src, dst, .. } => {
+                self.link.upload(RPC_HEADER, now);
+                self.server_cost.ops += 1;
+                let size = self.sizes.remove(src.as_str()).unwrap_or(0);
+                self.sizes.insert(dst.to_string(), size);
+                self.cached.remove(src.as_str());
+                // Close-to-open: the destination's cached content is stale
+                // after the rename; the client re-fetches it in full ([40],
+                // the paper's "surprising" server→client traffic).
+                self.cached.insert(dst.to_string(), HashSet::new());
+                if size > 0 {
+                    self.link.download(size + RPC_HEADER, now);
+                    self.server_cost.ops += 1;
+                    let blocks = size.div_ceil(NFS_BLOCK);
+                    let cache = self.cached.entry(dst.to_string()).or_default();
+                    cache.extend(0..blocks);
+                }
+            }
+            OpEvent::Link { src, dst } => {
+                self.link.upload(RPC_HEADER, now);
+                self.server_cost.ops += 1;
+                let size = self.sizes.get(src.as_str()).copied().unwrap_or(0);
+                self.sizes.insert(dst.to_string(), size);
+            }
+            OpEvent::Unlink { path, .. } => {
+                self.link.upload(RPC_HEADER, now);
+                self.server_cost.ops += 1;
+                self.sizes.remove(path.as_str());
+                self.cached.remove(path.as_str());
+            }
+            OpEvent::Mkdir { .. } | OpEvent::Rmdir { .. } => {
+                self.link.upload(RPC_HEADER, now);
+                self.server_cost.ops += 1;
+            }
+            OpEvent::Close { .. } | OpEvent::Fsync { .. } => {
+                // Writes already went through synchronously; COMMIT is a
+                // small RPC.
+                self.link.upload(RPC_HEADER, now);
+            }
+        }
+    }
+
+    fn tick(&mut self, _fs: &Vfs) {}
+
+    fn finish(&mut self, _fs: &Vfs) {}
+
+    fn report(&self) -> EngineReport {
+        EngineReport {
+            name: self.name().to_string(),
+            // Kernel callbacks: not measurable, as in Table II.
+            client_cost: self.client_cost,
+            server_cost: Some(self.server_cost),
+            traffic: self.link.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_and_fs() -> (NfsEngine, Vfs) {
+        let clock = SimClock::new();
+        let engine = NfsEngine::with_defaults(clock);
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        (engine, fs)
+    }
+
+    fn pump(engine: &mut NfsEngine, fs: &mut Vfs) {
+        for e in fs.drain_events() {
+            engine.on_event(&e, fs);
+        }
+    }
+
+    #[test]
+    fn every_write_is_shipped() {
+        let (mut engine, mut fs) = engine_and_fs();
+        fs.create("/f").unwrap();
+        for i in 0..10u64 {
+            fs.write("/f", i * 4096, &vec![1u8; 4096]).unwrap();
+        }
+        pump(&mut engine, &mut fs);
+        let t = engine.report().traffic;
+        assert!(t.bytes_up >= 10 * 4096);
+        assert_eq!(t.msgs_up, 11); // create + 10 writes
+    }
+
+    #[test]
+    fn rename_over_refetches_whole_file() {
+        let (mut engine, mut fs) = engine_and_fs();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, &vec![1u8; 100_000]).unwrap();
+        fs.create("/tmp0").unwrap();
+        fs.write("/tmp0", 0, &vec![2u8; 100_000]).unwrap();
+        pump(&mut engine, &mut fs);
+        let down_before = engine.report().traffic.bytes_down;
+        fs.rename("/tmp0", "/f").unwrap();
+        pump(&mut engine, &mut fs);
+        let refetch = engine.report().traffic.bytes_down - down_before;
+        assert!(refetch >= 100_000, "refetched only {refetch}");
+    }
+
+    #[test]
+    fn unaligned_write_fetches_block_first() {
+        let (mut engine, mut fs) = engine_and_fs();
+        fs.create("/db").unwrap();
+        fs.write("/db", 0, &vec![0u8; 64 * 1024]).unwrap();
+        pump(&mut engine, &mut fs);
+        // Simulate a fresh client view (cache dropped): rename-over to
+        // clear... instead simply measure the already-cached case first.
+        let down_cached = engine.report().traffic.bytes_down;
+        fs.write("/db", 10_000, b"xyz").unwrap(); // unaligned but cached
+        pump(&mut engine, &mut fs);
+        assert_eq!(engine.report().traffic.bytes_down, down_cached);
+    }
+
+    #[test]
+    fn unaligned_write_on_uncached_block_downloads() {
+        let (mut engine, mut fs) = engine_and_fs();
+        // File appears via rename (cache cleared, then refilled by the
+        // refetch) — so instead create the state manually: write a file,
+        // then truncate the engine's cache through a rename round-trip.
+        fs.create("/a").unwrap();
+        fs.write("/a", 0, &vec![0u8; 64 * 1024]).unwrap();
+        pump(&mut engine, &mut fs);
+        // Drop the cache by renaming to a new name: the refetch marks all
+        // blocks cached, so clear them manually for the test.
+        engine.cached.get_mut("/a").unwrap().clear();
+        let down_before = engine.report().traffic.bytes_down;
+        fs.write("/a", 10_000, b"xyz").unwrap();
+        pump(&mut engine, &mut fs);
+        let fetched = engine.report().traffic.bytes_down - down_before;
+        assert!(fetched >= 3, "fetch-before-write did not trigger");
+    }
+
+    #[test]
+    fn client_cost_is_empty_like_the_paper_dash() {
+        let (mut engine, mut fs) = engine_and_fs();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, b"data").unwrap();
+        pump(&mut engine, &mut fs);
+        let r = engine.report();
+        assert_eq!(r.client_cost.total_bytes(), 0);
+        assert!(r.server_cost.unwrap().bytes_copied > 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 1: motivation — client CPU and upload for Dropbox vs Seafile on
+//! the Word (12 MB, 23 saves) and SQLite chat (130 MB, 4 mods) files.
+//! Prints the figure's series, then measures one sync pass per engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltacfs_bench::table::render_fig1;
+use deltacfs_bench::{experiments, EngineKind};
+
+const PRINT_SCALE: f64 = 0.05;
+const BENCH_SCALE: f64 = 0.01;
+
+fn fig1(c: &mut Criterion) {
+    let rows = experiments::fig1(PRINT_SCALE);
+    println!("\n{}", render_fig1(&rows));
+
+    let mut group = c.benchmark_group("fig1_motivation");
+    group.sample_size(10);
+    group.bench_function("dropbox_word_session", |b| {
+        b.iter(|| experiments::fig1(BENCH_SCALE))
+    });
+    group.finish();
+
+    // The motivating gap: Dropbox burns far more client CPU than Seafile
+    // on the SQLite file, while Seafile uploads far more on both.
+    let get = |k: EngineKind, t: &str| rows.iter().find(|r| r.engine == k && r.trace == t).unwrap();
+    let db = get(EngineKind::Dropbox, "wechat").client_ticks.unwrap();
+    let sf = get(EngineKind::Seafile, "wechat").client_ticks.unwrap();
+    assert!(db > sf, "dropbox {db} vs seafile {sf}");
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 2: Dropsync syncing WeChat's data on a phone — traffic usage
+//! efficiency and sustained CPU load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltacfs_bench::experiments;
+use deltacfs_bench::table::render_fig2;
+
+fn fig2(c: &mut Criterion) {
+    let result = experiments::fig2(0.05);
+    println!("\n{}", render_fig2(&result));
+    assert!(result.tue > 1.5, "TUE should be poor, got {}", result.tue);
+
+    let mut group = c.benchmark_group("fig2_dropsync");
+    group.sample_size(10);
+    group.bench_function("wechat_on_mobile", |b| b.iter(|| experiments::fig2(0.01)));
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

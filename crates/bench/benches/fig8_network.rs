@@ -1,0 +1,28 @@
+//! Figure 8: network transmission on PC for the four traces, including
+//! the whole-file-rsync reference on WeChat.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltacfs_bench::experiments::{fig8, run_cell, EngineKind};
+use deltacfs_bench::table::render_fig8;
+use deltacfs_net::{LinkSpec, PlatformProfile};
+use deltacfs_workloads::TraceConfig;
+
+fn fig8_bench(c: &mut Criterion) {
+    let rows = fig8(0.05);
+    println!("\n{}", render_fig8(&rows));
+
+    let mut group = c.benchmark_group("fig8_cells");
+    group.sample_size(10);
+    let cfg = TraceConfig::scaled(0.01);
+    let pc = PlatformProfile::pc();
+    group.bench_function("nfs_word", |b| {
+        b.iter(|| run_cell(EngineKind::Nfs, "word", cfg, &pc, LinkSpec::pc()))
+    });
+    group.bench_function("deltacfs_word", |b| {
+        b.iter(|| run_cell(EngineKind::DeltaCfs, "word", cfg, &pc, LinkSpec::pc()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8_bench);
+criterion_main!(benches);

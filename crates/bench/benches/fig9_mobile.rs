@@ -1,0 +1,43 @@
+//! Figure 9: network traffic on mobile — Dropsync vs DeltaCFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltacfs_bench::experiments::{fig9, run_cell, EngineKind};
+use deltacfs_bench::table::render_fig9;
+use deltacfs_net::{LinkSpec, PlatformProfile};
+use deltacfs_workloads::TraceConfig;
+
+fn fig9_bench(c: &mut Criterion) {
+    let rows = fig9(0.05);
+    println!("\n{}", render_fig9(&rows));
+
+    let mut group = c.benchmark_group("fig9_cells");
+    group.sample_size(10);
+    let cfg = TraceConfig::scaled(0.01);
+    let mobile = PlatformProfile::mobile();
+    group.bench_function("dropsync_append", |b| {
+        b.iter(|| {
+            run_cell(
+                EngineKind::Dropsync,
+                "append",
+                cfg,
+                &mobile,
+                LinkSpec::mobile(),
+            )
+        })
+    });
+    group.bench_function("deltacfs_append_mobile", |b| {
+        b.iter(|| {
+            run_cell(
+                EngineKind::DeltaCfs,
+                "append",
+                cfg,
+                &mobile,
+                LinkSpec::mobile(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig9_bench);
+criterion_main!(benches);

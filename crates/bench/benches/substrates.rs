@@ -1,0 +1,82 @@
+//! Substrate micro-benchmarks: the building blocks underneath the sync
+//! engines — the embedded KV store (checksum persistence), the checksum
+//! store's hot write path, and the wire codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use deltacfs_core::{wire, ChecksumStore, FileOpItem, UpdateMsg, UpdatePayload};
+use deltacfs_delta::Cost;
+use deltacfs_kvstore::{KeyValue, KvStore, MemStore};
+
+fn bench_kvstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvstore");
+    group.sample_size(10);
+
+    group.bench_function("memstore_put_get_1k", |b| {
+        let mut store = MemStore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = i.to_be_bytes();
+            store.put(&key, &[0u8; 32]).unwrap();
+            let got = store.get(&key).unwrap();
+            i = i.wrapping_add(1);
+            std::hint::black_box(got)
+        })
+    });
+
+    group.bench_function("kvstore_put_wal_append", |b| {
+        let dir = std::env::temp_dir().join(format!("deltacfs-bench-kv-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = KvStore::open(&dir).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = i.to_be_bytes();
+            store.put(&key, &[0u8; 32]).unwrap();
+            i = i.wrapping_add(1);
+        });
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    group.finish();
+}
+
+fn bench_checksum_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checksum_store");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("put_block_4k", |b| {
+        let mut cs = ChecksumStore::new(MemStore::new(), 4096);
+        let block = vec![0xA5u8; 4096];
+        let mut cost = Cost::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            cs.put_block("/f", i % 1024, &block, &mut cost).unwrap();
+            i = i.wrapping_add(1);
+        })
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let msg = UpdateMsg {
+        path: "/some/synced/file.db".into(),
+        base: None,
+        version: None,
+        payload: UpdatePayload::Ops(vec![FileOpItem::Write {
+            offset: 8192,
+            data: bytes::Bytes::from(vec![7u8; 4096]),
+        }]),
+        txn: Some(3),
+    };
+    let encoded = wire::encode(&msg);
+    let mut group = c.benchmark_group("wire");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_4k_write", |b| b.iter(|| wire::encode(&msg)));
+    group.bench_function("decode_4k_write", |b| {
+        b.iter(|| wire::decode(&encoded).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kvstore, bench_checksum_store, bench_wire);
+criterion_main!(benches);

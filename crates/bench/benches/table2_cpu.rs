@@ -1,0 +1,29 @@
+//! Table II: CPU ticks of Dropbox/Seafile/NFSv4/DeltaCFS on the four
+//! traces (PC), plus Dropsync/DeltaCFS on mobile. Prints the table, then
+//! benchmarks a cheap and an expensive representative cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltacfs_bench::experiments::{run_cell, table2, EngineKind};
+use deltacfs_bench::table::render_table2;
+use deltacfs_net::{LinkSpec, PlatformProfile};
+use deltacfs_workloads::TraceConfig;
+
+fn table2_bench(c: &mut Criterion) {
+    let rows = table2(0.05);
+    println!("\n{}", render_table2(&rows));
+
+    let mut group = c.benchmark_group("table2_cells");
+    group.sample_size(10);
+    let cfg = TraceConfig::scaled(0.01);
+    let pc = PlatformProfile::pc();
+    group.bench_function("deltacfs_append", |b| {
+        b.iter(|| run_cell(EngineKind::DeltaCfs, "append", cfg, &pc, LinkSpec::pc()))
+    });
+    group.bench_function("dropbox_wechat", |b| {
+        b.iter(|| run_cell(EngineKind::Dropbox, "wechat", cfg, &pc, LinkSpec::pc()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2_bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Table III: local IO throughput under Native / FUSE / DeltaCFS /
+//! DeltaCFS-with-checksums. The table itself *is* a wall-clock
+//! measurement; the criterion group then measures each mode's filebench
+//! pass precisely.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use deltacfs_bench::experiments::table3;
+use deltacfs_bench::table::render_table3;
+use deltacfs_core::{InlineInterceptor, InlineMode};
+use deltacfs_vfs::Vfs;
+use deltacfs_workloads::filebench::{self, FilebenchConfig, Personality};
+
+fn table3_bench(c: &mut Criterion) {
+    let cfg = FilebenchConfig::default();
+    let rows = table3(&cfg, 3);
+    println!("\n{}", render_table3(&rows));
+
+    let small = FilebenchConfig {
+        files: 50,
+        file_size: 64 * 1024,
+        ops: 300,
+        seed: 7,
+    };
+    let mut group = c.benchmark_group("table3_fileserver");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(small.ops as u64));
+    group.bench_function("native", |b| {
+        b.iter(|| {
+            let mut fs = Vfs::new();
+            filebench::run(Personality::Fileserver, &small, &mut fs)
+        })
+    });
+    group.bench_function("fuse", |b| {
+        b.iter(|| {
+            let mut fs = Vfs::new();
+            fs.set_observer(Box::new(InlineInterceptor::new(
+                InlineMode::FusePassthrough,
+            )));
+            filebench::run(Personality::Fileserver, &small, &mut fs)
+        })
+    });
+    group.bench_function("deltacfs", |b| {
+        b.iter(|| {
+            let mut fs = Vfs::new();
+            fs.set_observer(Box::new(InlineInterceptor::new(InlineMode::DeltaCfs)));
+            filebench::run(Personality::Fileserver, &small, &mut fs)
+        })
+    });
+    group.bench_function("deltacfs_checksum", |b| {
+        b.iter(|| {
+            let mut fs = Vfs::new();
+            fs.set_observer(Box::new(InlineInterceptor::new(
+                InlineMode::DeltaCfsChecksum,
+            )));
+            filebench::run(Personality::Fileserver, &small, &mut fs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table3_bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table IV: reliability — corruption detection, crash-inconsistency
+//! detection, and causal upload order.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltacfs_bench::experiments::table4;
+use deltacfs_bench::table::render_table4;
+
+fn table4_bench(c: &mut Criterion) {
+    let rows = table4();
+    println!("\n{}", render_table4(&rows));
+    assert_eq!(rows[2].corrupted, "detect");
+    assert_eq!(rows[2].causal, "Y");
+
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("full_reliability_suite", |b| b.iter(table4));
+    group.finish();
+}
+
+criterion_group!(benches, table4_bench);
+criterion_main!(benches);

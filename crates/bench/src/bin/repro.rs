@@ -1,0 +1,115 @@
+//! Regenerates every table and figure of the DeltaCFS paper.
+//!
+//! ```text
+//! cargo run -p deltacfs-bench --release --bin repro -- all
+//! cargo run -p deltacfs-bench --release --bin repro -- table2 --scale 0.25
+//! cargo run -p deltacfs-bench --release --bin repro -- fig8 --json out.json
+//! ```
+//!
+//! `--scale` scales the traces (1.0 = the paper's exact sizes; the default
+//! 0.25 preserves every ratio while running in minutes on one core).
+
+use deltacfs_bench::experiments;
+use deltacfs_bench::table;
+use deltacfs_workloads::filebench::FilebenchConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = 0.25f64;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale expects a number"));
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--json expects a path")),
+                );
+            }
+            other if !other.starts_with('-') => which.push(other.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    let all = which.iter().any(|w| w == "all");
+    let wants = |name: &str| (all && name != "check") || which.iter().any(|w| w == name);
+
+    let mut json = serde_json::Map::new();
+    println!("# DeltaCFS evaluation reproduction (scale {scale})\n");
+
+    if wants("fig1") {
+        let rows = experiments::fig1(scale);
+        println!("{}", table::render_fig1(&rows));
+        json.insert("fig1".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if wants("fig2") {
+        let result = experiments::fig2(scale);
+        println!("{}", table::render_fig2(&result));
+        json.insert("fig2".into(), serde_json::to_value(&result).unwrap());
+    }
+    if wants("table2") {
+        let rows = experiments::table2(scale);
+        println!("{}", table::render_table2(&rows));
+        json.insert("table2".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if wants("fig8") {
+        let rows = experiments::fig8(scale);
+        println!("{}", table::render_fig8(&rows));
+        json.insert("fig8".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if wants("fig9") {
+        let rows = experiments::fig9(scale);
+        println!("{}", table::render_fig9(&rows));
+        json.insert("fig9".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if wants("table3") {
+        let cfg = FilebenchConfig::default();
+        let rows = experiments::table3(&cfg, 3);
+        println!("{}", table::render_table3(&rows));
+        json.insert("table3".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if wants("check") {
+        let claims = deltacfs_bench::claims::check(scale);
+        let (report, all_ok) = deltacfs_bench::claims::render(&claims);
+        println!("{report}");
+        json.insert("check".into(), serde_json::json!({ "passed": all_ok }));
+        if !all_ok {
+            std::process::exit(1);
+        }
+    }
+    if wants("table4") {
+        let rows = experiments::table4();
+        println!("{}", table::render_table4(&rows));
+        json.insert("table4".into(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&serde_json::Value::Object(json)).unwrap(),
+        )
+        .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("(json written to {path})");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!(
+        "usage: repro [all|fig1|fig2|table2|fig8|fig9|table3|table4]... [--scale F] [--json PATH]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,26 @@
+//! # deltacfs-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! DeltaCFS paper's evaluation (§IV). Each experiment is a plain function
+//! returning structured rows, shared by:
+//!
+//! * the `repro` binary (`cargo run -p deltacfs-bench --release --bin
+//!   repro -- all`) which prints paper-style tables, and
+//! * the Criterion benches (`cargo bench`) which measure the underlying
+//!   kernels and print the same rows.
+//!
+//! Absolute numbers differ from the paper (different hardware, simulated
+//! substrate); the claims that reproduce are the *shapes*: who wins, by
+//! roughly what factor, and where the crossovers fall. `EXPERIMENTS.md`
+//! at the repository root records paper-vs-measured for every row.
+
+#![warn(missing_docs)]
+
+pub mod claims;
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    fig1, fig2, fig8, fig9, table2, table3, table4, CellResult, EngineKind, Fig2Result,
+    ReliabilityRow, Table3Row,
+};

@@ -1,0 +1,386 @@
+//! The Checksum Store (paper §III-E): block checksums for integrity.
+//!
+//! Every file is partitioned into fixed 4 KB blocks; each block's checksum
+//! is kept in a local key-value store. Because rsync splits files the same
+//! way, the *rolling* checksum doubles as the block checksum, "which
+//! further reduces the computational cost" — no cryptographic hash is paid
+//! here.
+//!
+//! The store detects two faults that Dropbox-like systems propagate
+//! (Table IV):
+//!
+//! * **silent corruption** — a block read back no longer matches its
+//!   checksum although no write went through the interception layer;
+//! * **crash inconsistency** — after a crash, a recently modified file's
+//!   blocks disagree with the recorded checksums (data blocks hit the disk
+//!   while the corresponding interception-layer state did not).
+
+use deltacfs_delta::{Cost, RollingChecksum};
+use deltacfs_kvstore::{KeyValue, KvError};
+
+/// Key layout: `b"cs\0" + path + b"\0" + block index (BE)`.
+fn block_key(path: &str, idx: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(3 + path.len() + 9);
+    k.extend_from_slice(b"cs\0");
+    k.extend_from_slice(path.as_bytes());
+    k.push(0);
+    k.extend_from_slice(&idx.to_be_bytes());
+    k
+}
+
+fn file_prefix(path: &str) -> Vec<u8> {
+    let mut k = Vec::with_capacity(3 + path.len() + 1);
+    k.extend_from_slice(b"cs\0");
+    k.extend_from_slice(path.as_bytes());
+    k.push(0);
+    k
+}
+
+/// Per-block checksum store over any [`KeyValue`] backend.
+#[derive(Debug)]
+pub struct ChecksumStore<K> {
+    kv: K,
+    block_size: usize,
+}
+
+impl<K: KeyValue> ChecksumStore<K> {
+    /// Creates a store with the given backend and block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(kv: K, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        ChecksumStore { kv, block_size }
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Gives access to the underlying store (e.g. to flush it).
+    pub fn backend_mut(&mut self) -> &mut K {
+        &mut self.kv
+    }
+
+    fn checksum(&self, block: &[u8], cost: &mut Cost) -> u32 {
+        cost.bytes_rolled += block.len() as u64;
+        cost.ops += 1;
+        RollingChecksum::new(block).digest()
+    }
+
+    /// Records the checksum of block `idx` of `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn put_block(
+        &mut self,
+        path: &str,
+        idx: u64,
+        block: &[u8],
+        cost: &mut Cost,
+    ) -> Result<(), KvError> {
+        let sum = self.checksum(block, cost);
+        self.kv.put(&block_key(path, idx), &sum.to_le_bytes())
+    }
+
+    /// Verifies block `idx` of `path` against the stored checksum.
+    ///
+    /// Returns `true` when the block matches or no checksum is recorded
+    /// yet (an unknown block cannot be declared corrupt).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn verify_block(
+        &mut self,
+        path: &str,
+        idx: u64,
+        block: &[u8],
+        cost: &mut Cost,
+    ) -> Result<bool, KvError> {
+        match self.kv.get(&block_key(path, idx))? {
+            Some(stored) => {
+                let sum = self.checksum(block, cost);
+                Ok(stored == sum.to_le_bytes())
+            }
+            None => Ok(true),
+        }
+    }
+
+    /// Re-checksums every block of `content` and records it for `path`,
+    /// dropping stale trailing blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn reindex_file(
+        &mut self,
+        path: &str,
+        content: &[u8],
+        cost: &mut Cost,
+    ) -> Result<(), KvError> {
+        let nblocks = content.len().div_ceil(self.block_size) as u64;
+        // Remove checksums past the new end.
+        for (key, _) in self.kv.scan_prefix(&file_prefix(path))? {
+            let idx_bytes: [u8; 8] = key[key.len() - 8..].try_into().expect("8-byte suffix");
+            if u64::from_be_bytes(idx_bytes) >= nblocks {
+                self.kv.delete(&key)?;
+            }
+        }
+        for (i, block) in content.chunks(self.block_size).enumerate() {
+            self.put_block(path, i as u64, block, cost)?;
+        }
+        Ok(())
+    }
+
+    /// Updates checksums for the blocks touched by a write of `data_len`
+    /// bytes at `offset`. `read_block(idx)` must return the *current*
+    /// (post-write) content of block `idx`, or `None` past EOF.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn update_range(
+        &mut self,
+        path: &str,
+        offset: u64,
+        data_len: u64,
+        mut read_block: impl FnMut(u64) -> Option<Vec<u8>>,
+        cost: &mut Cost,
+    ) -> Result<(), KvError> {
+        if data_len == 0 {
+            return Ok(());
+        }
+        let first = offset / self.block_size as u64;
+        let last = (offset + data_len - 1) / self.block_size as u64;
+        for idx in first..=last {
+            if let Some(block) = read_block(idx) {
+                self.put_block(path, idx, &block, cost)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Adjusts checksums after a truncate to `new_size`; `last_block` is
+    /// the content of the (possibly shortened) final block, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn truncate(
+        &mut self,
+        path: &str,
+        new_size: u64,
+        last_block: Option<&[u8]>,
+        cost: &mut Cost,
+    ) -> Result<(), KvError> {
+        let nblocks = new_size.div_ceil(self.block_size as u64);
+        for (key, _) in self.kv.scan_prefix(&file_prefix(path))? {
+            let idx_bytes: [u8; 8] = key[key.len() - 8..].try_into().expect("8-byte suffix");
+            if u64::from_be_bytes(idx_bytes) >= nblocks {
+                self.kv.delete(&key)?;
+            }
+        }
+        if let (Some(block), true) = (last_block, new_size > 0) {
+            self.put_block(path, nblocks - 1, block, cost)?;
+        }
+        Ok(())
+    }
+
+    /// Moves all checksums of `from` to `to` (rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), KvError> {
+        let entries = self.kv.scan_prefix(&file_prefix(from))?;
+        // Remove any stale checksums for the destination first.
+        self.remove(to)?;
+        for (key, value) in entries {
+            let idx_bytes: [u8; 8] = key[key.len() - 8..].try_into().expect("8-byte suffix");
+            let idx = u64::from_be_bytes(idx_bytes);
+            self.kv.put(&block_key(to, idx), &value)?;
+            self.kv.delete(&key)?;
+        }
+        Ok(())
+    }
+
+    /// Removes all checksums for `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn remove(&mut self, path: &str) -> Result<(), KvError> {
+        for (key, _) in self.kv.scan_prefix(&file_prefix(path))? {
+            self.kv.delete(&key)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies every block of `content` against the stored checksums and
+    /// returns the indices that mismatch. Blocks with no stored checksum
+    /// are skipped; stored checksums *past* the content's end are reported
+    /// as mismatches (the file shrank behind our back).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn verify_file(
+        &mut self,
+        path: &str,
+        content: &[u8],
+        cost: &mut Cost,
+    ) -> Result<Vec<u64>, KvError> {
+        let mut bad = Vec::new();
+        let nblocks = content.len().div_ceil(self.block_size) as u64;
+        for (key, stored) in self.kv.scan_prefix(&file_prefix(path))? {
+            let idx_bytes: [u8; 8] = key[key.len() - 8..].try_into().expect("8-byte suffix");
+            let idx = u64::from_be_bytes(idx_bytes);
+            if idx >= nblocks {
+                bad.push(idx);
+                continue;
+            }
+            let start = idx as usize * self.block_size;
+            let end = (start + self.block_size).min(content.len());
+            let sum = self.checksum(&content[start..end], cost);
+            if stored != sum.to_le_bytes() {
+                bad.push(idx);
+            }
+        }
+        bad.sort_unstable();
+        Ok(bad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltacfs_kvstore::MemStore;
+
+    fn store() -> ChecksumStore<MemStore> {
+        ChecksumStore::new(MemStore::new(), 4)
+    }
+
+    #[test]
+    fn reindex_and_verify_clean_file() {
+        let mut cs = store();
+        let mut cost = Cost::new();
+        let content = b"0123456789"; // 3 blocks: 4+4+2
+        cs.reindex_file("/f", content, &mut cost).unwrap();
+        assert_eq!(cs.verify_file("/f", content, &mut cost).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut cs = store();
+        let mut cost = Cost::new();
+        let content = b"0123456789".to_vec();
+        cs.reindex_file("/f", &content, &mut cost).unwrap();
+        let mut corrupted = content.clone();
+        corrupted[5] ^= 0x01; // block 1
+        assert_eq!(
+            cs.verify_file("/f", &corrupted, &mut cost).unwrap(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn update_range_touches_only_affected_blocks() {
+        let mut cs = store();
+        let mut cost = Cost::new();
+        let mut content = b"aaaabbbbcccc".to_vec();
+        cs.reindex_file("/f", &content, &mut cost).unwrap();
+        // Overwrite bytes 5..7 (inside block 1).
+        content[5..7].copy_from_slice(b"XY");
+        cs.update_range(
+            "/f",
+            5,
+            2,
+            |idx| {
+                let start = idx as usize * 4;
+                content
+                    .get(start..(start + 4).min(content.len()))
+                    .map(<[u8]>::to_vec)
+            },
+            &mut cost,
+        )
+        .unwrap();
+        assert_eq!(cs.verify_file("/f", &content, &mut cost).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncate_drops_tail_checksums() {
+        let mut cs = store();
+        let mut cost = Cost::new();
+        let content = b"aaaabbbbcccc".to_vec();
+        cs.reindex_file("/f", &content, &mut cost).unwrap();
+        let truncated = &content[..6];
+        cs.truncate("/f", 6, Some(&truncated[4..6]), &mut cost)
+            .unwrap();
+        assert_eq!(cs.verify_file("/f", truncated, &mut cost).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn shrink_behind_our_back_is_flagged() {
+        let mut cs = store();
+        let mut cost = Cost::new();
+        cs.reindex_file("/f", b"aaaabbbb", &mut cost).unwrap();
+        // File shrank to one block without the store being told.
+        let bad = cs.verify_file("/f", b"aaaa", &mut cost).unwrap();
+        assert_eq!(bad, vec![1]);
+    }
+
+    #[test]
+    fn rename_moves_checksums() {
+        let mut cs = store();
+        let mut cost = Cost::new();
+        cs.reindex_file("/a", b"12345678", &mut cost).unwrap();
+        cs.rename("/a", "/b").unwrap();
+        assert_eq!(
+            cs.verify_file("/b", b"12345678", &mut cost).unwrap(),
+            vec![]
+        );
+        // No residue under the old name.
+        assert_eq!(cs.verify_file("/a", b"zzzz", &mut cost).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn remove_clears_file() {
+        let mut cs = store();
+        let mut cost = Cost::new();
+        cs.reindex_file("/a", b"12345678", &mut cost).unwrap();
+        cs.remove("/a").unwrap();
+        assert_eq!(
+            cs.verify_file("/a", b"different", &mut cost).unwrap(),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn unknown_blocks_verify_true() {
+        let mut cs = store();
+        let mut cost = Cost::new();
+        assert!(cs.verify_block("/f", 0, b"anything", &mut cost).unwrap());
+    }
+
+    #[test]
+    fn verify_block_detects_mismatch() {
+        let mut cs = store();
+        let mut cost = Cost::new();
+        cs.put_block("/f", 0, b"good", &mut cost).unwrap();
+        assert!(cs.verify_block("/f", 0, b"good", &mut cost).unwrap());
+        assert!(!cs.verify_block("/f", 0, b"evil", &mut cost).unwrap());
+    }
+
+    #[test]
+    fn paths_do_not_collide() {
+        // "/ab" block 0 must not collide with "/a" + strange suffix.
+        let mut cs = store();
+        let mut cost = Cost::new();
+        cs.reindex_file("/ab", b"xxxx", &mut cost).unwrap();
+        assert_eq!(cs.verify_file("/a", b"yyyy", &mut cost).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,1421 @@
+//! The DeltaCFS client engine (paper §III).
+//!
+//! The engine consumes the intercepted operation stream from the VFS and
+//! produces versioned incremental updates:
+//!
+//! * every file gets **NFS-like file RPC** by default — intercepted writes
+//!   are batched into sync-queue write nodes and shipped verbatim;
+//! * the **relation table** watches rename/unlink patterns; when a
+//!   transactional update is recognized (Word, gedit, delete-then-rewrite)
+//!   the batched RPC nodes are superseded by one **locally computed
+//!   delta** (rolling checksums + bitwise comparison, no MD5);
+//! * an **undo log** of overwritten bytes lets the engine delta-compress
+//!   in-place updates that modified a large fraction of a file;
+//! * a **checksum store** (4 KB blocks, rolling checksums in a KV store)
+//!   detects silent corruption and post-crash inconsistency before they
+//!   are propagated to the cloud;
+//! * versions are client-assigned `<CliID, VerCnt>` pairs; causal order is
+//!   preserved by the sync queue's backindex transactions.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+use deltacfs_delta::{local, Cost, DeltaParams};
+use deltacfs_kvstore::{KeyValue, MemStore};
+use deltacfs_net::{SimClock, SimTime};
+use deltacfs_vfs::{OpEvent, Vfs};
+
+use crate::checksum_store::ChecksumStore;
+use crate::config::{CausalMode, DeltaCfsConfig};
+use crate::protocol::{ClientId, FileOpItem, UpdateMsg, UpdatePayload, Version};
+use crate::relation_table::{OldVersion, Preserved, RelationTable};
+use crate::sync_queue::{NodeKind, SyncQueue};
+use crate::undo_log::UndoLog;
+
+/// An integrity problem the engine detected and refused to propagate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrityIssue {
+    /// The affected file.
+    pub path: String,
+    /// The mismatching block indices.
+    pub blocks: Vec<u64>,
+    /// What kind of fault this looks like.
+    pub kind: IssueKind,
+}
+
+/// Classification of a detected integrity problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueKind {
+    /// A block changed without any operation passing the interception
+    /// layer while the system was running (silent corruption).
+    Corruption,
+    /// A recently modified file disagrees with its checksums after a
+    /// crash (ordered-journaling inconsistency).
+    CrashInconsistency,
+}
+
+/// A conflict noticed while applying a remote (forwarded) update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteConflict {
+    /// The contested file.
+    pub path: String,
+    /// Where the local (losing) content was preserved.
+    pub local_copy: String,
+}
+
+/// The DeltaCFS client engine, generic over the checksum-store backend.
+#[derive(Debug)]
+pub struct DeltaCfsClient<K: KeyValue = MemStore> {
+    id: ClientId,
+    cfg: DeltaCfsConfig,
+    clock: SimClock,
+    relation: RelationTable,
+    queue: SyncQueue,
+    /// Latest version assigned or observed per path.
+    versions: HashMap<String, Version>,
+    /// File sizes tracked from the event stream (for undo-log bookkeeping).
+    sizes: HashMap<String, u64>,
+    ver_counter: u64,
+    pending_delta: HashMap<String, Preserved>,
+    undo: HashMap<String, UndoLog>,
+    checksums: Option<ChecksumStore<K>>,
+    quarantined: HashSet<String>,
+    issues: Vec<IntegrityIssue>,
+    next_txn: u64,
+    last_snapshot: SimTime,
+    cost: Cost,
+}
+
+impl DeltaCfsClient<MemStore> {
+    /// Creates a client with an in-memory checksum store.
+    pub fn new(id: ClientId, cfg: DeltaCfsConfig, clock: SimClock) -> Self {
+        Self::with_backend(id, cfg, clock, MemStore::new())
+    }
+}
+
+impl<K: KeyValue> DeltaCfsClient<K> {
+    /// Creates a client with an explicit checksum-store backend (e.g. the
+    /// persistent [`deltacfs_kvstore::KvStore`]).
+    pub fn with_backend(id: ClientId, cfg: DeltaCfsConfig, clock: SimClock, backend: K) -> Self {
+        let checksums = cfg
+            .checksums
+            .then(|| ChecksumStore::new(backend, cfg.block_size));
+        DeltaCfsClient {
+            id,
+            cfg,
+            relation: RelationTable::new(cfg.relation_timeout_ms),
+            queue: SyncQueue::new(cfg.upload_delay_ms),
+            versions: HashMap::new(),
+            sizes: HashMap::new(),
+            ver_counter: 0,
+            pending_delta: HashMap::new(),
+            undo: HashMap::new(),
+            checksums,
+            quarantined: HashSet::new(),
+            issues: Vec::new(),
+            next_txn: 1,
+            last_snapshot: SimTime::ZERO,
+            clock,
+            cost: Cost::new(),
+        }
+    }
+
+    /// This client's identifier.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Work performed so far.
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Resets the work counters.
+    pub fn reset_cost(&mut self) {
+        self.cost = Cost::new();
+    }
+
+    /// Integrity issues detected so far.
+    pub fn issues(&self) -> &[IntegrityIssue] {
+        &self.issues
+    }
+
+    /// Number of nodes waiting in the sync queue (diagnostics).
+    pub fn queued_nodes(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The latest version this client knows for `path`.
+    pub fn version_of(&self, path: &str) -> Option<Version> {
+        self.versions.get(path).copied()
+    }
+
+    fn next_version(&mut self) -> Version {
+        self.ver_counter += 1;
+        Version {
+            client: self.id,
+            counter: self.ver_counter,
+        }
+    }
+
+    fn peek(&mut self, fs: &Vfs, path: &str) -> Vec<u8> {
+        let content = fs.peek_all(path).unwrap_or_default();
+        self.cost.bytes_engine_read += content.len() as u64;
+        content
+    }
+
+    /// Enqueues full-content uploads for every file already present in
+    /// `fs` (initial sync of a pre-existing folder).
+    pub fn bootstrap(&mut self, fs: &Vfs) {
+        let now = self.clock.now();
+        let paths = fs.walk_files("/").unwrap_or_default();
+        for path in paths {
+            let content = self.peek(fs, path.as_str());
+            if let Some(cs) = &mut self.checksums {
+                cs.reindex_file(path.as_str(), &content, &mut self.cost)
+                    .ok();
+            }
+            let version = self.next_version();
+            self.sizes.insert(path.to_string(), content.len() as u64);
+            self.queue.push(
+                NodeKind::Full {
+                    path: path.to_string(),
+                    data: Bytes::from(content),
+                },
+                None,
+                Some(version),
+                now,
+            );
+            self.versions.insert(path.to_string(), version);
+        }
+    }
+
+    /// Feeds one intercepted operation into the engine.
+    ///
+    /// Events must be delivered *before* the file system advances further
+    /// (FUSE interception is synchronous). Delivering a batch of events at
+    /// once is safe for plain in-place workloads, but transactional
+    /// updates whose preserved old version (`t0`) is unlinked within the
+    /// same batch will fall back to a full upload, because the old content
+    /// is no longer readable when the trigger fires.
+    pub fn handle_event(&mut self, event: &OpEvent, fs: &Vfs) {
+        let now = self.clock.now();
+        match event {
+            OpEvent::Create { path } => self.on_create(path.as_str(), now),
+            OpEvent::Write {
+                path,
+                offset,
+                data,
+                overwritten,
+            } => self.on_write(path.as_str(), *offset, data, overwritten, fs, now),
+            OpEvent::Truncate { path, size, cut } => {
+                self.on_truncate(path.as_str(), *size, cut, fs, now)
+            }
+            OpEvent::Rename { src, dst, replaced } => {
+                self.on_rename(src.as_str(), dst.as_str(), replaced.clone(), fs, now)
+            }
+            OpEvent::Link { src, dst } => self.on_link(src.as_str(), dst.as_str(), now),
+            OpEvent::Unlink { path, removed } => {
+                self.on_unlink(path.as_str(), removed.clone(), now)
+            }
+            OpEvent::Mkdir { path } => {
+                self.queue.push(
+                    NodeKind::Mkdir {
+                        path: path.to_string(),
+                    },
+                    None,
+                    None,
+                    now,
+                );
+            }
+            OpEvent::Rmdir { path } => {
+                self.queue.push(
+                    NodeKind::Rmdir {
+                        path: path.to_string(),
+                    },
+                    None,
+                    None,
+                    now,
+                );
+            }
+            OpEvent::Close { path } => self.on_close(path.as_str(), fs, now),
+            OpEvent::Fsync { .. } => {}
+        }
+    }
+
+    fn on_create(&mut self, path: &str, now: SimTime) {
+        if let Some(pre) = (self.cfg.causal_mode != CausalMode::StrictFifo)
+            .then(|| self.relation.take_match(path, now))
+            .flatten()
+        {
+            // Delete-then-rewrite (or similar) pattern: remember the old
+            // version; the delta runs when the new content is complete.
+            self.pending_delta.insert(path.to_string(), pre);
+        }
+        self.sizes.insert(path.to_string(), 0);
+        let version = self.next_version();
+        self.queue.push(
+            NodeKind::Create {
+                path: path.to_string(),
+            },
+            self.versions.get(path).copied(),
+            Some(version),
+            now,
+        );
+        self.versions.insert(path.to_string(), version);
+    }
+
+    fn on_write(
+        &mut self,
+        path: &str,
+        offset: u64,
+        data: &Bytes,
+        overwritten: &Bytes,
+        fs: &Vfs,
+        now: SimTime,
+    ) {
+        let old_len = self.sizes.get(path).copied().unwrap_or(0);
+        let new_len = old_len.max(offset + data.len() as u64);
+        self.sizes.insert(path.to_string(), new_len);
+        self.relation.invalidate_dst(path);
+
+        // Interception itself costs one copy of the written data.
+        self.cost.bytes_copied += data.len() as u64;
+
+        if self.cfg.checksums
+            && !self.verify_and_update_checksums(path, offset, data, overwritten, old_len, fs)
+        {
+            // Corruption detected: refuse to propagate this file.
+            self.quarantined.insert(path.to_string());
+        }
+        if self.quarantined.contains(path) {
+            return;
+        }
+
+        // Undo log: preserve the overwritten bytes (paper §III-A).
+        self.undo.entry(path.to_string()).or_default().record_write(
+            old_len,
+            offset,
+            overwritten.clone(),
+            data.len() as u64,
+        );
+
+        let op = FileOpItem::Write {
+            offset,
+            data: data.clone(),
+        };
+        if self.queue.append_write(path, op.clone(), now).is_none() {
+            let base = self.versions.get(path).copied();
+            let version = self.next_version();
+            self.queue.push(
+                NodeKind::Write {
+                    path: path.to_string(),
+                    ops: vec![op],
+                    packed: false,
+                },
+                base,
+                Some(version),
+                now,
+            );
+            self.versions.insert(path.to_string(), version);
+        }
+    }
+
+    /// Verifies the blocks a write touches *before* recording their new
+    /// checksums. Returns `false` if the pre-write content did not match
+    /// the stored checksums — i.e. something modified the file underneath
+    /// the interception layer.
+    fn verify_and_update_checksums(
+        &mut self,
+        path: &str,
+        offset: u64,
+        data: &Bytes,
+        overwritten: &Bytes,
+        old_len: u64,
+        fs: &Vfs,
+    ) -> bool {
+        let Some(cs) = &mut self.checksums else {
+            return true;
+        };
+        let bs = cs.block_size() as u64;
+        if data.is_empty() {
+            return true;
+        }
+        let first = offset / bs;
+        let last = (offset + data.len() as u64 - 1) / bs;
+        let mut bad_blocks = Vec::new();
+        for idx in first..=last {
+            let block_start = idx * bs;
+            // Current (post-write) block content.
+            let block = fs
+                .peek_range(path, block_start, bs as usize)
+                .unwrap_or_default();
+            self.cost.bytes_engine_read += block.len() as u64;
+            // Reconstruct the pre-write block by splicing the overwritten
+            // bytes back over the written range.
+            let pre = reconstruct_pre_block(&block, block_start, offset, overwritten, old_len);
+            if let Some(pre) = pre {
+                match cs.verify_block(path, idx, &pre, &mut self.cost) {
+                    Ok(true) | Err(_) => {}
+                    Ok(false) => bad_blocks.push(idx),
+                }
+            }
+            cs.put_block(path, idx, &block, &mut self.cost).ok();
+        }
+        if bad_blocks.is_empty() {
+            true
+        } else {
+            self.issues.push(IntegrityIssue {
+                path: path.to_string(),
+                blocks: bad_blocks,
+                kind: IssueKind::Corruption,
+            });
+            false
+        }
+    }
+
+    fn on_truncate(&mut self, path: &str, size: u64, cut: &Bytes, fs: &Vfs, now: SimTime) {
+        let old_len = self.sizes.get(path).copied().unwrap_or(0);
+        self.sizes.insert(path.to_string(), size);
+        self.relation.invalidate_dst(path);
+        if let Some(cs) = &mut self.checksums {
+            let bs = cs.block_size() as u64;
+            let last_block = if size > 0 {
+                let start = (size - 1) / bs * bs;
+                let block = fs.peek_range(path, start, bs as usize).unwrap_or_default();
+                self.cost.bytes_engine_read += block.len() as u64;
+                Some(block)
+            } else {
+                None
+            };
+            cs.truncate(path, size, last_block.as_deref(), &mut self.cost)
+                .ok();
+        }
+        if self.quarantined.contains(path) {
+            return;
+        }
+        self.undo
+            .entry(path.to_string())
+            .or_default()
+            .record_truncate(old_len, size, cut.clone());
+        let op = FileOpItem::Truncate { size };
+        if self.queue.append_write(path, op.clone(), now).is_none() {
+            let base = self.versions.get(path).copied();
+            let version = self.next_version();
+            self.queue.push(
+                NodeKind::Write {
+                    path: path.to_string(),
+                    ops: vec![op],
+                    packed: false,
+                },
+                base,
+                Some(version),
+                now,
+            );
+            self.versions.insert(path.to_string(), version);
+        }
+    }
+
+    fn rekey(&mut self, src: &str, dst: &str) {
+        if let Some(v) = self.versions.remove(src) {
+            self.versions.insert(dst.to_string(), v);
+        }
+        if let Some(s) = self.sizes.remove(src) {
+            self.sizes.insert(dst.to_string(), s);
+        }
+        if let Some(u) = self.undo.remove(src) {
+            self.undo.insert(dst.to_string(), u);
+        }
+        if let Some(p) = self.pending_delta.remove(src) {
+            self.pending_delta.insert(dst.to_string(), p);
+        }
+        if self.quarantined.remove(src) {
+            self.quarantined.insert(dst.to_string());
+        }
+        if let Some(cs) = &mut self.checksums {
+            cs.rename(src, dst).ok();
+        }
+    }
+
+    fn on_rename(&mut self, src: &str, dst: &str, replaced: Option<Bytes>, fs: &Vfs, now: SimTime) {
+        // Capture the replaced file's version before any rekeying.
+        let replaced_version = self.versions.get(dst).copied();
+        self.queue.pack(src);
+        self.queue.pack(dst);
+        self.rekey(src, dst);
+        // The rename itself preserves src's old *name* relation.
+        self.relation.on_rename(src, dst, now);
+
+        // Trigger check: did this rename recreate a name whose old version
+        // is preserved (Word), or overwrite an existing file (gedit)?
+        // Strict-FIFO mode (ablation) never triggers: the rename ships
+        // as-is and the temp file's full content ships as RPC ops.
+        if self.cfg.causal_mode == CausalMode::StrictFifo {
+            self.queue.push(
+                NodeKind::Rename {
+                    src: src.to_string(),
+                    dst: dst.to_string(),
+                },
+                None,
+                None,
+                now,
+            );
+        } else if let Some(pre) = self.relation.take_match(dst, now) {
+            self.execute_delta(dst, pre, Some(src), fs, now);
+        } else if let Some(old_content) = replaced {
+            let pre = Preserved {
+                old: OldVersion::Content(old_content),
+                base_version: replaced_version,
+            };
+            self.execute_delta(dst, pre, Some(src), fs, now);
+        } else {
+            self.queue.push(
+                NodeKind::Rename {
+                    src: src.to_string(),
+                    dst: dst.to_string(),
+                },
+                None,
+                None,
+                now,
+            );
+        }
+    }
+
+    fn on_link(&mut self, src: &str, dst: &str, now: SimTime) {
+        // No relation entry for link (paper Table I): the rename-over that
+        // follows triggers via the "name already exists" rule.
+        if let Some(v) = self.versions.get(src).copied() {
+            self.versions.insert(dst.to_string(), v);
+        }
+        if let Some(s) = self.sizes.get(src).copied() {
+            self.sizes.insert(dst.to_string(), s);
+        }
+        self.queue.push(
+            NodeKind::Link {
+                src: src.to_string(),
+                dst: dst.to_string(),
+            },
+            None,
+            None,
+            now,
+        );
+    }
+
+    fn on_unlink(&mut self, path: &str, removed: Option<Bytes>, now: SimTime) {
+        self.queue.pack(path);
+        self.relation.invalidate_dst(path);
+        let base_version = self.versions.get(path).copied();
+        if let Some(content) = removed {
+            if (content.len() as u64) <= self.cfg.preserve_limit {
+                // Preserve the dying content (the paper's tmp/ move).
+                self.relation.on_unlink(path, content, base_version, now);
+            }
+        }
+        if self.cfg.causal_mode != CausalMode::StrictFifo && self.queue.has_pending_create(path) {
+            // The cloud has never seen this file: elide every pending node
+            // instead of uploading a create/write/unlink sequence. The
+            // backindex pins causality to the current tail.
+            let ids = self.queue.pending_ids_for_path(path);
+            if let Some(tail) = self.queue.tail_id() {
+                self.queue.delete_nodes(&ids, tail);
+            }
+        } else {
+            self.queue.push(
+                NodeKind::Unlink {
+                    path: path.to_string(),
+                },
+                base_version,
+                None,
+                now,
+            );
+        }
+        self.versions.remove(path);
+        self.sizes.remove(path);
+        self.undo.remove(path);
+        self.pending_delta.remove(path);
+        self.quarantined.remove(path);
+        if let Some(cs) = &mut self.checksums {
+            cs.remove(path).ok();
+        }
+    }
+
+    fn on_close(&mut self, path: &str, fs: &Vfs, now: SimTime) {
+        self.queue.pack(path);
+        if let Some(pre) = self.pending_delta.remove(path) {
+            self.execute_delta(path, pre, None, fs, now);
+        }
+    }
+
+    /// Runs the paper's local delta encoding for `path` against the
+    /// preserved old version and splices the result into the sync queue,
+    /// superseding the pending RPC nodes.
+    fn execute_delta(
+        &mut self,
+        path: &str,
+        pre: Preserved,
+        src_hint: Option<&str>,
+        fs: &Vfs,
+        now: SimTime,
+    ) {
+        let new_content = self.peek(fs, path);
+        let old_via_path = matches!(pre.old, OldVersion::Path(_));
+        let (old_content, base_path, base_version): (Vec<u8>, String, Option<Version>) =
+            match pre.old {
+                OldVersion::Path(p) => {
+                    let content = self.peek(fs, &p);
+                    let version = self.versions.get(&p).copied();
+                    (content, p, version)
+                }
+                OldVersion::Content(bytes) => (bytes.to_vec(), path.to_string(), pre.base_version),
+            };
+
+        // Nodes this delta supersedes: the file's own pending content
+        // history (including a pending unlink in the delete-then-recreate
+        // pattern — the cloud's copy stays and serves as the delta base)
+        // and the content assembled under the temporary source name.
+        let mut ids = self.queue.pending_content_ids(path, true);
+        if let Some(src) = src_hint {
+            let src_ids = self.queue.pending_content_ids(src, false);
+            if src_ids.is_empty() {
+                // The temp file's content already reached the cloud (its
+                // nodes uploaded before the trigger — e.g. a snapshot
+                // sealed mid-save). Clean the stray copy up explicitly;
+                // unlinking a path the cloud never had is harmless.
+                self.queue.push(
+                    NodeKind::Unlink {
+                        path: src.to_string(),
+                    },
+                    None,
+                    None,
+                    now,
+                );
+            }
+            ids.extend(src_ids);
+        }
+
+        let params = DeltaParams::with_block_size(self.cfg.block_size);
+        let delta = local::diff(&old_content, &new_content, &params, &mut self.cost);
+        let version = self.next_version();
+        let node_id = if delta.wire_size() < new_content.len() as u64 {
+            self.queue.push(
+                NodeKind::Delta {
+                    path: path.to_string(),
+                    base_path,
+                    delta,
+                },
+                base_version,
+                Some(version),
+                now,
+            )
+        } else {
+            // The files are too different (or too small) for delta
+            // encoding to pay off: ship the whole content. The base must
+            // reflect what the cloud holds at `path` when this applies:
+            // nothing, if the old version was renamed away (Word's t0);
+            // the preserved version, if the content survives in place
+            // (gedit's replaced rename, unlink-then-recreate).
+            self.cost.bytes_copied += new_content.len() as u64;
+            let full_base = if old_via_path { None } else { base_version };
+            self.queue.push(
+                NodeKind::Full {
+                    path: path.to_string(),
+                    data: Bytes::from(new_content),
+                },
+                full_base,
+                Some(version),
+                now,
+            )
+        };
+        self.versions.insert(path.to_string(), version);
+        if !ids.is_empty() {
+            self.queue.delete_nodes(&ids, node_id);
+        }
+        // The RPC history no longer matters for this file.
+        self.undo.remove(path);
+    }
+
+    /// Advances timeouts and returns the transaction groups that are ready
+    /// to upload.
+    pub fn tick(&mut self, fs: &Vfs) -> Vec<Vec<UpdateMsg>> {
+        let now = self.clock.now();
+        self.relation.expire(now);
+        if let CausalMode::Snapshot { interval_ms } = self.cfg.causal_mode {
+            // ViewBox-style: seal the entire queue every interval and
+            // upload it as one transaction (paper §III-E's rejected
+            // alternative). Nothing leaves between snapshots.
+            if now.since(self.last_snapshot) < interval_ms {
+                return Vec::new();
+            }
+            self.last_snapshot = now;
+            let groups = self.queue.pop_all();
+            let merged: Vec<crate::sync_queue::Node> = groups.into_iter().flatten().collect();
+            if merged.is_empty() {
+                return Vec::new();
+            }
+            return self.convert_groups(vec![merged], fs);
+        }
+        let groups = self.queue.pop_ready(now);
+        self.convert_groups(groups, fs)
+    }
+
+    /// Flushes everything still queued (end of run / shutdown).
+    pub fn flush(&mut self, fs: &Vfs) -> Vec<Vec<UpdateMsg>> {
+        let groups = self.queue.pop_all();
+        self.convert_groups(groups, fs)
+    }
+
+    fn convert_groups(
+        &mut self,
+        groups: Vec<Vec<crate::sync_queue::Node>>,
+        fs: &Vfs,
+    ) -> Vec<Vec<UpdateMsg>> {
+        let mut out = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut msgs = Vec::new();
+            for node in &group {
+                if node.deleted {
+                    continue;
+                }
+                if let Some(msg) = self.node_to_msg(node, fs) {
+                    msgs.push(msg);
+                }
+            }
+            if msgs.len() > 1 {
+                let txn = self.next_txn;
+                self.next_txn += 1;
+                for m in &mut msgs {
+                    m.txn = Some(txn);
+                }
+            }
+            if !msgs.is_empty() {
+                out.push(msgs);
+            }
+        }
+        out
+    }
+
+    fn node_to_msg(&mut self, node: &crate::sync_queue::Node, fs: &Vfs) -> Option<UpdateMsg> {
+        let payload = match &node.kind {
+            NodeKind::Create { .. } => UpdatePayload::Create,
+            NodeKind::Write { path, ops, .. } => self.write_node_payload(path, ops, node.base, fs),
+            NodeKind::Delta {
+                base_path, delta, ..
+            } => UpdatePayload::Delta {
+                base_path: base_path.clone(),
+                delta: delta.clone(),
+            },
+            NodeKind::Full { data, .. } => UpdatePayload::Full(data.clone()),
+            NodeKind::Rename { dst, .. } => UpdatePayload::Rename { to: dst.clone() },
+            NodeKind::Link { dst, .. } => UpdatePayload::Link { to: dst.clone() },
+            NodeKind::Unlink { .. } => UpdatePayload::Unlink,
+            NodeKind::Mkdir { .. } => UpdatePayload::Mkdir,
+            NodeKind::Rmdir { .. } => UpdatePayload::Rmdir,
+        };
+        Some(UpdateMsg {
+            path: node.kind.path().to_string(),
+            base: node.base,
+            version: node.version,
+            payload,
+            txn: None,
+        })
+    }
+
+    /// Decides between shipping raw ops and delta-compressing a large
+    /// in-place update via the undo log (paper §III-A).
+    fn write_node_payload(
+        &mut self,
+        path: &str,
+        ops: &[FileOpItem],
+        base: Option<Version>,
+        fs: &Vfs,
+    ) -> UpdatePayload {
+        let raw_size: u64 = ops
+            .iter()
+            .map(|op| crate::protocol::OP_ITEM_HEADER_BYTES + op.payload_len())
+            .sum();
+        let current_len = self.sizes.get(path).copied().unwrap_or(0);
+        // Delta compression only makes sense against a base version the
+        // cloud already holds; fresh files always ship their raw writes.
+        let try_delta = base.is_some()
+            && self
+                .undo
+                .get(path)
+                .map(|u| {
+                    !u.is_empty()
+                        && u.initial_len() > 0
+                        && u.changed_fraction(current_len) > self.cfg.inplace_delta_threshold
+                        // Only safe when no other pending node interleaves
+                        // with this file's history.
+                        && self.queue.pending_ids_for_path(path).is_empty()
+                })
+                .unwrap_or(false);
+        if try_delta {
+            let current = self.peek(fs, path);
+            let undo = self.undo.get(path).expect("checked above");
+            let old = undo.reconstruct(&current);
+            self.cost.bytes_copied += old.len() as u64;
+            let params = DeltaParams::with_block_size(self.cfg.block_size);
+            let delta = local::diff(&old, &current, &params, &mut self.cost);
+            self.undo.remove(path);
+            if delta.wire_size() < raw_size {
+                return UpdatePayload::Delta {
+                    base_path: path.to_string(),
+                    delta,
+                };
+            }
+        } else {
+            self.undo.remove(path);
+        }
+        UpdatePayload::Ops(ops.to_vec())
+    }
+
+    /// Applies a remote (forwarded) update to the local file system.
+    ///
+    /// If this client has its own pending changes for the file, the local
+    /// content is preserved as a conflict copy first (the cloud's version
+    /// won — first write wins).
+    pub fn apply_remote(&mut self, msg: &UpdateMsg, fs: &mut Vfs) -> Option<RemoteConflict> {
+        let mut conflict = None;
+        let pending = self.queue.pending_ids_for_path(&msg.path);
+        let content_change = matches!(
+            msg.payload,
+            UpdatePayload::Ops(_) | UpdatePayload::Delta { .. } | UpdatePayload::Full(_)
+        );
+        if !pending.is_empty() && content_change {
+            let local_copy = format!("{}.conflict-{}", msg.path, self.id);
+            let local_content = self.peek(fs, &msg.path);
+            fs.create(&local_copy).ok();
+            fs.write(&local_copy, 0, &local_content).ok();
+            // Drop our losing pending nodes.
+            if let Some(tail) = self.queue.tail_id() {
+                self.queue.delete_nodes(&pending, tail);
+            }
+            conflict = Some(RemoteConflict {
+                path: msg.path.clone(),
+                local_copy,
+            });
+        }
+        self.apply_remote_payload(msg, fs);
+        // Discard the events our own application just generated.
+        let _ = fs.drain_events();
+        if let Some(v) = msg.version {
+            self.versions.insert(msg.path.clone(), v);
+        }
+        if content_change {
+            if let Some(cs) = &mut self.checksums {
+                let content = fs.peek_all(&msg.path).unwrap_or_default();
+                self.cost.bytes_engine_read += content.len() as u64;
+                cs.reindex_file(&msg.path, &content, &mut self.cost).ok();
+            }
+            self.sizes.insert(
+                msg.path.clone(),
+                fs.metadata(&msg.path).map(|m| m.size).unwrap_or(0),
+            );
+        }
+        conflict
+    }
+
+    fn apply_remote_payload(&mut self, msg: &UpdateMsg, fs: &mut Vfs) {
+        match &msg.payload {
+            UpdatePayload::Create => {
+                fs.create(&msg.path).ok();
+            }
+            UpdatePayload::Ops(ops) => {
+                if !fs.exists(&msg.path) {
+                    fs.create(&msg.path).ok();
+                }
+                for op in ops {
+                    match op {
+                        FileOpItem::Write { offset, data } => {
+                            fs.write(&msg.path, *offset, data).ok();
+                        }
+                        FileOpItem::Truncate { size } => {
+                            fs.truncate(&msg.path, *size).ok();
+                        }
+                    }
+                }
+            }
+            UpdatePayload::Delta { base_path, delta } => {
+                let base = fs.peek_all(base_path).unwrap_or_default();
+                self.cost.bytes_engine_read += base.len() as u64;
+                if let Ok(new_content) = delta.apply(&base) {
+                    if !fs.exists(&msg.path) {
+                        fs.create(&msg.path).ok();
+                    }
+                    fs.truncate(&msg.path, 0).ok();
+                    fs.write(&msg.path, 0, &new_content).ok();
+                }
+            }
+            UpdatePayload::Full(data) => {
+                if !fs.exists(&msg.path) {
+                    fs.create(&msg.path).ok();
+                }
+                fs.truncate(&msg.path, 0).ok();
+                fs.write(&msg.path, 0, data).ok();
+            }
+            UpdatePayload::Rename { to } => {
+                fs.rename(&msg.path, to).ok();
+                self.rekey(&msg.path, to);
+            }
+            UpdatePayload::Link { to } => {
+                fs.link(&msg.path, to).ok();
+            }
+            UpdatePayload::Unlink => {
+                fs.unlink(&msg.path).ok();
+                self.versions.remove(&msg.path);
+                self.sizes.remove(&msg.path);
+            }
+            UpdatePayload::Mkdir => {
+                fs.mkdir_all(&msg.path).ok();
+            }
+            UpdatePayload::Rmdir => {
+                fs.rmdir(&msg.path).ok();
+            }
+        }
+    }
+
+    /// Verified read (paper §III-E: "When a file is read, the data blocks
+    /// will be verified using the checksums"). Returns the requested
+    /// range, or the detected [`IntegrityIssue`] if any covering block
+    /// fails verification — in which case the file is quarantined and
+    /// should be recovered from the cloud via
+    /// [`DeltaCfsClient::recover_file`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`IntegrityIssue`] describing the corrupted blocks.
+    pub fn verified_read(
+        &mut self,
+        path: &str,
+        offset: u64,
+        len: usize,
+        fs: &Vfs,
+    ) -> Result<Vec<u8>, IntegrityIssue> {
+        let data = fs.peek_range(path, offset, len).unwrap_or_default();
+        self.cost.bytes_engine_read += data.len() as u64;
+        let Some(cs) = &mut self.checksums else {
+            return Ok(data);
+        };
+        if data.is_empty() {
+            return Ok(data);
+        }
+        let bs = cs.block_size() as u64;
+        let first = offset / bs;
+        let last = (offset + data.len() as u64 - 1) / bs;
+        let mut bad = Vec::new();
+        for idx in first..=last {
+            let block = fs
+                .peek_range(path, idx * bs, bs as usize)
+                .unwrap_or_default();
+            self.cost.bytes_engine_read += block.len() as u64;
+            if let Ok(false) = cs.verify_block(path, idx, &block, &mut self.cost) {
+                bad.push(idx);
+            }
+        }
+        if bad.is_empty() {
+            Ok(data)
+        } else {
+            let issue = IntegrityIssue {
+                path: path.to_string(),
+                blocks: bad,
+                kind: IssueKind::Corruption,
+            };
+            self.quarantined.insert(path.to_string());
+            self.issues.push(issue.clone());
+            Err(issue)
+        }
+    }
+
+    /// Post-crash scan (paper §III-E): verifies `paths` (the recently
+    /// modified files) against the checksum store and reports files whose
+    /// blocks disagree — these are in a crash-inconsistent state and must
+    /// not be uploaded; the correct version should be pulled from the
+    /// cloud instead.
+    pub fn crash_recovery_scan(&mut self, paths: &[String], fs: &Vfs) -> Vec<IntegrityIssue> {
+        let mut found = Vec::new();
+        for path in paths {
+            let content = fs.peek_all(path).unwrap_or_default();
+            self.cost.bytes_engine_read += content.len() as u64;
+            let Some(cs) = &mut self.checksums else {
+                continue;
+            };
+            if let Ok(bad) = cs.verify_file(path, &content, &mut self.cost) {
+                if !bad.is_empty() {
+                    let issue = IntegrityIssue {
+                        path: path.clone(),
+                        blocks: bad,
+                        kind: IssueKind::CrashInconsistency,
+                    };
+                    self.quarantined.insert(path.clone());
+                    self.issues.push(issue.clone());
+                    found.push(issue);
+                }
+            }
+        }
+        found
+    }
+
+    /// Replaces a quarantined file's local content with `good` (pulled
+    /// from the cloud) and lifts the quarantine.
+    pub fn recover_file(&mut self, path: &str, good: &[u8], fs: &mut Vfs) {
+        if !fs.exists(path) {
+            fs.create(path).ok();
+        }
+        fs.truncate(path, 0).ok();
+        fs.write(path, 0, good).ok();
+        let _ = fs.drain_events();
+        if let Some(cs) = &mut self.checksums {
+            cs.reindex_file(path, good, &mut self.cost).ok();
+        }
+        self.sizes.insert(path.to_string(), good.len() as u64);
+        self.quarantined.remove(path);
+    }
+
+    /// Whether `path` is currently quarantined (detected fault, awaiting
+    /// recovery).
+    pub fn is_quarantined(&self, path: &str) -> bool {
+        self.quarantined.contains(path)
+    }
+}
+
+/// Reconstructs the pre-write content of one block.
+///
+/// `block` is the post-write block content starting at file offset
+/// `block_start`; the write started at `write_off` and destroyed
+/// `overwritten` (shorter than the write when the file grew); the file
+/// was `old_len` bytes long before the write. Returns `None` when the
+/// block lay entirely beyond the old file end (nothing to verify).
+fn reconstruct_pre_block(
+    block: &[u8],
+    block_start: u64,
+    write_off: u64,
+    overwritten: &Bytes,
+    old_len: u64,
+) -> Option<Vec<u8>> {
+    if block_start >= old_len {
+        return None; // this block did not exist before the write
+    }
+    // The old block ends at the old file end (a growing write zero-fills
+    // past it; those zeros are new content, not old).
+    let mut pre = block.to_vec();
+    pre.truncate((old_len - block_start) as usize);
+    // Splice the overwritten bytes back over the written range.
+    let splice_start = write_off.max(block_start);
+    let splice_end = (write_off + overwritten.len() as u64).min(block_start + pre.len() as u64);
+    for pos in splice_start..splice_end {
+        pre[(pos - block_start) as usize] = overwritten[(pos - write_off) as usize];
+    }
+    Some(pre)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DeltaCfsClient, Vfs, SimClock) {
+        let clock = SimClock::new();
+        let client = DeltaCfsClient::new(ClientId(1), DeltaCfsConfig::new(), clock.clone());
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        (client, fs, clock)
+    }
+
+    fn pump(client: &mut DeltaCfsClient, fs: &mut Vfs) {
+        for e in fs.drain_events() {
+            client.handle_event(&e, fs);
+        }
+    }
+
+    #[test]
+    fn writes_become_rpc_ops() {
+        let (mut client, mut fs, clock) = setup();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, b"hello").unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        let groups = client.tick(&fs);
+        let msgs: Vec<_> = groups.into_iter().flatten().collect();
+        assert_eq!(msgs.len(), 2); // create + ops
+        assert!(matches!(msgs[0].payload, UpdatePayload::Create));
+        match &msgs[1].payload {
+            UpdatePayload::Ops(ops) => assert_eq!(ops.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // No delta machinery ran.
+        assert_eq!(client.cost().bytes_strong_hashed, 0);
+    }
+
+    #[test]
+    fn word_pattern_collapses_to_one_delta() {
+        let (mut client, mut fs, clock) = setup();
+        // Initial file, uploaded.
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, &vec![7u8; 40_000]).unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        let initial = client.tick(&fs);
+        assert!(!initial.is_empty());
+
+        // Transactional save: rename f t0; create t1; write t1; rename
+        // t1 f; unlink t0 — all within one second.
+        let mut new_content = vec![7u8; 40_000];
+        new_content[100..140].copy_from_slice(&[9u8; 40]);
+        fs.rename("/f", "/t0").unwrap();
+        pump(&mut client, &mut fs);
+        fs.create("/t1").unwrap();
+        pump(&mut client, &mut fs);
+        fs.write("/t1", 0, &new_content).unwrap();
+        pump(&mut client, &mut fs);
+        fs.close_path("/t1").unwrap();
+        pump(&mut client, &mut fs);
+        fs.rename("/t1", "/f").unwrap();
+        pump(&mut client, &mut fs);
+        fs.unlink("/t0").unwrap();
+        pump(&mut client, &mut fs);
+
+        clock.advance(4000);
+        let groups = client.tick(&fs);
+        let msgs: Vec<_> = groups.into_iter().flatten().collect();
+        // Expected surviving messages: rename f→t0, delta on f, unlink t0.
+        let kinds: Vec<&'static str> = msgs
+            .iter()
+            .map(|m| match &m.payload {
+                UpdatePayload::Rename { .. } => "rename",
+                UpdatePayload::Delta { .. } => "delta",
+                UpdatePayload::Unlink => "unlink",
+                UpdatePayload::Ops(_) => "ops",
+                UpdatePayload::Create => "create",
+                UpdatePayload::Full(_) => "full",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["rename", "delta", "unlink"], "got {msgs:?}");
+        // The delta is small: far below the 40 KB file.
+        let delta_size: u64 = msgs
+            .iter()
+            .map(|m| match &m.payload {
+                UpdatePayload::Delta { delta, .. } => delta.wire_size(),
+                _ => 0,
+            })
+            .sum();
+        assert!(delta_size < 6000, "delta too large: {delta_size}");
+        // And no strong checksums were computed (bitwise comparison).
+        assert_eq!(client.cost().bytes_strong_hashed, 0);
+    }
+
+    #[test]
+    fn word_delta_applies_correctly_on_server() {
+        use crate::server::CloudServer;
+        let (mut client, mut fs, clock) = setup();
+        let mut server = CloudServer::new();
+        let sync = |client: &mut DeltaCfsClient, fs: &Vfs, server: &mut CloudServer| {
+            for group in client.tick(fs) {
+                server.apply_txn(&group);
+            }
+        };
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, &vec![1u8; 20_000]).unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        sync(&mut client, &fs, &mut server);
+        assert_eq!(server.file("/f"), Some(&vec![1u8; 20_000][..]));
+
+        let mut new_content = vec![1u8; 20_000];
+        new_content.extend_from_slice(&[2u8; 500]);
+        fs.rename("/f", "/t0").unwrap();
+        pump(&mut client, &mut fs);
+        fs.create("/t1").unwrap();
+        pump(&mut client, &mut fs);
+        fs.write("/t1", 0, &new_content).unwrap();
+        pump(&mut client, &mut fs);
+        fs.close_path("/t1").unwrap();
+        pump(&mut client, &mut fs);
+        fs.rename("/t1", "/f").unwrap();
+        pump(&mut client, &mut fs);
+        fs.unlink("/t0").unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        sync(&mut client, &fs, &mut server);
+        assert_eq!(server.file("/f"), Some(&new_content[..]));
+        assert!(server.file("/t0").is_none());
+        assert!(server.file("/t1").is_none());
+    }
+
+    #[test]
+    fn gedit_pattern_triggers_on_replacement() {
+        let (mut client, mut fs, clock) = setup();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, &vec![5u8; 10_000]).unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        client.tick(&fs);
+
+        // gedit: create tmp; write tmp; link f f~; rename tmp f.
+        let mut new_content = vec![5u8; 10_000];
+        new_content[0] = 6;
+        fs.create("/tmp0").unwrap();
+        pump(&mut client, &mut fs);
+        fs.write("/tmp0", 0, &new_content).unwrap();
+        pump(&mut client, &mut fs);
+        fs.close_path("/tmp0").unwrap();
+        pump(&mut client, &mut fs);
+        fs.link("/f", "/f~").unwrap();
+        pump(&mut client, &mut fs);
+        fs.rename("/tmp0", "/f").unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        let msgs: Vec<_> = client.tick(&fs).into_iter().flatten().collect();
+        assert!(
+            msgs.iter()
+                .any(|m| matches!(m.payload, UpdatePayload::Delta { .. })),
+            "expected a delta, got {msgs:?}"
+        );
+        // No full 10 KB re-upload happened.
+        let total: u64 = msgs.iter().map(UpdateMsg::wire_size).sum();
+        assert!(total < 5000, "uploaded {total} bytes");
+    }
+
+    #[test]
+    fn delete_then_recreate_uses_preserved_content() {
+        let (mut client, mut fs, clock) = setup();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, &vec![3u8; 8000]).unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        client.tick(&fs);
+
+        // Bad update pattern: delete, recreate, rewrite almost-same data.
+        let mut new_content = vec![3u8; 8000];
+        new_content[7999] = 4;
+        fs.unlink("/f").unwrap();
+        pump(&mut client, &mut fs);
+        fs.create("/f").unwrap();
+        pump(&mut client, &mut fs);
+        fs.write("/f", 0, &new_content).unwrap();
+        pump(&mut client, &mut fs);
+        fs.close_path("/f").unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        let msgs: Vec<_> = client.tick(&fs).into_iter().flatten().collect();
+        assert!(
+            msgs.iter()
+                .any(|m| matches!(m.payload, UpdatePayload::Delta { .. })),
+            "expected delta from preserved content, got {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn unlinked_never_uploaded_file_is_elided() {
+        let (mut client, mut fs, clock) = setup();
+        fs.create("/a").unwrap();
+        fs.create("/b").unwrap();
+        fs.create("/c").unwrap();
+        fs.write("/a", 0, b"temp").unwrap();
+        fs.unlink("/a").unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        let groups = client.tick(&fs);
+        let msgs: Vec<_> = groups.iter().flatten().collect();
+        // /a never reaches the cloud, but /b and /c do — atomically.
+        assert!(msgs.iter().all(|m| !m.path.starts_with("/a")));
+        assert_eq!(msgs.len(), 2);
+        // They were glued into one transaction by the backindex.
+        assert!(msgs.iter().all(|m| m.txn.is_some()));
+    }
+
+    #[test]
+    fn large_inplace_update_is_delta_compressed() {
+        let (mut client, mut fs, clock) = setup();
+        fs.create("/db").unwrap();
+        fs.write("/db", 0, &vec![1u8; 100_000]).unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        client.tick(&fs);
+
+        // Rewrite 60% of the file with identical bytes (e.g. a journal
+        // replay writing mostly unchanged pages): raw RPC would ship 60 KB,
+        // the undo-log delta ships almost nothing.
+        fs.write("/db", 0, &vec![1u8; 60_000]).unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        let msgs: Vec<_> = client.tick(&fs).into_iter().flatten().collect();
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0].payload {
+            UpdatePayload::Delta { delta, .. } => {
+                // Raw RPC would ship 60 KB; the delta is two orders of
+                // magnitude smaller (block-copy headers plus an unmatched
+                // sub-block tail).
+                assert!(delta.wire_size() < 4000, "delta {}", delta.wire_size());
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_inplace_update_ships_raw_ops() {
+        let (mut client, mut fs, clock) = setup();
+        fs.create("/db").unwrap();
+        fs.write("/db", 0, &vec![1u8; 100_000]).unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        client.tick(&fs);
+
+        fs.write("/db", 500, b"xy").unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        let msgs: Vec<_> = client.tick(&fs).into_iter().flatten().collect();
+        assert!(matches!(msgs[0].payload, UpdatePayload::Ops(_)));
+        assert!(msgs[0].wire_size() < 200);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_quarantined() {
+        let (mut client, mut fs, clock) = setup();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, &vec![0u8; 8192]).unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        client.tick(&fs);
+
+        // Silent corruption under the interception layer.
+        fs.inject_bit_flip("/f", 100, 0).unwrap();
+        // The application writes one byte nearby.
+        fs.write("/f", 200, b"z").unwrap();
+        pump(&mut client, &mut fs);
+        assert_eq!(client.issues().len(), 1);
+        assert_eq!(client.issues()[0].kind, IssueKind::Corruption);
+        assert!(client.is_quarantined("/f"));
+        // Nothing is uploaded for the corrupted file.
+        clock.advance(4000);
+        let msgs: Vec<_> = client.tick(&fs).into_iter().flatten().collect();
+        assert!(msgs.is_empty(), "got {msgs:?}");
+        // Recovery restores the file and lifts the quarantine.
+        let good = vec![0u8; 8192];
+        client.recover_file("/f", &good, &mut fs);
+        assert!(!client.is_quarantined("/f"));
+        assert_eq!(fs.read_all("/f").unwrap(), good);
+    }
+
+    #[test]
+    fn verified_read_returns_data_or_detects() {
+        let (mut client, mut fs, clock) = setup();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, &vec![7u8; 8192]).unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        client.tick(&fs);
+
+        // Clean read: data comes back verified.
+        let data = client.verified_read("/f", 100, 50, &fs).unwrap();
+        assert_eq!(data, vec![7u8; 50]);
+
+        // Silent corruption in block 1: the read detects it.
+        fs.inject_bit_flip("/f", 5000, 1).unwrap();
+        let err = client.verified_read("/f", 4096, 100, &fs).unwrap_err();
+        assert_eq!(err.kind, IssueKind::Corruption);
+        assert_eq!(err.blocks, vec![1]);
+        assert!(client.is_quarantined("/f"));
+    }
+
+    #[test]
+    fn crash_scan_detects_torn_writes() {
+        let (mut client, mut fs, clock) = setup();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, &vec![9u8; 8192]).unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        client.tick(&fs);
+
+        fs.inject_torn_write("/f", 4096, &[7u8; 100]).unwrap();
+        let issues = client.crash_recovery_scan(&["/f".to_string()], &fs);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].kind, IssueKind::CrashInconsistency);
+        assert_eq!(issues[0].blocks, vec![1]);
+    }
+
+    #[test]
+    fn clean_crash_scan_reports_nothing() {
+        let (mut client, mut fs, clock) = setup();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, &vec![9u8; 4096]).unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        client.tick(&fs);
+        assert!(client
+            .crash_recovery_scan(&["/f".to_string()], &fs)
+            .is_empty());
+    }
+
+    #[test]
+    fn bootstrap_uploads_existing_files() {
+        let clock = SimClock::new();
+        let mut client = DeltaCfsClient::new(ClientId(1), DeltaCfsConfig::new(), clock.clone());
+        let mut fs = Vfs::new();
+        fs.create("/pre").unwrap();
+        fs.write("/pre", 0, b"existing").unwrap();
+        fs.enable_event_log();
+        fs.drain_events();
+        client.bootstrap(&fs);
+        clock.advance(4000);
+        let msgs: Vec<_> = client.tick(&fs).into_iter().flatten().collect();
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(&msgs[0].payload, UpdatePayload::Full(d) if &d[..] == b"existing"));
+    }
+
+    #[test]
+    fn apply_remote_updates_local_fs() {
+        let (mut client, mut fs, _clock) = setup();
+        let msg = UpdateMsg {
+            path: "/shared".into(),
+            base: None,
+            version: Some(Version {
+                client: ClientId(2),
+                counter: 1,
+            }),
+            payload: UpdatePayload::Full(Bytes::from_static(b"from-peer")),
+            txn: None,
+        };
+        let conflict = client.apply_remote(&msg, &mut fs);
+        assert!(conflict.is_none());
+        assert_eq!(fs.read_all("/shared").unwrap(), b"from-peer");
+        // The engine did not try to re-sync its own application.
+        assert_eq!(client.queued_nodes(), 0);
+    }
+
+    #[test]
+    fn apply_remote_conflicts_with_local_pending() {
+        let (mut client, mut fs, _clock) = setup();
+        fs.create("/doc").unwrap();
+        fs.write("/doc", 0, b"local edit").unwrap();
+        pump(&mut client, &mut fs);
+        // Remote update arrives before our node uploads.
+        let msg = UpdateMsg {
+            path: "/doc".into(),
+            base: None,
+            version: Some(Version {
+                client: ClientId(2),
+                counter: 5,
+            }),
+            payload: UpdatePayload::Full(Bytes::from_static(b"remote wins")),
+            txn: None,
+        };
+        let conflict = client
+            .apply_remote(&msg, &mut fs)
+            .expect("conflict expected");
+        assert_eq!(conflict.path, "/doc");
+        assert_eq!(fs.read_all("/doc").unwrap(), b"remote wins");
+        assert_eq!(fs.read_all(&conflict.local_copy).unwrap(), b"local edit");
+    }
+
+    #[test]
+    fn version_counter_is_monotonic_per_client() {
+        let (mut client, mut fs, _clock) = setup();
+        fs.create("/a").unwrap();
+        fs.create("/b").unwrap();
+        pump(&mut client, &mut fs);
+        let va = client.version_of("/a").unwrap();
+        let vb = client.version_of("/b").unwrap();
+        assert_eq!(va.client, ClientId(1));
+        assert!(vb.counter > va.counter);
+    }
+}

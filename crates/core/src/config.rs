@@ -1,0 +1,97 @@
+/// How causal consistency is preserved across the sync queue's
+/// out-of-FIFO optimisations (paper §III-E).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CausalMode {
+    /// The paper's design: backindex pointers group the affected nodes
+    /// into transactions; everything else uploads at its own pace.
+    Backindex,
+    /// Ablation: strict FIFO with the optimisations disabled — no delta
+    /// supersession, no elision. Causality is trivial, traffic suffers.
+    StrictFifo,
+    /// The ViewBox-style alternative the paper rejects: seal the whole
+    /// queue every `interval_ms` and upload it as one transaction. Both
+    /// of the paper's objections are observable: a save spanning a seal
+    /// loses its delta optimisation, and the interval trades freshness
+    /// against transaction bulk.
+    Snapshot {
+        /// Time between snapshots, in milliseconds.
+        interval_ms: u64,
+    },
+}
+
+/// Tuning knobs for a DeltaCFS client.
+///
+/// Defaults follow the paper: 3 s sync-queue upload delay (Fig. 6), 2 s
+/// relation-entry timeout (Table I), 4 KB delta/checksum blocks, and a
+/// 50 % changed-fraction threshold for delta-compressing in-place updates
+/// (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaCfsConfig {
+    /// How long a sync-queue node waits before upload, in milliseconds.
+    pub upload_delay_ms: u64,
+    /// Relation-table entry lifetime, in milliseconds (paper: 1–3 s).
+    pub relation_timeout_ms: u64,
+    /// Block size for delta encoding and the checksum store.
+    pub block_size: usize,
+    /// If an in-place update has modified more than this fraction of a
+    /// file when its node is uploaded, try compressing the update with
+    /// local delta encoding against the undo-log reconstruction.
+    pub inplace_delta_threshold: f64,
+    /// Unlinked files larger than this are not preserved for the relation
+    /// table (the paper's ENOSPC escape hatch).
+    pub preserve_limit: u64,
+    /// Maintain the block-checksum store (DeltaCFSc in Table III).
+    pub checksums: bool,
+    /// Causal-consistency strategy (see [`CausalMode`]).
+    pub causal_mode: CausalMode,
+}
+
+impl DeltaCfsConfig {
+    /// The paper's configuration.
+    pub fn new() -> Self {
+        DeltaCfsConfig {
+            upload_delay_ms: 3_000,
+            relation_timeout_ms: 2_000,
+            block_size: 4096,
+            inplace_delta_threshold: 0.5,
+            preserve_limit: 256 * 1024 * 1024,
+            checksums: true,
+            causal_mode: CausalMode::Backindex,
+        }
+    }
+
+    /// Disables the checksum store (the plain `DeltaCFS` row of
+    /// Table III).
+    pub fn without_checksums(mut self) -> Self {
+        self.checksums = false;
+        self
+    }
+
+    /// Selects a causal-consistency strategy (ablations; the default is
+    /// the paper's backindex design).
+    pub fn with_causal_mode(mut self, mode: CausalMode) -> Self {
+        self.causal_mode = mode;
+        self
+    }
+}
+
+impl Default for DeltaCfsConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DeltaCfsConfig::new();
+        assert_eq!(c.upload_delay_ms, 3_000);
+        assert_eq!(c.relation_timeout_ms, 2_000);
+        assert_eq!(c.block_size, 4096);
+        assert!(c.checksums);
+        assert!(!c.without_checksums().checksums);
+    }
+}

@@ -1,0 +1,198 @@
+//! The common harness interface all sync engines implement, plus
+//! [`DeltaCfsSystem`] — a DeltaCFS client and cloud server wired to a
+//! simulated link.
+//!
+//! The baseline engines in `deltacfs-baselines` (Dropbox-, Seafile-, NFS-
+//! and Dropsync-like) implement the same [`SyncEngine`] trait, so the
+//! trace-replay driver and every benchmark treat all five identically.
+
+use deltacfs_delta::Cost;
+use deltacfs_kvstore::KeyValue;
+use deltacfs_net::{Link, LinkSpec, SimClock, TrafficStats};
+use deltacfs_vfs::{OpEvent, Vfs};
+
+use crate::client::DeltaCfsClient;
+use crate::config::DeltaCfsConfig;
+use crate::protocol::{ApplyOutcome, ClientId};
+use crate::server::CloudServer;
+
+/// Summary of an engine's resource usage after a run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Engine name ("deltacfs", "dropbox", ...).
+    pub name: String,
+    /// Client-side work counters.
+    pub client_cost: Cost,
+    /// Server-side work counters (`None` when the server is opaque, as
+    /// for Dropbox in the paper).
+    pub server_cost: Option<Cost>,
+    /// Bytes and messages moved over the client↔cloud link.
+    pub traffic: TrafficStats,
+}
+
+/// A sync engine driven by intercepted file-system events and a clock.
+pub trait SyncEngine {
+    /// Engine name, for reports.
+    fn name(&self) -> &str;
+
+    /// Feeds one intercepted operation.
+    fn on_event(&mut self, event: &OpEvent, fs: &Vfs);
+
+    /// Lets the engine act on the passage of time (debounce windows,
+    /// upload delays, link availability).
+    fn tick(&mut self, fs: &Vfs);
+
+    /// Flushes all outstanding work (end of experiment).
+    fn finish(&mut self, fs: &Vfs);
+
+    /// Resource usage so far.
+    fn report(&self) -> EngineReport;
+}
+
+/// A complete single-client DeltaCFS deployment: client engine, cloud
+/// server, and the link between them.
+#[derive(Debug)]
+pub struct DeltaCfsSystem<K: KeyValue = deltacfs_kvstore::MemStore> {
+    client: DeltaCfsClient<K>,
+    server: CloudServer,
+    link: Link,
+    clock: SimClock,
+    outcomes: Vec<ApplyOutcome>,
+}
+
+impl DeltaCfsSystem<deltacfs_kvstore::MemStore> {
+    /// Creates a system with an in-memory checksum store.
+    pub fn new(cfg: DeltaCfsConfig, clock: SimClock, link_spec: LinkSpec) -> Self {
+        DeltaCfsSystem {
+            client: DeltaCfsClient::new(ClientId(1), cfg, clock.clone()),
+            server: CloudServer::new(),
+            link: Link::new(link_spec),
+            clock,
+            outcomes: Vec::new(),
+        }
+    }
+}
+
+impl<K: KeyValue> DeltaCfsSystem<K> {
+    /// Creates a system with an explicit checksum-store backend.
+    pub fn with_backend(
+        cfg: DeltaCfsConfig,
+        clock: SimClock,
+        link_spec: LinkSpec,
+        backend: K,
+    ) -> Self {
+        DeltaCfsSystem {
+            client: DeltaCfsClient::with_backend(ClientId(1), cfg, clock.clone(), backend),
+            server: CloudServer::new(),
+            link: Link::new(link_spec),
+            clock,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The client engine.
+    pub fn client(&self) -> &DeltaCfsClient<K> {
+        &self.client
+    }
+
+    /// Mutable access to the client engine.
+    pub fn client_mut(&mut self) -> &mut DeltaCfsClient<K> {
+        &mut self.client
+    }
+
+    /// The cloud server.
+    pub fn server(&self) -> &CloudServer {
+        &self.server
+    }
+
+    /// Apply outcomes observed so far (conflicts, rejections).
+    pub fn outcomes(&self) -> &[ApplyOutcome] {
+        &self.outcomes
+    }
+
+    /// Uploads every ready transaction group to the cloud.
+    fn upload_ready(&mut self, fs: &Vfs, flush: bool) {
+        let groups = if flush {
+            self.client.flush(fs)
+        } else {
+            self.client.tick(fs)
+        };
+        let now = self.clock.now();
+        for group in groups {
+            let wire: u64 = group.iter().map(|m| m.wire_size()).sum();
+            self.link.upload(wire, now);
+            let outcomes = self.server.apply_txn(&group);
+            self.outcomes.extend(outcomes);
+            // Acknowledgement.
+            self.link.download(32, now);
+        }
+    }
+}
+
+impl<K: KeyValue> SyncEngine for DeltaCfsSystem<K> {
+    fn name(&self) -> &str {
+        "deltacfs"
+    }
+
+    fn on_event(&mut self, event: &OpEvent, fs: &Vfs) {
+        self.client.handle_event(event, fs);
+    }
+
+    fn tick(&mut self, fs: &Vfs) {
+        self.upload_ready(fs, false);
+    }
+
+    fn finish(&mut self, fs: &Vfs) {
+        self.upload_ready(fs, true);
+    }
+
+    fn report(&self) -> EngineReport {
+        EngineReport {
+            name: self.name().to_string(),
+            client_cost: self.client.cost(),
+            server_cost: Some(self.server.cost()),
+            traffic: self.link.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_sync_through_the_trait() {
+        let clock = SimClock::new();
+        let mut sys = DeltaCfsSystem::new(DeltaCfsConfig::new(), clock.clone(), LinkSpec::pc());
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, b"payload").unwrap();
+        for e in fs.drain_events() {
+            sys.on_event(&e, &fs);
+        }
+        clock.advance(4000);
+        sys.tick(&fs);
+        assert_eq!(sys.server().file("/f"), Some(&b"payload"[..]));
+        let report = sys.report();
+        assert!(report.traffic.bytes_up > 7);
+        assert!(report.server_cost.is_some());
+    }
+
+    #[test]
+    fn finish_flushes_pending_nodes() {
+        let clock = SimClock::new();
+        let mut sys = DeltaCfsSystem::new(DeltaCfsConfig::new(), clock.clone(), LinkSpec::pc());
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        fs.create("/late").unwrap();
+        for e in fs.drain_events() {
+            sys.on_event(&e, &fs);
+        }
+        // No clock advance: tick would upload nothing.
+        sys.tick(&fs);
+        assert!(sys.server().file("/late").is_none());
+        sys.finish(&fs);
+        assert!(sys.server().file("/late").is_some());
+    }
+}

@@ -1,0 +1,429 @@
+//! Multi-client sharing (paper §III-D).
+//!
+//! When a client uploads incremental data for a shared file, the cloud —
+//! "besides storing the data" — forwards the *same* incremental data to
+//! the other clients sharing it, with no additional computation: to the
+//! uploader, a peer client is virtually equivalent to the cloud.
+//! Conflicts on receiving clients reconcile exactly like on the cloud
+//! (first write wins; the local edit survives as a conflict copy).
+
+use deltacfs_net::{Link, LinkSpec, SimClock};
+use deltacfs_vfs::Vfs;
+
+use crate::client::{DeltaCfsClient, RemoteConflict};
+use crate::config::DeltaCfsConfig;
+use crate::protocol::{ApplyOutcome, ClientId, UpdateMsg, UpdatePayload};
+use crate::server::CloudServer;
+
+struct Slot {
+    client: DeltaCfsClient,
+    fs: Vfs,
+    link: Link,
+}
+
+/// A cloud server with any number of attached DeltaCFS clients, all
+/// sharing one folder.
+///
+/// # Example
+///
+/// ```
+/// use deltacfs_core::{DeltaCfsConfig, SyncHub};
+/// use deltacfs_net::{LinkSpec, SimClock};
+///
+/// let clock = SimClock::new();
+/// let mut hub = SyncHub::new(clock.clone());
+/// let a = hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+/// let b = hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+/// hub.fs_mut(a).create("/shared")?;
+/// hub.fs_mut(a).write("/shared", 0, b"hi")?;
+/// hub.pump();
+/// clock.advance(4_000);
+/// hub.pump();
+/// assert_eq!(hub.fs(b).peek_all("/shared")?, b"hi");
+/// # Ok::<(), deltacfs_vfs::VfsError>(())
+/// ```
+pub struct SyncHub {
+    server: CloudServer,
+    slots: Vec<Slot>,
+    clock: SimClock,
+    conflicts: Vec<(usize, RemoteConflict)>,
+    server_outcomes: Vec<ApplyOutcome>,
+}
+
+impl std::fmt::Debug for SyncHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncHub")
+            .field("clients", &self.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SyncHub {
+    /// Creates a hub with no clients.
+    pub fn new(clock: SimClock) -> Self {
+        SyncHub {
+            server: CloudServer::new(),
+            slots: Vec::new(),
+            clock,
+            conflicts: Vec::new(),
+            server_outcomes: Vec::new(),
+        }
+    }
+
+    /// Attaches a new client and returns its index.
+    pub fn add_client(&mut self, cfg: DeltaCfsConfig, link_spec: LinkSpec) -> usize {
+        let idx = self.slots.len();
+        let client = DeltaCfsClient::new(ClientId(idx as u32 + 1), cfg, self.clock.clone());
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        self.slots.push(Slot {
+            client,
+            fs,
+            link: Link::new(link_spec),
+        });
+        idx
+    }
+
+    /// Number of attached clients.
+    pub fn client_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The file system of client `idx` — the application performs its
+    /// operations here.
+    pub fn fs_mut(&mut self, idx: usize) -> &mut Vfs {
+        &mut self.slots[idx].fs
+    }
+
+    /// Read access to client `idx`'s file system.
+    pub fn fs(&self, idx: usize) -> &Vfs {
+        &self.slots[idx].fs
+    }
+
+    /// The engine of client `idx`.
+    pub fn client(&self, idx: usize) -> &DeltaCfsClient {
+        &self.slots[idx].client
+    }
+
+    /// The shared cloud server.
+    pub fn server(&self) -> &CloudServer {
+        &self.server
+    }
+
+    /// Conflicts observed on clients: `(client index, conflict)`.
+    pub fn conflicts(&self) -> &[(usize, RemoteConflict)] {
+        &self.conflicts
+    }
+
+    /// Outcomes of server-side applications (to observe cloud conflicts).
+    pub fn server_outcomes(&self) -> &[ApplyOutcome] {
+        &self.server_outcomes
+    }
+
+    /// Pushes the cloud's entire current state to client `idx` — the
+    /// initial sync a device performs when it joins an already-populated
+    /// shared folder.
+    pub fn full_sync(&mut self, idx: usize) {
+        let now = self.clock.now();
+        let mut msgs: Vec<UpdateMsg> = Vec::new();
+        for dir in self.server.dirs() {
+            msgs.push(UpdateMsg {
+                path: dir,
+                base: None,
+                version: None,
+                payload: UpdatePayload::Mkdir,
+                txn: None,
+            });
+        }
+        for path in self.server.paths() {
+            let content = self.server.file(&path).expect("listed path exists");
+            msgs.push(UpdateMsg {
+                path: path.clone(),
+                base: None,
+                version: self.server.version(&path),
+                payload: UpdatePayload::Full(bytes::Bytes::copy_from_slice(content)),
+                txn: None,
+            });
+        }
+        for msg in msgs {
+            let wire = msg.wire_size();
+            self.slots[idx].link.download(wire, now);
+            let slot = &mut self.slots[idx];
+            slot.client.apply_remote(&msg, &mut slot.fs);
+        }
+    }
+
+    /// Drains client events, uploads ready nodes, applies them on the
+    /// cloud, and forwards applied updates to the other clients.
+    pub fn pump(&mut self) {
+        self.pump_inner(false);
+    }
+
+    /// Flushes everything regardless of upload delays.
+    pub fn flush(&mut self) {
+        self.pump_inner(true);
+        // A second round delivers updates that forwarding produced.
+        self.pump_inner(true);
+    }
+
+    fn pump_inner(&mut self, flush: bool) {
+        let now = self.clock.now();
+        for idx in 0..self.slots.len() {
+            // 1. Feed pending fs events into the engine.
+            let events = self.slots[idx].fs.drain_events();
+            for e in &events {
+                let slot = &mut self.slots[idx];
+                slot.client.handle_event(e, &slot.fs);
+            }
+            // 2. Upload ready groups.
+            let slot = &mut self.slots[idx];
+            let groups = if flush {
+                slot.client.flush(&slot.fs)
+            } else {
+                slot.client.tick(&slot.fs)
+            };
+            for group in groups {
+                let wire: u64 = group.iter().map(UpdateMsg::wire_size).sum();
+                self.slots[idx].link.upload(wire, now);
+                let outcomes = self.server.apply_txn(&group);
+                let all_applied = outcomes.iter().all(|o| *o == ApplyOutcome::Applied);
+                self.server_outcomes.extend(outcomes);
+                self.slots[idx].link.download(32, now);
+                if all_applied {
+                    self.forward(idx, &group, now);
+                }
+            }
+        }
+    }
+
+    /// Sends `group` to every client except `from` — the same incremental
+    /// data, no recomputation (paper §III-D).
+    fn forward(&mut self, from: usize, group: &[UpdateMsg], now: deltacfs_net::SimTime) {
+        for idx in 0..self.slots.len() {
+            if idx == from {
+                continue;
+            }
+            for msg in group {
+                // The paper's key multi-client property (§III-D): "the
+                // same incremental data can be directly sent to client B
+                // without additional computation". A delta is forwarded
+                // verbatim when the peer's base matches (it applies it to
+                // its own copy of the base path); only a diverged peer —
+                // e.g. one holding unsynced local edits, which is about to
+                // conflict anyway — receives the materialized content.
+                let peer_diverged = match &msg.payload {
+                    UpdatePayload::Delta { base_path, .. } => {
+                        let slot = &self.slots[idx];
+                        let local_version = slot.client.version_of(base_path);
+                        local_version != msg.base
+                    }
+                    _ => false,
+                };
+                let forwarded = if peer_diverged {
+                    let content = self
+                        .server
+                        .file(&msg.path)
+                        .map(bytes::Bytes::copy_from_slice)
+                        .unwrap_or_default();
+                    UpdateMsg {
+                        payload: UpdatePayload::Full(content),
+                        ..msg.clone()
+                    }
+                } else {
+                    msg.clone()
+                };
+                let wire = forwarded.wire_size();
+                self.slots[idx].link.download(wire, now);
+                let slot = &mut self.slots[idx];
+                if let Some(conflict) = slot.client.apply_remote(&forwarded, &mut slot.fs) {
+                    self.conflicts.push((idx, conflict));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub_with_two_clients() -> (SyncHub, SimClock) {
+        let clock = SimClock::new();
+        let mut hub = SyncHub::new(clock.clone());
+        hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+        hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+        (hub, clock)
+    }
+
+    #[test]
+    fn update_propagates_to_peer() {
+        let (mut hub, clock) = hub_with_two_clients();
+        hub.fs_mut(0).create("/shared.txt").unwrap();
+        hub.fs_mut(0)
+            .write("/shared.txt", 0, b"from client 0")
+            .unwrap();
+        hub.pump(); // ingest events
+        clock.advance(4000);
+        hub.pump(); // upload aged nodes
+        assert_eq!(
+            hub.server().file("/shared.txt"),
+            Some(&b"from client 0"[..])
+        );
+        assert_eq!(hub.fs(1).peek_all("/shared.txt").unwrap(), b"from client 0");
+        assert!(hub.conflicts().is_empty());
+    }
+
+    #[test]
+    fn incremental_edit_propagates() {
+        let (mut hub, clock) = hub_with_two_clients();
+        hub.fs_mut(0).create("/f").unwrap();
+        hub.fs_mut(0).write("/f", 0, b"0123456789").unwrap();
+        hub.pump(); // ingest events
+        clock.advance(4000);
+        hub.pump(); // upload aged nodes
+        hub.fs_mut(0).write("/f", 2, b"XY").unwrap();
+        hub.pump(); // ingest events
+        clock.advance(4000);
+        hub.pump(); // upload aged nodes
+        assert_eq!(hub.fs(1).peek_all("/f").unwrap(), b"01XY456789");
+    }
+
+    #[test]
+    fn concurrent_edit_conflicts_first_write_wins() {
+        let (mut hub, clock) = hub_with_two_clients();
+        hub.fs_mut(0).create("/doc").unwrap();
+        hub.fs_mut(0).write("/doc", 0, b"base").unwrap();
+        hub.pump(); // ingest events
+        clock.advance(4000);
+        hub.pump(); // upload aged nodes
+                    // Both clients edit concurrently.
+        hub.fs_mut(0).write("/doc", 0, b"AAAA").unwrap();
+        hub.fs_mut(1).write("/doc", 0, b"BBBB").unwrap();
+        hub.pump(); // ingest events
+        clock.advance(4000);
+        hub.pump(); // upload aged nodes
+        hub.flush();
+        // Client 0 pumped first: its version is the cloud's latest.
+        assert_eq!(hub.server().file("/doc"), Some(&b"AAAA"[..]));
+        // Client 1's edit survived somewhere (conflict copy on cloud or
+        // local conflict file).
+        let cloud_conflict = hub.server().paths().iter().any(|p| p.contains(".conflict"));
+        let local_conflict = !hub.conflicts().is_empty();
+        assert!(cloud_conflict || local_conflict);
+    }
+
+    #[test]
+    fn three_clients_all_converge() {
+        let clock = SimClock::new();
+        let mut hub = SyncHub::new(clock.clone());
+        for _ in 0..3 {
+            hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+        }
+        hub.fs_mut(2).create("/from2").unwrap();
+        hub.fs_mut(2).write("/from2", 0, b"hello all").unwrap();
+        hub.pump(); // ingest events
+        clock.advance(4000);
+        hub.pump(); // upload aged nodes
+        for idx in 0..3 {
+            assert_eq!(
+                hub.fs(idx).peek_all("/from2").unwrap(),
+                b"hello all",
+                "client {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn deltas_forward_as_deltas_not_full_content() {
+        // §III-D: the peer receives the same incremental data the cloud
+        // did — a transactional save of a 100 KB file must not push
+        // 100 KB to the peer.
+        let (mut hub, clock) = hub_with_two_clients();
+        hub.fs_mut(0).create("/doc").unwrap();
+        hub.fs_mut(0).write("/doc", 0, &vec![4u8; 100_000]).unwrap();
+        hub.pump();
+        clock.advance(4000);
+        hub.pump();
+        let peer_down_before = {
+            // Reach through the slot's link stats via the report of a
+            // fresh pump: measure through fs state instead.
+            hub.slots[1].link.stats().bytes_down
+        };
+        // Word-style save on client 0, one byte changed.
+        let mut doc = hub.fs(0).peek_all("/doc").unwrap();
+        doc[50_000] = 5;
+        hub.fs_mut(0).rename("/doc", "/doc.bak").unwrap();
+        hub.pump();
+        hub.fs_mut(0).create("/doc.tmp").unwrap();
+        hub.pump();
+        hub.fs_mut(0).write("/doc.tmp", 0, &doc).unwrap();
+        hub.pump();
+        hub.fs_mut(0).close_path("/doc.tmp").unwrap();
+        hub.pump();
+        hub.fs_mut(0).rename("/doc.tmp", "/doc").unwrap();
+        hub.pump();
+        hub.fs_mut(0).unlink("/doc.bak").unwrap();
+        hub.pump();
+        clock.advance(4000);
+        hub.pump();
+        hub.flush();
+        // The peer converged...
+        assert_eq!(hub.fs(1).peek_all("/doc").unwrap(), doc);
+        // ...from an incremental download, not a re-materialized file.
+        let peer_down = hub.slots[1].link.stats().bytes_down - peer_down_before;
+        assert!(
+            peer_down < 20_000,
+            "peer downloaded {peer_down} bytes for a 1-byte edit"
+        );
+    }
+
+    #[test]
+    fn late_joining_device_catches_up_via_full_sync() {
+        let clock = SimClock::new();
+        let mut hub = SyncHub::new(clock.clone());
+        let first = hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+        hub.fs_mut(first).mkdir_all("/photos").unwrap();
+        hub.fs_mut(first).create("/photos/cat.jpg").unwrap();
+        hub.fs_mut(first)
+            .write("/photos/cat.jpg", 0, &vec![9u8; 10_000])
+            .unwrap();
+        hub.pump();
+        clock.advance(4_000);
+        hub.pump();
+
+        // A new phone joins later and performs the initial sync.
+        let phone = hub.add_client(DeltaCfsConfig::new(), LinkSpec::mobile());
+        hub.full_sync(phone);
+        assert_eq!(
+            hub.fs(phone).peek_all("/photos/cat.jpg").unwrap(),
+            vec![9u8; 10_000]
+        );
+        // And from then on participates in incremental sync.
+        hub.fs_mut(first)
+            .write("/photos/cat.jpg", 0, b"update")
+            .unwrap();
+        hub.pump();
+        clock.advance(4_000);
+        hub.pump();
+        assert_eq!(
+            &hub.fs(phone).peek_all("/photos/cat.jpg").unwrap()[..6],
+            b"update"
+        );
+    }
+
+    #[test]
+    fn rename_propagates() {
+        let (mut hub, clock) = hub_with_two_clients();
+        hub.fs_mut(0).create("/old").unwrap();
+        hub.fs_mut(0).write("/old", 0, b"x").unwrap();
+        hub.pump(); // ingest events
+        clock.advance(4000);
+        hub.pump(); // upload aged nodes
+        hub.fs_mut(0).rename("/old", "/new").unwrap();
+        hub.pump(); // ingest events
+        clock.advance(4000);
+        hub.pump(); // upload aged nodes
+        assert!(hub.fs(1).exists("/new"));
+        assert!(!hub.fs(1).exists("/old"));
+    }
+}

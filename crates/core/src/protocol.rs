@@ -1,0 +1,249 @@
+//! The client↔cloud wire protocol: versioned incremental updates.
+//!
+//! DeltaCFS outsources version assignment to clients (paper §III-C): each
+//! client stamps sync-queue nodes with `<CliID, VerCnt>` pairs from its own
+//! monotonic counter, so no round-trip to the server is needed at enqueue
+//! time. Partial order is sufficient in the cloud-sync setting; the cloud
+//! only ever compares versions for *equality* against its current version
+//! of a file (base-version check), falling back to first-write-wins
+//! conflict handling on mismatch.
+
+use std::fmt;
+
+use bytes::Bytes;
+use deltacfs_delta::Delta;
+
+/// Identifier of a sync client (device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A client-assigned file version: `<CliID, VerCnt>`.
+///
+/// Versions from different clients are distinct but not totally ordered in
+/// any meaningful way — the protocol only compares them for equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Version {
+    /// The client that assigned this version.
+    pub client: ClientId,
+    /// That client's monotonically increasing counter.
+    pub counter: u64,
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.client, self.counter)
+    }
+}
+
+/// One intercepted file operation, as shipped by NFS-like file RPC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileOpItem {
+    /// Write `data` at `offset`.
+    Write {
+        /// Byte offset of the write.
+        offset: u64,
+        /// The written bytes.
+        data: Bytes,
+    },
+    /// Truncate (or zero-extend) the file to `size` bytes.
+    Truncate {
+        /// The new file size.
+        size: u64,
+    },
+}
+
+impl FileOpItem {
+    /// Payload bytes this op carries on the wire (headers charged
+    /// separately).
+    pub fn payload_len(&self) -> u64 {
+        match self {
+            FileOpItem::Write { data, .. } => data.len() as u64,
+            FileOpItem::Truncate { .. } => 0,
+        }
+    }
+
+    /// Applies this op to a file image in memory.
+    pub fn apply_to(&self, content: &mut Vec<u8>) {
+        match self {
+            FileOpItem::Write { offset, data } => {
+                let end = *offset as usize + data.len();
+                if end > content.len() {
+                    content.resize(end, 0);
+                }
+                content[*offset as usize..end].copy_from_slice(data);
+            }
+            FileOpItem::Truncate { size } => {
+                content.resize(*size as usize, 0);
+            }
+        }
+    }
+}
+
+/// The body of an [`UpdateMsg`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdatePayload {
+    /// Create an empty file.
+    Create,
+    /// Apply intercepted file operations (NFS-like file RPC).
+    Ops(Vec<FileOpItem>),
+    /// Apply a delta against the cloud's copy of `base_path` (which is the
+    /// file itself for in-place updates, or the preserved old version —
+    /// e.g. Word's `t0` — for transactional updates, Fig. 5b).
+    Delta {
+        /// The path whose cloud-side content is the delta base.
+        base_path: String,
+        /// The reconstruction recipe.
+        delta: Delta,
+    },
+    /// Replace the file content wholesale (initial upload or fallback).
+    Full(Bytes),
+    /// Rename this message's `path` to `to`.
+    Rename {
+        /// Destination path.
+        to: String,
+    },
+    /// Duplicate this message's `path` as a copy named `to` (hard links
+    /// materialize as copies on the cloud).
+    Link {
+        /// Destination path.
+        to: String,
+    },
+    /// Remove the file.
+    Unlink,
+    /// Create a directory.
+    Mkdir,
+    /// Remove a directory.
+    Rmdir,
+}
+
+/// Fixed per-message control overhead on the wire: path, versions, opcode,
+/// framing. The paper notes DeltaCFS uploads slightly more than NFS
+/// because of exactly this control information (§IV-C1).
+pub const MSG_HEADER_BYTES: u64 = 64;
+
+/// Per-file-op framing inside an [`UpdatePayload::Ops`] payload.
+pub const OP_ITEM_HEADER_BYTES: u64 = 16;
+
+/// One versioned incremental update for one file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateMsg {
+    /// The file this update concerns.
+    pub path: String,
+    /// Version the update was computed against (`None` when the file is
+    /// new to the cloud).
+    pub base: Option<Version>,
+    /// The version this update produces.
+    pub version: Option<Version>,
+    /// What to do.
+    pub payload: UpdatePayload,
+    /// Transaction group; messages sharing a `txn` id must be applied
+    /// atomically (backindex grouping, paper §III-E).
+    pub txn: Option<u64>,
+}
+
+impl UpdateMsg {
+    /// Total bytes this message occupies on the wire.
+    pub fn wire_size(&self) -> u64 {
+        MSG_HEADER_BYTES
+            + match &self.payload {
+                UpdatePayload::Create
+                | UpdatePayload::Unlink
+                | UpdatePayload::Mkdir
+                | UpdatePayload::Rmdir => 0,
+                UpdatePayload::Ops(ops) => ops
+                    .iter()
+                    .map(|op| OP_ITEM_HEADER_BYTES + op.payload_len())
+                    .sum(),
+                UpdatePayload::Delta { delta, base_path } => {
+                    delta.wire_size() + base_path.len() as u64
+                }
+                UpdatePayload::Full(data) => data.len() as u64,
+                UpdatePayload::Rename { to } | UpdatePayload::Link { to } => to.len() as u64,
+            }
+    }
+}
+
+/// The cloud's verdict on an applied update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The base version matched; the update is now the latest version.
+    Applied,
+    /// The base version did not match ("first write wins"): the update was
+    /// materialized as a conflict copy at the contained path instead.
+    Conflict {
+        /// Where the losing version was stored.
+        stored_as: String,
+    },
+    /// The update could not be applied at all (unknown base content); the
+    /// client must fall back to a full upload.
+    Rejected {
+        /// Human-readable reason, for diagnostics.
+        reason: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_display_matches_paper_notation() {
+        let v = Version {
+            client: ClientId(3),
+            counter: 17,
+        };
+        assert_eq!(v.to_string(), "<c3,17>");
+    }
+
+    #[test]
+    fn op_apply_write_extends_and_overwrites() {
+        let mut content = b"abcdef".to_vec();
+        FileOpItem::Write {
+            offset: 4,
+            data: Bytes::from_static(b"XYZ"),
+        }
+        .apply_to(&mut content);
+        assert_eq!(content, b"abcdXYZ");
+        FileOpItem::Truncate { size: 2 }.apply_to(&mut content);
+        assert_eq!(content, b"ab");
+        FileOpItem::Truncate { size: 4 }.apply_to(&mut content);
+        assert_eq!(content, b"ab\0\0");
+    }
+
+    #[test]
+    fn wire_size_counts_payload_and_headers() {
+        let msg = UpdateMsg {
+            path: "/f".into(),
+            base: None,
+            version: None,
+            payload: UpdatePayload::Ops(vec![
+                FileOpItem::Write {
+                    offset: 0,
+                    data: Bytes::from_static(b"12345"),
+                },
+                FileOpItem::Truncate { size: 0 },
+            ]),
+            txn: None,
+        };
+        assert_eq!(
+            msg.wire_size(),
+            MSG_HEADER_BYTES + 2 * OP_ITEM_HEADER_BYTES + 5
+        );
+        let full = UpdateMsg {
+            payload: UpdatePayload::Full(Bytes::from_static(b"123")),
+            ..msg.clone()
+        };
+        assert_eq!(full.wire_size(), MSG_HEADER_BYTES + 3);
+        let create = UpdateMsg {
+            payload: UpdatePayload::Create,
+            ..msg
+        };
+        assert_eq!(create.wire_size(), MSG_HEADER_BYTES);
+    }
+}

@@ -1,0 +1,725 @@
+//! The DeltaCFS cloud server (paper §III-C/D and the future-work note:
+//! "the load of the server side is minimized, servers simply apply
+//! incremental data on files").
+//!
+//! The server keeps, per file, the current content, its version, and a
+//! bounded history of recent versions. Applying an update checks the
+//! attached base version against the current one; on mismatch, the
+//! "first write wins" rule keeps the current content as the latest
+//! version and materializes the loser as a conflict copy — built from the
+//! *incremental* data applied against the matching historical version, so
+//! nothing needs to be re-uploaded (§III-C).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use bytes::Bytes;
+use deltacfs_delta::Cost;
+
+use crate::protocol::{ApplyOutcome, UpdateMsg, UpdatePayload, Version};
+
+/// How many past versions the server retains per file.
+const DEFAULT_HISTORY: usize = 8;
+
+#[derive(Debug, Clone)]
+struct ServerFile {
+    content: Bytes,
+    version: Option<Version>,
+    history: VecDeque<(Version, Bytes)>,
+}
+
+impl ServerFile {
+    fn new() -> Self {
+        ServerFile {
+            content: Bytes::new(),
+            version: None,
+            history: VecDeque::new(),
+        }
+    }
+}
+
+/// The cloud endpoint: versioned file storage that applies incremental
+/// updates.
+///
+/// # Example
+///
+/// ```
+/// use bytes::Bytes;
+/// use deltacfs_core::{ClientId, CloudServer, UpdateMsg, UpdatePayload, Version};
+///
+/// let mut cloud = CloudServer::new();
+/// let v1 = Version { client: ClientId(1), counter: 1 };
+/// cloud.apply_msg(&UpdateMsg {
+///     path: "/f".into(),
+///     base: None,
+///     version: Some(v1),
+///     payload: UpdatePayload::Full(Bytes::from_static(b"v1")),
+///     txn: None,
+/// });
+/// assert_eq!(cloud.file("/f"), Some(&b"v1"[..]));
+/// assert_eq!(cloud.version_history("/f"), vec![v1]);
+/// ```
+#[derive(Debug)]
+pub struct CloudServer {
+    files: HashMap<String, ServerFile>,
+    dirs: BTreeSet<String>,
+    cost: Cost,
+    history_limit: usize,
+    apply_order: Vec<String>,
+}
+
+impl Default for CloudServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CloudServer {
+    /// Creates an empty cloud store.
+    pub fn new() -> Self {
+        CloudServer {
+            files: HashMap::new(),
+            dirs: BTreeSet::new(),
+            cost: Cost::new(),
+            history_limit: DEFAULT_HISTORY,
+            apply_order: Vec::new(),
+        }
+    }
+
+    /// Work the server has performed so far.
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Resets the server's work counters.
+    pub fn reset_cost(&mut self) {
+        self.cost = Cost::new();
+    }
+
+    /// Current content of `path`, if present.
+    pub fn file(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(|f| &f.content[..])
+    }
+
+    /// Current version of `path`, if present.
+    pub fn version(&self, path: &str) -> Option<Version> {
+        self.files.get(path).and_then(|f| f.version)
+    }
+
+    /// Whether the directory `path` exists.
+    pub fn has_dir(&self, path: &str) -> bool {
+        self.dirs.contains(path)
+    }
+
+    /// All stored directory paths, sorted.
+    pub fn dirs(&self) -> Vec<String> {
+        self.dirs.iter().cloned().collect()
+    }
+
+    /// All stored file paths, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total bytes stored (current versions only).
+    pub fn stored_bytes(&self) -> u64 {
+        self.files.values().map(|f| f.content.len() as u64).sum()
+    }
+
+    /// The order in which file updates were applied — the causal-ordering
+    /// probe used by the Table IV reliability test.
+    pub fn apply_order(&self) -> &[String] {
+        &self.apply_order
+    }
+
+    /// The retained versions of `path`, oldest first, ending with the
+    /// current one. This is the fine-grained version control the sync
+    /// queue's per-node versioning enables (§III-C): every uploaded node
+    /// became one entry here.
+    pub fn version_history(&self, path: &str) -> Vec<Version> {
+        let Some(f) = self.files.get(path) else {
+            return Vec::new();
+        };
+        let mut out: Vec<Version> = f.history.iter().map(|(v, _)| *v).collect();
+        out.extend(f.version);
+        out
+    }
+
+    /// Content of `path` at a specific retained version (the current
+    /// version included).
+    pub fn file_at(&self, path: &str, version: Version) -> Option<&[u8]> {
+        let f = self.files.get(path)?;
+        if f.version == Some(version) {
+            return Some(&f.content);
+        }
+        f.history
+            .iter()
+            .find(|(v, _)| *v == version)
+            .map(|(_, c)| &c[..])
+    }
+
+    /// Restores `path` to a retained `version`, stamping the restored
+    /// content as `new_version` (restores are themselves versioned, so
+    /// they forward to clients like any other update). Returns `false`
+    /// if the version is no longer retained.
+    pub fn restore(&mut self, path: &str, version: Version, new_version: Version) -> bool {
+        let Some(content) = self.file_at(path, version).map(Bytes::copy_from_slice) else {
+            return false;
+        };
+        self.bump(path, content, Some(new_version));
+        true
+    }
+
+    /// Resolves a conflict the way the paper describes ("let users
+    /// resolve conflicts manually, for example picking the version they
+    /// want"): promotes the conflict copy at `conflict_path` to be the
+    /// new current version of `path` (stamped `new_version`), removing
+    /// the copy. Returns `false` if the conflict copy does not exist.
+    pub fn resolve_conflict_keep_copy(
+        &mut self,
+        path: &str,
+        conflict_path: &str,
+        new_version: Version,
+    ) -> bool {
+        let Some(copy) = self.files.get(conflict_path).map(|f| f.content.clone()) else {
+            return false;
+        };
+        self.bump(path, copy, Some(new_version));
+        self.files.remove(conflict_path);
+        self.apply_order.push(path.to_string());
+        true
+    }
+
+    /// Resolves a conflict by discarding the conflict copy (keeping the
+    /// current version). Returns `false` if the copy does not exist.
+    pub fn resolve_conflict_discard(&mut self, conflict_path: &str) -> bool {
+        self.files.remove(conflict_path).is_some()
+    }
+
+    /// Validates a whole group *sequentially*: later members may depend
+    /// on versions assigned by earlier members (e.g. a create followed by
+    /// writes against the created version), so validation walks a virtual
+    /// view of the namespace as the group would transform it.
+    fn validate_group(&self, msgs: &[UpdateMsg]) -> bool {
+        // Virtual state: path → Some(version) = present, None = absent.
+        // Paths not in the map fall back to the real store.
+        let mut virt: HashMap<String, Option<Option<Version>>> = HashMap::new();
+        let state =
+            |virt: &HashMap<String, Option<Option<Version>>>, path: &str| match virt.get(path) {
+                Some(s) => *s,
+                None => self.files.get(path).map(|f| f.version),
+            };
+        for msg in msgs {
+            match &msg.payload {
+                UpdatePayload::Create => {
+                    if state(&virt, &msg.path).is_some() {
+                        return false;
+                    }
+                    virt.insert(msg.path.clone(), Some(msg.version));
+                }
+                UpdatePayload::Ops(_) | UpdatePayload::Full(_) => {
+                    let current = state(&virt, &msg.path).flatten();
+                    if msg.base.is_some() && current != msg.base {
+                        return false;
+                    }
+                    if msg.base.is_none() {
+                        // New-to-cloud content: any existing version loses.
+                        if let Some(existing) = state(&virt, &msg.path) {
+                            if existing.is_some() {
+                                return false;
+                            }
+                        }
+                    }
+                    virt.insert(msg.path.clone(), Some(msg.version));
+                }
+                UpdatePayload::Delta { base_path, .. } => {
+                    match state(&virt, base_path) {
+                        Some(current) if current == msg.base => {}
+                        _ => return false,
+                    }
+                    virt.insert(msg.path.clone(), Some(msg.version));
+                }
+                UpdatePayload::Rename { to } => {
+                    let src = state(&virt, &msg.path);
+                    if src.is_none() {
+                        return false;
+                    }
+                    virt.insert(msg.path.clone(), None);
+                    virt.insert(to.clone(), src);
+                }
+                UpdatePayload::Link { to } => {
+                    let src = state(&virt, &msg.path);
+                    if src.is_none() {
+                        return false;
+                    }
+                    virt.insert(to.clone(), src);
+                }
+                UpdatePayload::Unlink => {
+                    virt.insert(msg.path.clone(), None);
+                }
+                UpdatePayload::Mkdir | UpdatePayload::Rmdir => {}
+            }
+        }
+        true
+    }
+
+    /// Applies a single message.
+    pub fn apply_msg(&mut self, msg: &UpdateMsg) -> ApplyOutcome {
+        if self.validate_group(std::slice::from_ref(msg)) {
+            self.apply_unchecked(msg);
+            ApplyOutcome::Applied
+        } else {
+            self.apply_as_conflict(msg)
+        }
+    }
+
+    /// Applies a transaction group atomically: if any member fails
+    /// validation, *every* member is treated as a conflict (the paper
+    /// labels all files of an atomic operation as conflicted and lets the
+    /// user resolve them).
+    pub fn apply_txn(&mut self, msgs: &[UpdateMsg]) -> Vec<ApplyOutcome> {
+        if self.validate_group(msgs) {
+            msgs.iter()
+                .map(|m| {
+                    self.apply_unchecked(m);
+                    ApplyOutcome::Applied
+                })
+                .collect()
+        } else {
+            msgs.iter().map(|m| self.apply_as_conflict(m)).collect()
+        }
+    }
+
+    fn bump(&mut self, path: &str, new_content: Bytes, new_version: Option<Version>) {
+        let entry = self
+            .files
+            .entry(path.to_string())
+            .or_insert_with(ServerFile::new);
+        if let Some(old_version) = entry.version {
+            entry
+                .history
+                .push_back((old_version, entry.content.clone()));
+            while entry.history.len() > self.history_limit {
+                entry.history.pop_front();
+            }
+        }
+        entry.content = new_content;
+        entry.version = new_version;
+        self.apply_order.push(path.to_string());
+    }
+
+    fn apply_unchecked(&mut self, msg: &UpdateMsg) {
+        match &msg.payload {
+            UpdatePayload::Create => {
+                self.files
+                    .entry(msg.path.clone())
+                    .or_insert_with(ServerFile::new)
+                    .version = msg.version;
+                self.apply_order.push(msg.path.clone());
+            }
+            UpdatePayload::Ops(ops) => {
+                let mut content = self
+                    .files
+                    .get(&msg.path)
+                    .map(|f| f.content.to_vec())
+                    .unwrap_or_default();
+                for op in ops {
+                    self.cost.bytes_copied += op.payload_len();
+                    self.cost.ops += 1;
+                    op.apply_to(&mut content);
+                }
+                self.bump(&msg.path, Bytes::from(content), msg.version);
+            }
+            UpdatePayload::Delta { base_path, delta } => {
+                let base = self
+                    .files
+                    .get(base_path)
+                    .map(|f| f.content.clone())
+                    .unwrap_or_default();
+                self.cost.bytes_copied += delta.output_len();
+                self.cost.ops += 1;
+                match delta.apply(&base) {
+                    Ok(new_content) => self.bump(&msg.path, Bytes::from(new_content), msg.version),
+                    Err(_) => {
+                        // Base mismatch slipped through (e.g. base file
+                        // shorter than the delta expects): store nothing;
+                        // version check should have caught this.
+                    }
+                }
+            }
+            UpdatePayload::Full(data) => {
+                self.cost.bytes_copied += data.len() as u64;
+                self.cost.ops += 1;
+                self.bump(&msg.path, data.clone(), msg.version);
+            }
+            UpdatePayload::Rename { to } => {
+                if let Some(f) = self.files.remove(&msg.path) {
+                    self.files.insert(to.clone(), f);
+                    self.apply_order.push(to.clone());
+                }
+            }
+            UpdatePayload::Link { to } => {
+                if let Some(f) = self.files.get(&msg.path).cloned() {
+                    self.cost.bytes_copied += f.content.len() as u64;
+                    self.files.insert(to.clone(), f);
+                    self.apply_order.push(to.clone());
+                }
+            }
+            UpdatePayload::Unlink => {
+                self.files.remove(&msg.path);
+                self.apply_order.push(msg.path.clone());
+            }
+            UpdatePayload::Mkdir => {
+                self.dirs.insert(msg.path.clone());
+            }
+            UpdatePayload::Rmdir => {
+                self.dirs.remove(&msg.path);
+            }
+        }
+    }
+
+    /// First-write-wins reconciliation: the current cloud version stays
+    /// the latest; the incoming incremental data is applied against its
+    /// matching base from history and stored as a conflict copy.
+    fn apply_as_conflict(&mut self, msg: &UpdateMsg) -> ApplyOutcome {
+        let base_path = match &msg.payload {
+            UpdatePayload::Delta { base_path, .. } => base_path.as_str(),
+            _ => msg.path.as_str(),
+        };
+        let base_content: Option<Bytes> = match msg.base {
+            None => Some(Bytes::new()),
+            Some(wanted) => self.files.get(base_path).and_then(|f| {
+                f.history
+                    .iter()
+                    .find(|(v, _)| *v == wanted)
+                    .map(|(_, c)| c.clone())
+                    .or_else(|| {
+                        if f.version == Some(wanted) {
+                            Some(f.content.clone())
+                        } else {
+                            None
+                        }
+                    })
+            }),
+        };
+        let Some(base_content) = base_content else {
+            return ApplyOutcome::Rejected {
+                reason: format!("unknown base version for {}", msg.path),
+            };
+        };
+        let client = msg.version.map(|v| v.client.0).unwrap_or_default();
+        let stored_as = format!("{}.conflict-c{}", msg.path, client);
+        let new_content = match &msg.payload {
+            UpdatePayload::Ops(ops) => {
+                let mut content = base_content.to_vec();
+                for op in ops {
+                    self.cost.bytes_copied += op.payload_len();
+                    op.apply_to(&mut content);
+                }
+                Bytes::from(content)
+            }
+            UpdatePayload::Delta { delta, .. } => match delta.apply(&base_content) {
+                Ok(c) => {
+                    self.cost.bytes_copied += c.len() as u64;
+                    Bytes::from(c)
+                }
+                Err(_) => {
+                    return ApplyOutcome::Rejected {
+                        reason: format!("delta does not fit base for {}", msg.path),
+                    }
+                }
+            },
+            UpdatePayload::Full(data) => data.clone(),
+            // A create that lost the race materializes as an empty
+            // conflict copy; the existing file stays untouched.
+            UpdatePayload::Create => Bytes::new(),
+            // Namespace ops cannot conflict in this model; apply directly.
+            _ => {
+                self.apply_unchecked(msg);
+                return ApplyOutcome::Applied;
+            }
+        };
+        let mut file = ServerFile::new();
+        file.content = new_content;
+        file.version = msg.version;
+        self.files.insert(stored_as.clone(), file);
+        self.apply_order.push(stored_as.clone());
+        ApplyOutcome::Conflict { stored_as }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ClientId, FileOpItem};
+
+    fn v(c: u32, n: u64) -> Version {
+        Version {
+            client: ClientId(c),
+            counter: n,
+        }
+    }
+
+    fn ops_msg(path: &str, base: Option<Version>, ver: Version, ops: Vec<FileOpItem>) -> UpdateMsg {
+        UpdateMsg {
+            path: path.into(),
+            base,
+            version: Some(ver),
+            payload: UpdatePayload::Ops(ops),
+            txn: None,
+        }
+    }
+
+    fn write_op(offset: u64, data: &'static [u8]) -> FileOpItem {
+        FileOpItem::Write {
+            offset,
+            data: Bytes::from_static(data),
+        }
+    }
+
+    #[test]
+    fn create_then_ops_builds_content() {
+        let mut s = CloudServer::new();
+        let create = UpdateMsg {
+            path: "/f".into(),
+            base: None,
+            version: Some(v(1, 1)),
+            payload: UpdatePayload::Create,
+            txn: None,
+        };
+        assert_eq!(s.apply_msg(&create), ApplyOutcome::Applied);
+        let msg = ops_msg("/f", Some(v(1, 1)), v(1, 2), vec![write_op(0, b"hello")]);
+        assert_eq!(s.apply_msg(&msg), ApplyOutcome::Applied);
+        assert_eq!(s.file("/f"), Some(&b"hello"[..]));
+        assert_eq!(s.version("/f"), Some(v(1, 2)));
+    }
+
+    #[test]
+    fn stale_base_becomes_conflict_copy() {
+        let mut s = CloudServer::new();
+        s.apply_msg(&ops_msg("/f", None, v(1, 1), vec![write_op(0, b"base")]));
+        // Client 2 updates from v(1,1): wins.
+        s.apply_msg(&ops_msg(
+            "/f",
+            Some(v(1, 1)),
+            v(2, 1),
+            vec![write_op(0, b"AAAA")],
+        ));
+        // Client 3 also updates from v(1,1): late, becomes a conflict.
+        let out = s.apply_msg(&ops_msg(
+            "/f",
+            Some(v(1, 1)),
+            v(3, 1),
+            vec![write_op(0, b"BB")],
+        ));
+        match out {
+            ApplyOutcome::Conflict { stored_as } => {
+                assert_eq!(stored_as, "/f.conflict-c3");
+                // Conflict content = historical base with client 3's
+                // increment applied — no re-upload needed.
+                assert_eq!(s.file("/f.conflict-c3"), Some(&b"BBse"[..]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The first write stayed the latest.
+        assert_eq!(s.file("/f"), Some(&b"AAAA"[..]));
+        assert_eq!(s.version("/f"), Some(v(2, 1)));
+    }
+
+    #[test]
+    fn unknown_base_is_rejected() {
+        let mut s = CloudServer::new();
+        s.apply_msg(&ops_msg("/f", None, v(1, 1), vec![write_op(0, b"x")]));
+        let out = s.apply_msg(&ops_msg(
+            "/f",
+            Some(v(9, 9)),
+            v(2, 1),
+            vec![write_op(0, b"y")],
+        ));
+        assert!(matches!(out, ApplyOutcome::Rejected { .. }));
+    }
+
+    #[test]
+    fn delta_applies_against_named_base_path() {
+        use deltacfs_delta::{Delta, DeltaOp};
+        let mut s = CloudServer::new();
+        // Old version preserved as /t0 (Word's transactional update).
+        s.apply_msg(&ops_msg(
+            "/t0",
+            None,
+            v(1, 1),
+            vec![write_op(0, b"old content")],
+        ));
+        let delta = Delta::from_ops(vec![
+            DeltaOp::Copy { offset: 0, len: 4 },
+            DeltaOp::Literal(Bytes::from_static(b"NEW")),
+        ]);
+        let msg = UpdateMsg {
+            path: "/f".into(),
+            base: Some(v(1, 1)),
+            version: Some(v(1, 2)),
+            payload: UpdatePayload::Delta {
+                base_path: "/t0".into(),
+                delta,
+            },
+            txn: None,
+        };
+        assert_eq!(s.apply_msg(&msg), ApplyOutcome::Applied);
+        assert_eq!(s.file("/f"), Some(&b"old NEW"[..]));
+    }
+
+    #[test]
+    fn rename_link_unlink_namespace_ops() {
+        let mut s = CloudServer::new();
+        s.apply_msg(&ops_msg("/a", None, v(1, 1), vec![write_op(0, b"data")]));
+        s.apply_msg(&UpdateMsg {
+            path: "/a".into(),
+            base: None,
+            version: None,
+            payload: UpdatePayload::Link { to: "/a~".into() },
+            txn: None,
+        });
+        assert_eq!(s.file("/a~"), Some(&b"data"[..]));
+        s.apply_msg(&UpdateMsg {
+            path: "/a".into(),
+            base: None,
+            version: None,
+            payload: UpdatePayload::Rename { to: "/b".into() },
+            txn: None,
+        });
+        assert!(s.file("/a").is_none());
+        assert_eq!(s.file("/b"), Some(&b"data"[..]));
+        s.apply_msg(&UpdateMsg {
+            path: "/b".into(),
+            base: None,
+            version: None,
+            payload: UpdatePayload::Unlink,
+            txn: None,
+        });
+        assert!(s.file("/b").is_none());
+    }
+
+    #[test]
+    fn txn_all_or_conflict() {
+        let mut s = CloudServer::new();
+        s.apply_msg(&ops_msg("/x", None, v(1, 1), vec![write_op(0, b"x0")]));
+        s.apply_msg(&ops_msg("/y", None, v(1, 2), vec![write_op(0, b"y0")]));
+        // A group where /y's base is stale: every member conflicts.
+        let group = vec![
+            ops_msg("/x", Some(v(1, 1)), v(2, 1), vec![write_op(0, b"X")]),
+            ops_msg("/y", Some(v(9, 9)), v(2, 2), vec![write_op(0, b"Y")]),
+        ];
+        let outcomes = s.apply_txn(&group);
+        assert!(matches!(outcomes[0], ApplyOutcome::Conflict { .. }));
+        // /x unchanged — atomicity held.
+        assert_eq!(s.file("/x"), Some(&b"x0"[..]));
+        // A fully valid group applies wholesale.
+        let group = vec![
+            ops_msg("/x", Some(v(1, 1)), v(2, 3), vec![write_op(0, b"X")]),
+            ops_msg("/y", Some(v(1, 2)), v(2, 4), vec![write_op(0, b"Y")]),
+        ];
+        let outcomes = s.apply_txn(&group);
+        assert!(outcomes.iter().all(|o| *o == ApplyOutcome::Applied));
+        assert_eq!(s.file("/x"), Some(&b"X0"[..]));
+    }
+
+    #[test]
+    fn apply_order_is_recorded() {
+        let mut s = CloudServer::new();
+        s.apply_msg(&ops_msg("/big", None, v(1, 1), vec![write_op(0, b"bbbb")]));
+        s.apply_msg(&ops_msg("/small", None, v(1, 2), vec![write_op(0, b"s")]));
+        assert_eq!(s.apply_order(), &["/big".to_string(), "/small".to_string()]);
+    }
+
+    #[test]
+    fn conflict_resolution_keep_or_discard() {
+        let mut s = CloudServer::new();
+        s.apply_msg(&ops_msg("/f", None, v(1, 1), vec![write_op(0, b"base")]));
+        s.apply_msg(&ops_msg(
+            "/f",
+            Some(v(1, 1)),
+            v(2, 1),
+            vec![write_op(0, b"AAAA")],
+        ));
+        let out = s.apply_msg(&ops_msg(
+            "/f",
+            Some(v(1, 1)),
+            v(3, 1),
+            vec![write_op(0, b"BB")],
+        ));
+        let ApplyOutcome::Conflict { stored_as } = out else {
+            panic!("expected conflict");
+        };
+        // The user picks the losing version.
+        assert!(s.resolve_conflict_keep_copy("/f", &stored_as, v(3, 2)));
+        assert_eq!(s.file("/f"), Some(&b"BBse"[..]));
+        assert_eq!(s.version("/f"), Some(v(3, 2)));
+        assert!(s.file(&stored_as).is_none());
+        // The overwritten winner is still retained in history.
+        assert_eq!(s.file_at("/f", v(2, 1)), Some(&b"AAAA"[..]));
+        // Discarding a nonexistent copy reports false.
+        assert!(!s.resolve_conflict_discard(&stored_as));
+    }
+
+    #[test]
+    fn version_history_and_restore() {
+        let mut s = CloudServer::new();
+        s.apply_msg(&ops_msg("/f", None, v(1, 1), vec![write_op(0, b"one")]));
+        s.apply_msg(&ops_msg(
+            "/f",
+            Some(v(1, 1)),
+            v(1, 2),
+            vec![write_op(0, b"two")],
+        ));
+        s.apply_msg(&ops_msg(
+            "/f",
+            Some(v(1, 2)),
+            v(1, 3),
+            vec![write_op(0, b"tri")],
+        ));
+        assert_eq!(s.version_history("/f"), vec![v(1, 1), v(1, 2), v(1, 3)]);
+        assert_eq!(s.file_at("/f", v(1, 1)), Some(&b"one"[..]));
+        assert_eq!(s.file_at("/f", v(1, 3)), Some(&b"tri"[..]));
+        assert_eq!(s.file_at("/f", v(9, 9)), None);
+        // Restore to the first version under a fresh version number.
+        assert!(s.restore("/f", v(1, 1), v(1, 4)));
+        assert_eq!(s.file("/f"), Some(&b"one"[..]));
+        assert_eq!(s.version("/f"), Some(v(1, 4)));
+        // The pre-restore content is itself retained.
+        assert_eq!(s.file_at("/f", v(1, 3)), Some(&b"tri"[..]));
+        // Restoring an evicted/unknown version fails cleanly.
+        assert!(!s.restore("/f", v(9, 9), v(1, 5)));
+        assert!(s.version_history("/missing").is_empty());
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut s = CloudServer::new();
+        for i in 0..50u64 {
+            let base = if i == 0 { None } else { Some(v(1, i)) };
+            s.apply_msg(&ops_msg("/f", base, v(1, i + 1), vec![write_op(0, b"z")]));
+        }
+        assert!(s.files["/f"].history.len() <= DEFAULT_HISTORY);
+    }
+
+    #[test]
+    fn create_of_existing_file_conflicts_not_duplicates() {
+        let mut s = CloudServer::new();
+        s.apply_msg(&ops_msg("/f", None, v(1, 1), vec![write_op(0, b"x")]));
+        let out = s.apply_msg(&UpdateMsg {
+            path: "/f".into(),
+            base: None,
+            version: Some(v(2, 1)),
+            payload: UpdatePayload::Create,
+            txn: None,
+        });
+        // An empty create against an existing file materializes as a
+        // (trivially empty) conflict copy.
+        assert!(matches!(
+            out,
+            ApplyOutcome::Conflict { .. } | ApplyOutcome::Rejected { .. }
+        ));
+        assert_eq!(s.file("/f"), Some(&b"x"[..]));
+    }
+}

@@ -1,0 +1,211 @@
+//! A threaded cloud endpoint: the [`CloudServer`] running on its own
+//! thread, receiving transaction groups over a channel.
+//!
+//! The in-process evaluation drives the server synchronously, but the
+//! paper's deployment has clients and the cloud on different machines.
+//! This module provides the concurrency seam: any number of client
+//! threads hold cheap [`CloudHandle`] clones and submit transaction
+//! groups; the server thread applies them in arrival order, preserving
+//! each connection's FIFO (crossbeam's channels are MPSC-ordered per
+//! sender), which is the property the sync queue's causality guarantees
+//! rely on.
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use std::thread::JoinHandle;
+
+use crate::protocol::{ApplyOutcome, UpdateMsg};
+use crate::server::CloudServer;
+
+enum Command {
+    Apply {
+        group: Vec<UpdateMsg>,
+        reply: Sender<Vec<ApplyOutcome>>,
+    },
+    Query {
+        path: String,
+        reply: Sender<Option<Vec<u8>>>,
+    },
+    Shutdown {
+        reply: Sender<CloudServer>,
+    },
+}
+
+/// A cheaply clonable handle to a cloud server running on another thread.
+#[derive(Clone)]
+pub struct CloudHandle {
+    tx: Sender<Command>,
+}
+
+impl std::fmt::Debug for CloudHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudHandle").finish_non_exhaustive()
+    }
+}
+
+/// Errors from talking to a threaded cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloudGone;
+
+impl std::fmt::Display for CloudGone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cloud server thread has shut down")
+    }
+}
+
+impl std::error::Error for CloudGone {}
+
+impl CloudHandle {
+    /// Applies a transaction group atomically and waits for the outcomes.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudGone`] if the server thread has terminated.
+    pub fn apply_txn(&self, group: Vec<UpdateMsg>) -> Result<Vec<ApplyOutcome>, CloudGone> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Command::Apply { group, reply })
+            .map_err(|_| CloudGone)?;
+        rx.recv().map_err(|_| CloudGone)
+    }
+
+    /// Fetches the current content of `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudGone`] if the server thread has terminated.
+    pub fn file(&self, path: &str) -> Result<Option<Vec<u8>>, CloudGone> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Command::Query {
+                path: path.to_string(),
+                reply,
+            })
+            .map_err(|_| CloudGone)?;
+        rx.recv().map_err(|_| CloudGone)
+    }
+
+    /// Shuts the server down and returns its final state.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudGone`] if the server thread already terminated.
+    pub fn shutdown(self) -> Result<CloudServer, CloudGone> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Command::Shutdown { reply })
+            .map_err(|_| CloudGone)?;
+        rx.recv().map_err(|_| CloudGone)
+    }
+}
+
+/// Spawns a [`CloudServer`] on a fresh thread.
+///
+/// The returned [`JoinHandle`] completes once every [`CloudHandle`] clone
+/// has been dropped or [`CloudHandle::shutdown`] was called.
+pub fn spawn_cloud() -> (CloudHandle, JoinHandle<()>) {
+    let (tx, rx) = unbounded::<Command>();
+    let join = std::thread::spawn(move || {
+        let mut server = CloudServer::new();
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                Command::Apply { group, reply } => {
+                    let outcomes = server.apply_txn(&group);
+                    let _ = reply.send(outcomes);
+                }
+                Command::Query { path, reply } => {
+                    let _ = reply.send(server.file(&path).map(<[u8]>::to_vec));
+                }
+                Command::Shutdown { reply } => {
+                    let _ = reply.send(server);
+                    return;
+                }
+            }
+        }
+    });
+    (CloudHandle { tx }, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::DeltaCfsClient;
+    use crate::config::DeltaCfsConfig;
+    use crate::protocol::ClientId;
+    use deltacfs_net::SimClock;
+    use deltacfs_vfs::Vfs;
+
+    #[test]
+    fn apply_and_query_across_the_thread() {
+        let (cloud, join) = spawn_cloud();
+        let clock = SimClock::new();
+        let mut client = DeltaCfsClient::new(ClientId(1), DeltaCfsConfig::new(), clock.clone());
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        fs.create("/t").unwrap();
+        fs.write("/t", 0, b"threaded").unwrap();
+        for e in fs.drain_events() {
+            client.handle_event(&e, &fs);
+        }
+        clock.advance(4_000);
+        for group in client.tick(&fs) {
+            let outcomes = cloud.apply_txn(group).unwrap();
+            assert!(outcomes.iter().all(|o| *o == ApplyOutcome::Applied));
+        }
+        assert_eq!(cloud.file("/t").unwrap().as_deref(), Some(&b"threaded"[..]));
+        let server = cloud.shutdown().unwrap();
+        join.join().unwrap();
+        assert_eq!(server.file("/t"), Some(&b"threaded"[..]));
+    }
+
+    #[test]
+    fn multiple_client_threads_upload_concurrently() {
+        let (cloud, join) = spawn_cloud();
+        let mut workers = Vec::new();
+        for id in 0..4u32 {
+            let cloud = cloud.clone();
+            workers.push(std::thread::spawn(move || {
+                let clock = SimClock::new();
+                let mut client =
+                    DeltaCfsClient::new(ClientId(id + 1), DeltaCfsConfig::new(), clock.clone());
+                let mut fs = Vfs::new();
+                fs.enable_event_log();
+                let path = format!("/client{id}");
+                fs.create(&path).unwrap();
+                fs.write(&path, 0, format!("data from {id}").as_bytes())
+                    .unwrap();
+                for e in fs.drain_events() {
+                    client.handle_event(&e, &fs);
+                }
+                clock.advance(4_000);
+                for group in client.tick(&fs) {
+                    cloud.apply_txn(group).unwrap();
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        for id in 0..4u32 {
+            let content = cloud.file(&format!("/client{id}")).unwrap().unwrap();
+            assert_eq!(content, format!("data from {id}").into_bytes());
+        }
+        cloud.shutdown().unwrap();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_all_handles_ends_the_thread() {
+        let (cloud, join) = spawn_cloud();
+        drop(cloud);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn calls_after_shutdown_report_gone() {
+        let (cloud, join) = spawn_cloud();
+        let second = cloud.clone();
+        cloud.shutdown().unwrap();
+        join.join().unwrap();
+        assert_eq!(second.file("/x"), Err(CloudGone));
+    }
+}

@@ -1,0 +1,244 @@
+//! A small LZ77-style byte compressor standing in for Snappy.
+//!
+//! The paper suspects Dropbox compresses uploads ("we suspect it applies
+//! data compression (e.g., Snappy)", §IV-C) and charges CPU for it
+//! (§IV-B). This module provides a fast greedy LZ77 with a 4-byte hash
+//! table — the same family of algorithm as Snappy — so the Dropbox
+//! baseline can both pay the compression cost and enjoy the traffic
+//! savings on compressible data.
+//!
+//! Format (private, round-trip only): a token stream where each token
+//! starts with a varint `v`; if `v & 1 == 0` it is a literal run of
+//! `v >> 1` bytes that follow, otherwise a back-reference of length
+//! `v >> 1` whose distance follows as a second varint. Matching is lazy
+//! (one-byte lookahead), like zlib's.
+
+use crate::cost::Cost;
+
+const MIN_MATCH: usize = 4;
+const MAX_DIST: usize = 64 * 1024;
+const HASH_BITS: u32 = 15;
+
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E3779B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Compresses `data`, charging one pass over it to `cost.bytes_compressed`.
+///
+/// The output is only readable by [`decompress`]; it is a traffic model,
+/// not an interchange format.
+pub fn compress(data: &[u8], cost: &mut Cost) -> Vec<u8> {
+    cost.bytes_compressed += data.len() as u64;
+    cost.ops += 1;
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        if to > from {
+            put_varint(out, ((to - from) as u64) << 1);
+            out.extend_from_slice(&data[from..to]);
+        }
+    };
+
+    // Finds the best match at `i` and records `i` in the hash table.
+    let find = |table: &mut [usize], i: usize| -> Option<(usize, usize)> {
+        if i + MIN_MATCH > data.len() {
+            return None;
+        }
+        let h = hash4(data, i);
+        let candidate = table[h];
+        table[h] = i;
+        if candidate == usize::MAX
+            || i - candidate > MAX_DIST
+            || data[candidate..candidate + MIN_MATCH] != data[i..i + MIN_MATCH]
+        {
+            return None;
+        }
+        let mut len = MIN_MATCH;
+        while i + len < data.len() && data[candidate + len] == data[i + len] {
+            len += 1;
+        }
+        Some((len, i - candidate))
+    };
+
+    while i + MIN_MATCH <= data.len() {
+        match find(&mut table, i) {
+            Some((mut len, mut dist)) => {
+                // Lazy evaluation: a longer match starting one byte later
+                // wins; the current byte joins the literal run.
+                if let Some((len2, dist2)) = find(&mut table, i + 1) {
+                    if len2 > len + 1 {
+                        i += 1;
+                        len = len2;
+                        dist = dist2;
+                    }
+                }
+                flush_literals(&mut out, literal_start, i);
+                put_varint(&mut out, ((len as u64) << 1) | 1);
+                put_varint(&mut out, dist as u64);
+                i += len;
+                literal_start = i;
+            }
+            None => i += 1,
+        }
+    }
+    flush_literals(&mut out, literal_start, data.len());
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+///
+/// Returns `None` if the input is malformed.
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let token = get_varint(data, &mut pos)?;
+        let len = (token >> 1) as usize;
+        if token & 1 == 0 {
+            if pos + len > data.len() {
+                return None;
+            }
+            out.extend_from_slice(&data[pos..pos + len]);
+            pos += len;
+        } else {
+            let dist = get_varint(data, &mut pos)? as usize;
+            if dist == 0 || dist > out.len() {
+                return None;
+            }
+            let start = out.len() - dist;
+            // Overlapping copies are valid LZ77 (run-length encoding).
+            for k in 0..len {
+                let byte = out[start + k];
+                out.push(byte);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Compresses and reports only the resulting size; convenience for traffic
+/// modelling when the compressed bytes themselves are not needed.
+pub fn compressed_size(data: &[u8], cost: &mut Cost) -> u64 {
+    compress(data, cost).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let compressed = compress(data, &mut Cost::new());
+        let restored = decompress(&compressed).expect("decompression failed");
+        assert_eq!(restored, data);
+        compressed
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert!(roundtrip(b"").is_empty());
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_data_shrinks() {
+        let data = b"hello world ".repeat(1000);
+        let compressed = roundtrip(&data);
+        assert!(
+            compressed.len() < data.len() / 4,
+            "compressed {} of {}",
+            compressed.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn random_data_does_not_explode() {
+        let mut state = 42u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        let compressed = roundtrip(&data);
+        // Worst case adds only token framing overhead.
+        assert!(compressed.len() < data.len() + data.len() / 100 + 16);
+    }
+
+    #[test]
+    fn run_length_overlapping_match() {
+        let data = vec![7u8; 10_000];
+        let compressed = roundtrip(&data);
+        assert!(compressed.len() < 100);
+    }
+
+    #[test]
+    fn text_like_content_compresses_about_2x_or_more() {
+        let words = [
+            "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+        ];
+        let mut state = 9u64;
+        let mut text = String::new();
+        while text.len() < 100_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            text.push_str(words[(state >> 33) as usize % words.len()]);
+            text.push(' ');
+        }
+        let compressed = roundtrip(text.as_bytes());
+        assert!(compressed.len() * 2 < text.len());
+    }
+
+    #[test]
+    fn malformed_inputs_return_none() {
+        // Literal run of 5 with only 1 byte present.
+        assert!(decompress(&[0x0a, b'a']).is_none());
+        // Match of len 2 with dist 9 into an empty output.
+        assert!(decompress(&[0x05, 0x09]).is_none());
+        // Truncated varint.
+        assert!(decompress(&[0x80]).is_none());
+        // Match token missing its distance varint.
+        assert!(decompress(&[0x05]).is_none());
+    }
+
+    #[test]
+    fn cost_charged_once_per_pass() {
+        let mut cost = Cost::new();
+        compressed_size(&vec![0u8; 1234], &mut cost);
+        assert_eq!(cost.bytes_compressed, 1234);
+    }
+}

@@ -1,0 +1,166 @@
+//! The paper's lightweight local delta encoding (§III-A).
+//!
+//! When the relation table triggers delta encoding, *both* the old and the
+//! new version of the file are on the client (the old version survives as
+//! the `dst` of a relation entry, e.g. Word's `t0`). Classic rsync was
+//! designed for files on different machines and therefore pays for MD5
+//! strong checksums; with both files local, a candidate match found by the
+//! rolling checksum can instead be verified by **bitwise comparison**,
+//! which short-circuits on the first differing byte and costs no hashing
+//! at all.
+//!
+//! The emitted [`Delta`] is bit-for-bit compatible with
+//! [`rsync::diff`](crate::rsync::diff)'s output format, so the cloud-side
+//! apply path is shared.
+
+use std::collections::HashMap;
+
+use crate::cost::Cost;
+use crate::delta_ops::Delta;
+use crate::rolling::RollingChecksum;
+use crate::rsync::diff_with;
+use crate::DeltaParams;
+
+/// Computes a [`Delta`] from `old` to `new` using rolling-checksum search
+/// with bitwise confirmation (no strong checksums).
+///
+/// Charges rolled and compared bytes to `cost`;
+/// `cost.bytes_strong_hashed` is never incremented by this function —
+/// that is the whole point.
+pub fn diff(old: &[u8], new: &[u8], params: &DeltaParams, cost: &mut Cost) -> Delta {
+    let bs = params.block_size;
+    // Index old-file blocks by weak checksum only.
+    let nblocks = old.len().div_ceil(bs);
+    let mut weak_map: HashMap<u32, Vec<u32>> = HashMap::with_capacity(nblocks);
+    for (i, block) in old.chunks(bs).enumerate() {
+        let weak = RollingChecksum::new(block).digest();
+        cost.bytes_rolled += block.len() as u64;
+        cost.ops += 1;
+        weak_map.entry(weak).or_default().push(i as u32);
+    }
+    diff_with(
+        new,
+        bs,
+        cost,
+        |weak| weak_map.get(&weak).map(|v| v.as_slice()),
+        |window, candidates, cost| {
+            candidates.iter().copied().find(|&b| {
+                let start = b as usize * bs;
+                let block = &old[start..(start + bs).min(old.len())];
+                let (equal, compared) = bitwise_eq(block, window);
+                cost.bytes_compared += compared;
+                cost.ops += 1;
+                equal
+            })
+        },
+        |block_idx| {
+            let start = block_idx as u64 * bs as u64;
+            let len = (old.len() as u64 - start).min(bs as u64);
+            (start, len)
+        },
+    )
+}
+
+/// Compares two slices, returning whether they are equal and how many bytes
+/// were examined before the answer was known (mismatches short-circuit).
+fn bitwise_eq(a: &[u8], b: &[u8]) -> (bool, u64) {
+    if a.len() != b.len() {
+        return (false, 0);
+    }
+    match a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+        Some(idx) => (false, idx as u64 + 1),
+        None => (true, a.len() as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(old: &[u8], new: &[u8], bs: usize) -> (Delta, Cost) {
+        let mut cost = Cost::new();
+        let delta = diff(old, new, &DeltaParams::with_block_size(bs), &mut cost);
+        assert_eq!(delta.apply(old).unwrap(), new);
+        (delta, cost)
+    }
+
+    #[test]
+    fn never_strong_hashes() {
+        let old = b"hello world, this is a longer buffer".repeat(100);
+        let mut new = old.clone();
+        new[50] = b'#';
+        let (_, cost) = roundtrip(&old, &new, 64);
+        assert_eq!(cost.bytes_strong_hashed, 0);
+        assert!(cost.bytes_compared > 0);
+    }
+
+    #[test]
+    fn identical_files_full_copy() {
+        let data = vec![42u8; 8192];
+        let (delta, _) = roundtrip(&data, &data, 512);
+        assert_eq!(delta.literal_bytes(), 0);
+        assert_eq!(delta.copy_bytes(), 8192);
+    }
+
+    #[test]
+    fn matches_rsync_semantics_on_shifted_data() {
+        let old: Vec<u8> = (0..8192u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut new = old.clone();
+        new.splice(400..400, [0xEE; 13]);
+        let (delta, _) = roundtrip(&old, &new, 128);
+        assert!(delta.copy_bytes() as usize > old.len() * 9 / 10);
+    }
+
+    #[test]
+    fn disjoint_files_are_all_literal() {
+        let old = vec![0u8; 1000];
+        let new = vec![1u8; 1000];
+        let (delta, _) = roundtrip(&old, &new, 100);
+        assert_eq!(delta.copy_bytes(), 0);
+        assert_eq!(delta.literal_bytes(), 1000);
+    }
+
+    #[test]
+    fn empty_edges() {
+        roundtrip(b"", b"", 16);
+        roundtrip(b"", b"xyz", 16);
+        roundtrip(b"xyz", b"", 16);
+    }
+
+    #[test]
+    fn comparison_short_circuits() {
+        // All-zero old; new block differs in the first byte, so only one
+        // byte per candidate comparison should be charged (plus full-block
+        // compares for real matches).
+        let old = vec![0u8; 1024];
+        let mut new = vec![0u8; 1024];
+        for (i, byte) in new.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *byte = 1;
+            }
+        }
+        let (_, cost) = roundtrip(&old, &new, 64);
+        // Comparisons happened but far fewer bytes than rolled.
+        assert!(cost.bytes_compared < cost.bytes_rolled);
+    }
+
+    #[test]
+    fn cheaper_than_rsync_on_same_input() {
+        use crate::rsync;
+        let old: Vec<u8> = (0..50_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut new = old.clone();
+        new[12_345] ^= 0xFF;
+
+        let params = DeltaParams::with_block_size(4096);
+        let mut c_local = Cost::new();
+        let d_local = diff(&old, &new, &params, &mut c_local);
+
+        let mut c_rsync = Cost::new();
+        let sig = rsync::signature(&old, &params, &mut c_rsync);
+        let d_rsync = rsync::diff(&sig, &new, &params, &mut c_rsync);
+
+        assert_eq!(d_local.apply(&old).unwrap(), d_rsync.apply(&old).unwrap());
+        assert_eq!(c_local.bytes_strong_hashed, 0);
+        assert!(c_rsync.bytes_strong_hashed >= old.len() as u64);
+    }
+}

@@ -1,0 +1,124 @@
+/// The rsync rolling (weak) checksum.
+///
+/// This is the Adler-32-inspired checksum from Tridgell & Mackerras'
+/// original rsync paper: `a` is the byte sum and `b` is the positional sum,
+/// both modulo 2^16; the digest is `a | b << 16`. Its defining property is
+/// that sliding the window one byte forward costs O(1)
+/// ([`RollingChecksum::roll`]), which is what lets rsync test every byte
+/// offset of a file against a block table — and also why running it over
+/// whole files on every modification burns the CPU the paper complains
+/// about.
+///
+/// DeltaCFS reuses the same checksum for its 4 KB block checksum store
+/// (§III-E), "which further reduces the computational cost".
+///
+/// # Example
+///
+/// ```
+/// use deltacfs_delta::RollingChecksum;
+///
+/// let data = b"hello, rolling world";
+/// let win = 5;
+/// let mut rc = RollingChecksum::new(&data[..win]);
+/// for i in 0..data.len() - win {
+///     rc.roll(data[i], data[i + win]);
+///     assert_eq!(rc.digest(), RollingChecksum::new(&data[i + 1..i + 1 + win]).digest());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollingChecksum {
+    a: u32,
+    b: u32,
+    window: u32,
+}
+
+impl RollingChecksum {
+    /// Computes the checksum of an initial window.
+    pub fn new(window: &[u8]) -> Self {
+        let mut a: u32 = 0;
+        let mut b: u32 = 0;
+        let len = window.len() as u32;
+        for (i, &x) in window.iter().enumerate() {
+            a = a.wrapping_add(x as u32);
+            b = b.wrapping_add((len - i as u32) * x as u32);
+        }
+        RollingChecksum {
+            a: a & 0xffff,
+            b: b & 0xffff,
+            window: len,
+        }
+    }
+
+    /// Slides the window one byte: removes `out` (the oldest byte) and
+    /// appends `incoming`.
+    #[inline]
+    pub fn roll(&mut self, out: u8, incoming: u8) {
+        self.a = self
+            .a
+            .wrapping_sub(out as u32)
+            .wrapping_add(incoming as u32)
+            & 0xffff;
+        self.b = self
+            .b
+            .wrapping_sub(self.window.wrapping_mul(out as u32))
+            .wrapping_add(self.a)
+            & 0xffff;
+    }
+
+    /// The 32-bit digest (`a` in the low half, `b` in the high half).
+    #[inline]
+    pub fn digest(&self) -> u32 {
+        self.a | (self.b << 16)
+    }
+
+    /// Window length this checksum was built over.
+    pub fn window_len(&self) -> usize {
+        self.window as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Convenience: the digest of `block` in one call.
+    fn weak_digest(block: &[u8]) -> u32 {
+        RollingChecksum::new(block).digest()
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        assert_eq!(RollingChecksum::new(&[]).digest(), 0);
+    }
+
+    #[test]
+    fn roll_matches_fresh_computation() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let win = 64;
+        let mut rc = RollingChecksum::new(&data[..win]);
+        for i in 0..data.len() - win {
+            rc.roll(data[i], data[i + win]);
+            let fresh = RollingChecksum::new(&data[i + 1..i + 1 + win]);
+            assert_eq!(rc.digest(), fresh.digest(), "mismatch at offset {i}");
+        }
+    }
+
+    #[test]
+    fn different_content_usually_differs() {
+        let a = weak_digest(b"aaaaaaaa");
+        let b = weak_digest(b"aaaaaaab");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        // Unlike a plain byte sum, the positional term distinguishes
+        // permutations.
+        assert_ne!(weak_digest(b"ab"), weak_digest(b"ba"));
+    }
+
+    #[test]
+    fn window_len_reported() {
+        assert_eq!(RollingChecksum::new(b"abcd").window_len(), 4);
+    }
+}

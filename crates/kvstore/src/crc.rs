@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3 polynomial), used to detect torn WAL records.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 checksum of `data`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(deltacfs_kvstore::crc32(b"123456789"), 0xCBF43926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c: u32 = 0xFFFFFFFF;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFFFFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414FA339
+        );
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"hello world".to_vec();
+        let original = crc32(&data);
+        data[3] ^= 0x10;
+        assert_ne!(crc32(&data), original);
+    }
+}

@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// Errors produced by the key-value store.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum KvError {
+    /// An underlying file-system operation failed.
+    ///
+    /// The inner error is shared so `KvError` stays `Clone`.
+    Io(Arc<io::Error>),
+    /// A segment file had an unreadable structure (not a torn WAL tail,
+    /// which is tolerated, but genuine on-disk corruption).
+    Corrupt(String),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::Io(e) => write!(f, "io error: {e}"),
+            KvError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+        }
+    }
+}
+
+impl Error for KvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KvError::Io(e) => Some(e.as_ref()),
+            KvError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for KvError {
+    fn from(e: io::Error) -> Self {
+        KvError::Io(Arc::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: KvError = io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_clone() {
+        fn check<T: Send + Sync + Clone>() {}
+        check::<KvError>();
+    }
+}

@@ -1,0 +1,101 @@
+use std::collections::BTreeMap;
+
+use crate::{KeyValue, Result};
+
+/// A volatile, in-memory [`KeyValue`] implementation.
+///
+/// Used by tests and by experiment configurations that deliberately run
+/// without checksum durability (the `DeltaCFS` column of Table III, as
+/// opposed to `DeltaCFSc`).
+///
+/// # Example
+///
+/// ```
+/// use deltacfs_kvstore::{KeyValue, MemStore};
+///
+/// let mut store = MemStore::new();
+/// store.put(b"k", b"v")?;
+/// assert_eq!(store.get(b"k")?, Some(b"v".to_vec()));
+/// # Ok::<(), deltacfs_kvstore::KvError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl KeyValue for MemStore {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.map.insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(self.map.get(key).cloned())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.map.remove(key);
+        Ok(())
+    }
+
+    fn scan_prefix(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Ok(self
+            .map
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_crud() {
+        let mut s = MemStore::new();
+        s.put(b"a", b"1").unwrap();
+        assert_eq!(s.get(b"a").unwrap(), Some(b"1".to_vec()));
+        s.put(b"a", b"2").unwrap();
+        assert_eq!(s.get(b"a").unwrap(), Some(b"2".to_vec()));
+        s.delete(b"a").unwrap();
+        assert_eq!(s.get(b"a").unwrap(), None);
+        s.delete(b"a").unwrap(); // idempotent
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn scan_prefix_is_sorted_and_bounded() {
+        let mut s = MemStore::new();
+        s.put(b"blk:2", b"b").unwrap();
+        s.put(b"blk:1", b"a").unwrap();
+        s.put(b"other", b"x").unwrap();
+        let hits = s.scan_prefix(b"blk:").unwrap();
+        assert_eq!(
+            hits,
+            vec![
+                (b"blk:1".to_vec(), b"a".to_vec()),
+                (b"blk:2".to_vec(), b"b".to_vec())
+            ]
+        );
+        assert_eq!(s.scan_prefix(b"zz").unwrap(), vec![]);
+    }
+}

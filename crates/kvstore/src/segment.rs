@@ -1,0 +1,190 @@
+//! Sorted immutable segment files (miniature SSTables).
+//!
+//! Layout: `[magic "DSEG"][count u32]` then `count` entries of
+//! `[key_len u32][key][tombstone u8][value_len u32][value]`, keys strictly
+//! ascending, followed by a trailing CRC-32 of everything before it.
+//! Segments are small enough in this system (checksum metadata) to be
+//! loaded eagerly.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::crc::crc32;
+use crate::{KvError, Result};
+
+const MAGIC: &[u8; 4] = b"DSEG";
+
+/// A loaded segment: a sorted map where `None` is a tombstone.
+#[derive(Debug, Clone, Default)]
+pub struct Segment {
+    entries: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+}
+
+impl Segment {
+    /// Looks up `key`; `Some(None)` means a tombstone shadows older
+    /// segments.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&Vec<u8>>> {
+        self.entries.get(key).map(|v| v.as_ref())
+    }
+
+    /// Iterates over all entries (including tombstones) in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &Option<Vec<u8>>)> {
+        self.entries.iter()
+    }
+
+    /// Number of entries, tombstones included.
+    #[allow(dead_code)] // used by tests and diagnostics
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the segment holds no entries.
+    #[allow(dead_code)] // used by tests and diagnostics
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Writes `entries` as a segment file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn write(path: &Path, entries: &BTreeMap<Vec<u8>, Option<Vec<u8>>>) -> Result<()> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for (key, value) in entries {
+            buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            buf.extend_from_slice(key);
+            match value {
+                Some(v) => {
+                    buf.push(0);
+                    buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(v);
+                }
+                None => {
+                    buf.push(1);
+                    buf.extend_from_slice(&0u32.to_le_bytes());
+                }
+            }
+        }
+        let crc = crc32(&buf);
+        let mut file = File::create(path)?;
+        file.write_all(&buf)?;
+        file.write_all(&crc.to_le_bytes())?;
+        file.sync_all()?;
+        Ok(())
+    }
+
+    /// Loads the segment file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Corrupt`] if the magic, framing, ordering, or CRC is
+    /// wrong; [`KvError::Io`] on read failure.
+    pub fn load(path: &Path) -> Result<Segment> {
+        let mut data = Vec::new();
+        File::open(path)?.read_to_end(&mut data)?;
+        if data.len() < 12 || &data[..4] != MAGIC {
+            return Err(KvError::Corrupt(format!("{}: bad header", path.display())));
+        }
+        let body = &data[..data.len() - 4];
+        let stored_crc = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+        if crc32(body) != stored_crc {
+            return Err(KvError::Corrupt(format!("{}: bad crc", path.display())));
+        }
+        let count = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")) as usize;
+        let mut entries = BTreeMap::new();
+        let mut pos = 8usize;
+        let mut prev_key: Option<Vec<u8>> = None;
+        for _ in 0..count {
+            let (key, tombstone, value, next) = parse_entry(body, pos)
+                .ok_or_else(|| KvError::Corrupt(format!("{}: truncated entry", path.display())))?;
+            if let Some(prev) = &prev_key {
+                if *prev >= key {
+                    return Err(KvError::Corrupt(format!(
+                        "{}: keys out of order",
+                        path.display()
+                    )));
+                }
+            }
+            prev_key = Some(key.clone());
+            entries.insert(key, if tombstone { None } else { Some(value) });
+            pos = next;
+        }
+        Ok(Segment { entries })
+    }
+}
+
+fn parse_entry(body: &[u8], pos: usize) -> Option<(Vec<u8>, bool, Vec<u8>, usize)> {
+    let key_len = u32::from_le_bytes(body.get(pos..pos + 4)?.try_into().ok()?) as usize;
+    let key = body.get(pos + 4..pos + 4 + key_len)?.to_vec();
+    let mut p = pos + 4 + key_len;
+    let tombstone = *body.get(p)? == 1;
+    p += 1;
+    let value_len = u32::from_le_bytes(body.get(p..p + 4)?.try_into().ok()?) as usize;
+    p += 4;
+    let value = body.get(p..p + value_len)?.to_vec();
+    Some((key, tombstone, value, p + value_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("deltacfs-seg-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("seg")
+    }
+
+    #[test]
+    fn write_and_load_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut entries = BTreeMap::new();
+        entries.insert(b"a".to_vec(), Some(b"1".to_vec()));
+        entries.insert(b"b".to_vec(), None);
+        entries.insert(b"c".to_vec(), Some(vec![]));
+        Segment::write(&path, &entries).unwrap();
+        let seg = Segment::load(&path).unwrap();
+        assert_eq!(seg.len(), 3);
+        assert_eq!(seg.get(b"a"), Some(Some(&b"1".to_vec())));
+        assert_eq!(seg.get(b"b"), Some(None));
+        assert_eq!(seg.get(b"c"), Some(Some(&vec![])));
+        assert_eq!(seg.get(b"zz"), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let path = tmp("corrupt");
+        let mut entries = BTreeMap::new();
+        entries.insert(b"key".to_vec(), Some(b"value".to_vec()));
+        Segment::write(&path, &entries).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[10] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(Segment::load(&path), Err(KvError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOPEnope----").unwrap();
+        assert!(matches!(Segment::load(&path), Err(KvError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_segment_roundtrips() {
+        let path = tmp("empty");
+        Segment::write(&path, &BTreeMap::new()).unwrap();
+        let seg = Segment::load(&path).unwrap();
+        assert!(seg.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

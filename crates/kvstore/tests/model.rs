@@ -1,0 +1,77 @@
+//! Model-based tests: the persistent store behaves like a `BTreeMap`
+//! under arbitrary operation sequences, including flushes, compactions,
+//! and re-opens.
+
+use std::collections::BTreeMap;
+
+use deltacfs_kvstore::{KeyValue, KvStore};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    Flush,
+    Compact,
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => any::<u8>().prop_map(Op::Delete),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn key(k: u8) -> Vec<u8> {
+    format!("key-{k:03}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kvstore_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+        let dir = std::env::temp_dir().join(format!(
+            "deltacfs-kv-model-{}-{}",
+            std::process::id(),
+            rand::random::<u64>()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut store = KvStore::open_with_threshold(&dir, 8).unwrap();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    model.insert(key(*k), v.clone());
+                    store.put(&key(*k), v).unwrap();
+                }
+                Op::Delete(k) => {
+                    model.remove(&key(*k));
+                    store.delete(&key(*k)).unwrap();
+                }
+                Op::Flush => store.flush().unwrap(),
+                Op::Compact => store.compact().unwrap(),
+                Op::Reopen => {
+                    drop(store);
+                    store = KvStore::open_with_threshold(&dir, 8).unwrap();
+                }
+            }
+            // Spot-check a few keys after every op.
+            for k in [0u8, 17, 255] {
+                prop_assert_eq!(store.get(&key(k)).unwrap(), model.get(&key(k)).cloned());
+            }
+        }
+        // Full scan equivalence at the end.
+        let scanned = store.scan_prefix(b"key-").unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scanned, expected);
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,190 @@
+use crate::clock::SimTime;
+use crate::traffic::TrafficStats;
+
+/// Static characteristics of a simulated link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Upload bandwidth in bytes per second; `None` means unconstrained
+    /// (transfers complete instantly, as in the LAN-grade EC2 setting).
+    pub bandwidth_up: Option<u64>,
+    /// Download bandwidth in bytes per second; `None` means unconstrained.
+    pub bandwidth_down: Option<u64>,
+    /// One-way latency in milliseconds.
+    pub latency_ms: u64,
+}
+
+impl LinkSpec {
+    /// The PC setting: two EC2 instances in one region — effectively
+    /// unconstrained for these workloads.
+    pub fn pc() -> Self {
+        LinkSpec {
+            bandwidth_up: None,
+            bandwidth_down: None,
+            latency_ms: 1,
+        }
+    }
+
+    /// The mobile setting: a phone on a slow WAN (the paper reports
+    /// Dropsync "keeps transmitting data during the whole experiment").
+    /// 1 MB/s up, 2 MB/s down, 80 ms latency.
+    pub fn mobile() -> Self {
+        LinkSpec {
+            bandwidth_up: Some(1024 * 1024),
+            bandwidth_down: Some(2 * 1024 * 1024),
+            latency_ms: 80,
+        }
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        Self::pc()
+    }
+}
+
+/// An accounted, bandwidth-limited client↔cloud pipe.
+///
+/// The link is half-duplex per direction: an upload occupies the upward
+/// direction until `bytes / bandwidth` has elapsed, and
+/// [`Link::upload_busy_until`] exposes when it frees up. Engines that poll
+/// the busy state to coalesce pending updates reproduce the batching the
+/// paper observed on mobile (§IV-C2).
+#[derive(Debug, Clone)]
+pub struct Link {
+    spec: LinkSpec,
+    stats: TrafficStats,
+    up_busy_until: SimTime,
+    down_busy_until: SimTime,
+}
+
+impl Link {
+    /// Creates a link with the given characteristics.
+    pub fn new(spec: LinkSpec) -> Self {
+        Link {
+            spec,
+            stats: TrafficStats::new(),
+            up_busy_until: SimTime::ZERO,
+            down_busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// The link's static characteristics.
+    pub fn spec(&self) -> LinkSpec {
+        self.spec
+    }
+
+    /// Accumulated traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Resets the traffic counters (not the busy state).
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::new();
+    }
+
+    /// When the upload direction becomes free.
+    pub fn upload_busy_until(&self) -> SimTime {
+        self.up_busy_until
+    }
+
+    /// Sends `bytes` client → cloud starting no earlier than `now`;
+    /// returns the completion time.
+    pub fn upload(&mut self, bytes: u64, now: SimTime) -> SimTime {
+        self.stats.bytes_up += bytes;
+        self.stats.msgs_up += 1;
+        let start = now.max(self.up_busy_until);
+        let duration = transfer_ms(bytes, self.spec.bandwidth_up) + self.spec.latency_ms;
+        self.up_busy_until = start.plus_millis(duration);
+        self.up_busy_until
+    }
+
+    /// Sends `bytes` cloud → client starting no earlier than `now`;
+    /// returns the completion time.
+    pub fn download(&mut self, bytes: u64, now: SimTime) -> SimTime {
+        self.stats.bytes_down += bytes;
+        self.stats.msgs_down += 1;
+        let start = now.max(self.down_busy_until);
+        let duration = transfer_ms(bytes, self.spec.bandwidth_down) + self.spec.latency_ms;
+        self.down_busy_until = start.plus_millis(duration);
+        self.down_busy_until
+    }
+}
+
+fn transfer_ms(bytes: u64, bandwidth: Option<u64>) -> u64 {
+    match bandwidth {
+        Some(bps) if bps > 0 => bytes.saturating_mul(1000).div_ceil(bps),
+        _ => 0,
+    }
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Self::new(LinkSpec::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_link_is_instantaneous_plus_latency() {
+        let mut link = Link::new(LinkSpec::pc());
+        let done = link.upload(100 * 1024 * 1024, SimTime::ZERO);
+        assert_eq!(done, SimTime(1));
+        assert_eq!(link.stats().bytes_up, 100 * 1024 * 1024);
+    }
+
+    #[test]
+    fn bandwidth_limits_serialize_transfers() {
+        let spec = LinkSpec {
+            bandwidth_up: Some(1000), // 1000 B/s
+            bandwidth_down: None,
+            latency_ms: 0,
+        };
+        let mut link = Link::new(spec);
+        let d1 = link.upload(500, SimTime::ZERO); // 500 ms
+        assert_eq!(d1, SimTime(500));
+        // Second transfer queues behind the first.
+        let d2 = link.upload(1000, SimTime(100));
+        assert_eq!(d2, SimTime(1500));
+        assert_eq!(link.upload_busy_until(), SimTime(1500));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let spec = LinkSpec {
+            bandwidth_up: Some(1000),
+            bandwidth_down: Some(1000),
+            latency_ms: 0,
+        };
+        let mut link = Link::new(spec);
+        link.upload(1000, SimTime::ZERO);
+        let down_done = link.download(1000, SimTime::ZERO);
+        assert_eq!(down_done, SimTime(1000));
+        assert_eq!(link.stats().msgs_up, 1);
+        assert_eq!(link.stats().msgs_down, 1);
+    }
+
+    #[test]
+    fn mobile_spec_is_slow() {
+        let mut link = Link::new(LinkSpec::mobile());
+        let done = link.upload(10 * 1024 * 1024, SimTime::ZERO);
+        // 10 MB at 1 MB/s plus 80 ms latency.
+        assert!(done.as_millis() >= 10_000);
+    }
+
+    #[test]
+    fn reset_stats_keeps_busy_state() {
+        let mut link = Link::new(LinkSpec {
+            bandwidth_up: Some(100),
+            bandwidth_down: None,
+            latency_ms: 0,
+        });
+        link.upload(100, SimTime::ZERO);
+        link.reset_stats();
+        assert_eq!(link.stats().bytes_up, 0);
+        assert_eq!(link.upload_busy_until(), SimTime(1000));
+    }
+}

@@ -1,0 +1,144 @@
+use deltacfs_delta::Cost;
+use serde::Serialize;
+
+/// Converts algorithmic work into platform "CPU ticks".
+///
+/// Table II of the paper reports CPU ticks on two incomparable platforms
+/// (an EC2 Xeon and a Galaxy Note3; the paper itself warns the numbers
+/// cannot be compared across platforms). What *is* comparable is the work
+/// each engine performs; this profile weights each work class by an
+/// approximate cycles-per-byte factor and scales by the platform's
+/// slowness. The defaults were set once from coarse public numbers (MD5
+/// ≈ 5 cycles/B, rolling ≈ 1, memcmp/memcpy ≈ 0.25, gear ≈ 0.7,
+/// LZ ≈ 2.5) and are *not* fitted to the paper's outputs — the shape of
+/// Table II must emerge from the work counts alone.
+///
+/// # Example
+///
+/// ```
+/// use deltacfs_delta::Cost;
+/// use deltacfs_net::PlatformProfile;
+///
+/// let mut cost = Cost::new();
+/// cost.bytes_strong_hashed = 1_000_000;
+/// let pc = PlatformProfile::pc();
+/// let mobile = PlatformProfile::mobile();
+/// assert!(mobile.ticks(&cost, 0) > pc.ticks(&cost, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PlatformProfile {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// Ticks per rolled byte.
+    pub w_rolled: f64,
+    /// Ticks per strong-hashed byte.
+    pub w_strong: f64,
+    /// Ticks per bitwise-compared byte.
+    pub w_compared: f64,
+    /// Ticks per gear-chunked byte.
+    pub w_chunked: f64,
+    /// Ticks per compressed byte.
+    pub w_compressed: f64,
+    /// Ticks per copied byte.
+    pub w_copied: f64,
+    /// Ticks per byte the engine read back from the file system
+    /// (IO amplification cost: page cache churn, mobile energy).
+    pub w_engine_read: f64,
+    /// Ticks per byte moved over the network (protocol stack cost; the
+    /// paper attributes NFS's server ticks mostly to this).
+    pub w_net: f64,
+    /// Fixed ticks per primitive invocation.
+    pub w_op: f64,
+    /// Overall platform slowness multiplier.
+    pub scale: f64,
+}
+
+/// Base weights in ticks-per-megabyte at scale 1.0.
+const PER_MB: f64 = 1.0 / (1024.0 * 1024.0);
+
+impl PlatformProfile {
+    /// The PC platform (EC2 m4.xlarge-class Xeon).
+    pub fn pc() -> Self {
+        PlatformProfile {
+            name: "pc",
+            w_rolled: 1.0 * PER_MB,
+            w_strong: 5.0 * PER_MB,
+            w_compared: 0.25 * PER_MB,
+            w_chunked: 0.7 * PER_MB,
+            w_compressed: 2.5 * PER_MB,
+            w_copied: 0.25 * PER_MB,
+            w_engine_read: 0.5 * PER_MB,
+            w_net: 0.5 * PER_MB,
+            w_op: 0.000_1,
+            scale: 10.0,
+        }
+    }
+
+    /// The mobile platform (Galaxy Note3-class ARM), roughly an order of
+    /// magnitude slower per byte and with relatively more expensive IO.
+    pub fn mobile() -> Self {
+        PlatformProfile {
+            name: "mobile",
+            w_engine_read: 1.5 * PER_MB,
+            w_net: 2.0 * PER_MB,
+            scale: 80.0,
+            ..Self::pc()
+        }
+    }
+
+    /// Converts a work accumulator plus network volume into ticks.
+    pub fn ticks(&self, cost: &Cost, net_bytes: u64) -> u64 {
+        let raw = cost.bytes_rolled as f64 * self.w_rolled
+            + cost.bytes_strong_hashed as f64 * self.w_strong
+            + cost.bytes_compared as f64 * self.w_compared
+            + cost.bytes_chunked as f64 * self.w_chunked
+            + cost.bytes_compressed as f64 * self.w_compressed
+            + cost.bytes_copied as f64 * self.w_copied
+            + cost.bytes_engine_read as f64 * self.w_engine_read
+            + net_bytes as f64 * self.w_net
+            + cost.ops as f64 * self.w_op;
+        (raw * self.scale).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_hashing_costs_more_than_comparison() {
+        let p = PlatformProfile::pc();
+        let mut hashed = Cost::new();
+        hashed.bytes_strong_hashed = 1 << 20;
+        let mut compared = Cost::new();
+        compared.bytes_compared = 1 << 20;
+        assert!(p.ticks(&hashed, 0) > 10 * p.ticks(&compared, 0));
+    }
+
+    #[test]
+    fn mobile_is_slower_than_pc() {
+        let mut cost = Cost::new();
+        cost.bytes_rolled = 1 << 20;
+        assert!(
+            PlatformProfile::mobile().ticks(&cost, 0) >= 5 * PlatformProfile::pc().ticks(&cost, 0)
+        );
+    }
+
+    #[test]
+    fn network_bytes_cost_cpu() {
+        let p = PlatformProfile::pc();
+        let idle = Cost::new();
+        assert_eq!(p.ticks(&idle, 0), 0);
+        assert!(p.ticks(&idle, 100 << 20) > 0);
+    }
+
+    #[test]
+    fn ticks_are_monotone_in_work() {
+        let p = PlatformProfile::pc();
+        let mut small = Cost::new();
+        small.bytes_rolled = 1000;
+        let mut large = small;
+        large.bytes_rolled = 1_000_000;
+        assert!(p.ticks(&large, 0) > p.ticks(&small, 0));
+    }
+}

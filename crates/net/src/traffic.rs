@@ -1,0 +1,77 @@
+use serde::Serialize;
+
+/// Bytes and messages moved over a [`Link`](crate::Link), by direction.
+///
+/// "Upload" is client → cloud. These counters feed Figures 8 and 9 of the
+/// paper directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct TrafficStats {
+    /// Bytes sent client → cloud.
+    pub bytes_up: u64,
+    /// Bytes sent cloud → client.
+    pub bytes_down: u64,
+    /// Messages sent client → cloud.
+    pub msgs_up: u64,
+    /// Messages sent cloud → client.
+    pub msgs_down: u64,
+}
+
+impl TrafficStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.bytes_up += other.bytes_up;
+        self.bytes_down += other.bytes_down;
+        self.msgs_up += other.msgs_up;
+        self.msgs_down += other.msgs_down;
+    }
+
+    /// Traffic Usage Efficiency as defined in the paper's Fig. 2: total
+    /// sync traffic divided by the size of the actual data update.
+    /// Lower is better; 1.0 is ideal.
+    pub fn tue(&self, update_bytes: u64) -> f64 {
+        if update_bytes == 0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / update_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_totals() {
+        let mut a = TrafficStats {
+            bytes_up: 10,
+            bytes_down: 5,
+            msgs_up: 1,
+            msgs_down: 2,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.msgs_up, 2);
+    }
+
+    #[test]
+    fn tue_definition() {
+        let t = TrafficStats {
+            bytes_up: 150,
+            bytes_down: 50,
+            msgs_up: 0,
+            msgs_down: 0,
+        };
+        assert!((t.tue(100) - 2.0).abs() < 1e-9);
+        assert_eq!(t.tue(0), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`Vfs`](crate::Vfs) operations.
+///
+/// The variants mirror the POSIX errno values a FUSE file system would
+/// return, which matters because the DeltaCFS relation table reacts to some
+/// of them (e.g. `ENOSPC` suppresses preserving unlinked files, paper
+/// §III-A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VfsError {
+    /// The path does not exist (`ENOENT`).
+    NotFound(String),
+    /// The path already exists (`EEXIST`).
+    AlreadyExists(String),
+    /// A directory was expected (`ENOTDIR`).
+    NotADirectory(String),
+    /// A regular file was expected (`EISDIR`).
+    IsADirectory(String),
+    /// Directory not empty on `rmdir`/`rename` (`ENOTEMPTY`).
+    NotEmpty(String),
+    /// The file system capacity would be exceeded (`ENOSPC`).
+    NoSpace,
+    /// An unknown file handle was used (`EBADF`).
+    BadHandle(u64),
+    /// A malformed path or argument was supplied (`EINVAL`).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            VfsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            VfsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            VfsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            VfsError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            VfsError::NoSpace => write!(f, "no space left on device"),
+            VfsError::BadHandle(h) => write!(f, "bad file handle: {h}"),
+            VfsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl Error for VfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = VfsError::NotFound("/a".into());
+        assert_eq!(e.to_string(), "no such file or directory: /a");
+        assert_eq!(VfsError::NoSpace.to_string(), "no space left on device");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VfsError>();
+    }
+}

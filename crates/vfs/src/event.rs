@@ -1,0 +1,237 @@
+use bytes::Bytes;
+
+use crate::VPath;
+
+/// A file operation observed by the interception layer.
+///
+/// This is the information FUSE hands to LibFuse in the paper's
+/// architecture (Fig. 4). Each mutating [`Vfs`](crate::Vfs) call emits
+/// exactly one event *after* the operation has been validated and applied.
+/// Events carry the written payloads (for NFS-like file RPC) and the
+/// overwritten bytes (for physical undo logging), so observers never need
+/// to re-read the file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpEvent {
+    /// A regular file was created (empty).
+    Create {
+        /// The created path.
+        path: VPath,
+    },
+    /// `data` was written to `path` at byte `offset`.
+    Write {
+        /// The written file.
+        path: VPath,
+        /// Byte offset of the write.
+        offset: u64,
+        /// The written bytes.
+        data: Bytes,
+        /// Previous contents of the overwritten range (shorter than `data`
+        /// when the write extends the file). This is the copy-out the
+        /// paper's undo log performs before issuing the write (§III-A,
+        /// in-place updates that modify a large portion of a file).
+        overwritten: Bytes,
+    },
+    /// `path` was truncated to `size` bytes.
+    Truncate {
+        /// The truncated file.
+        path: VPath,
+        /// The new size.
+        size: u64,
+        /// The bytes that were removed, if the file shrank.
+        cut: Bytes,
+    },
+    /// `src` was atomically renamed to `dst`.
+    Rename {
+        /// Old path.
+        src: VPath,
+        /// New path.
+        dst: VPath,
+        /// Previous content of `dst` when the rename overwrote an existing
+        /// file — the "to-be-created file's name already exists" case that
+        /// triggers delta encoding in the relation table (paper §III-A).
+        /// Moved out of the dying inode, so carrying it is free.
+        replaced: Option<Bytes>,
+    },
+    /// A hard link `dst` was created for the file at `src`.
+    Link {
+        /// Existing path.
+        src: VPath,
+        /// The new link.
+        dst: VPath,
+    },
+    /// The link at `path` was removed.
+    Unlink {
+        /// The removed path.
+        path: VPath,
+        /// The file content when this removed the *final* link (`Some`
+        /// plays the role of the paper's tmp/ preservation area: the
+        /// DeltaCFS layer keeps the dying content around briefly so a
+        /// delete-then-recreate update can still be delta-encoded).
+        /// `None` means other hard links keep the inode alive.
+        removed: Option<Bytes>,
+    },
+    /// A directory was created.
+    Mkdir {
+        /// The created directory.
+        path: VPath,
+    },
+    /// An empty directory was removed.
+    Rmdir {
+        /// The removed directory.
+        path: VPath,
+    },
+    /// The last open handle on `path` was closed.
+    ///
+    /// Sync engines pack the file's write node on this event (§III-B).
+    Close {
+        /// The closed file.
+        path: VPath,
+    },
+    /// `path` was fsync'ed by the application.
+    Fsync {
+        /// The synced file.
+        path: VPath,
+    },
+}
+
+impl OpEvent {
+    /// The primary path the event concerns (the destination for renames and
+    /// links).
+    pub fn primary_path(&self) -> &VPath {
+        match self {
+            OpEvent::Create { path }
+            | OpEvent::Truncate { path, .. }
+            | OpEvent::Write { path, .. }
+            | OpEvent::Unlink { path, .. }
+            | OpEvent::Mkdir { path }
+            | OpEvent::Rmdir { path }
+            | OpEvent::Close { path }
+            | OpEvent::Fsync { path } => path,
+            OpEvent::Rename { dst, .. } | OpEvent::Link { dst, .. } => dst,
+        }
+    }
+
+    /// Number of payload bytes carried by the event (written data only).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            OpEvent::Write { data, .. } => data.len(),
+            _ => 0,
+        }
+    }
+
+    /// A short lowercase name for the operation kind, for logs and stats.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OpEvent::Create { .. } => "create",
+            OpEvent::Write { .. } => "write",
+            OpEvent::Truncate { .. } => "truncate",
+            OpEvent::Rename { .. } => "rename",
+            OpEvent::Link { .. } => "link",
+            OpEvent::Unlink { .. } => "unlink",
+            OpEvent::Mkdir { .. } => "mkdir",
+            OpEvent::Rmdir { .. } => "rmdir",
+            OpEvent::Close { .. } => "close",
+            OpEvent::Fsync { .. } => "fsync",
+        }
+    }
+}
+
+/// The interception hook: implementors receive every mutating operation.
+///
+/// This is the seam where DeltaCFS (and the baseline sync engines) attach
+/// to the file system, mirroring LibFuse's callback table. Observers run
+/// synchronously on the calling thread, so an observer that does heavy work
+/// directly slows down file operations — exactly the effect Table III of
+/// the paper measures.
+pub trait OpObserver {
+    /// Called once per mutating operation, after it has been applied.
+    fn on_op(&mut self, event: &OpEvent);
+}
+
+impl<F: FnMut(&OpEvent)> OpObserver for F {
+    fn on_op(&mut self, event: &OpEvent) {
+        self(event)
+    }
+}
+
+/// An [`OpObserver`] that stores every event; useful for trace collection
+/// and in tests.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    events: Vec<OpEvent>,
+}
+
+impl RecordingObserver {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events observed so far, in order.
+    pub fn events(&self) -> &[OpEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder and returns the observed events.
+    pub fn into_events(self) -> Vec<OpEvent> {
+        self.events
+    }
+}
+
+impl OpObserver for RecordingObserver {
+    fn on_op(&mut self, event: &OpEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> VPath {
+        VPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn primary_path_points_at_destination() {
+        let e = OpEvent::Rename {
+            src: p("/a"),
+            dst: p("/b"),
+            replaced: None,
+        };
+        assert_eq!(e.primary_path().as_str(), "/b");
+        let e = OpEvent::Create { path: p("/c") };
+        assert_eq!(e.primary_path().as_str(), "/c");
+    }
+
+    #[test]
+    fn payload_len_counts_written_bytes_only() {
+        let e = OpEvent::Write {
+            path: p("/a"),
+            offset: 0,
+            data: Bytes::from_static(b"xyz"),
+            overwritten: Bytes::new(),
+        };
+        assert_eq!(e.payload_len(), 3);
+        assert_eq!(OpEvent::Close { path: p("/a") }.payload_len(), 0);
+    }
+
+    #[test]
+    fn closures_are_observers() {
+        let mut count = 0usize;
+        {
+            let mut obs = |_: &OpEvent| count += 1;
+            obs.on_op(&OpEvent::Create { path: p("/x") });
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn recording_observer_keeps_order() {
+        let mut rec = RecordingObserver::new();
+        rec.on_op(&OpEvent::Create { path: p("/a") });
+        rec.on_op(&OpEvent::Close { path: p("/a") });
+        let kinds: Vec<_> = rec.events().iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["create", "close"]);
+    }
+}

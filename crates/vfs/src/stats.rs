@@ -1,0 +1,67 @@
+/// Byte- and operation-level IO accounting for a [`Vfs`](crate::Vfs).
+///
+/// The paper calls out IO amplification as "another intrinsic flaw of delta
+/// encoding algorithms" (§II-A): Dropbox read over 700 MB to sync 688 KB of
+/// changes. These counters let the benchmarks report the same quantity for
+/// every engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Total bytes returned by `read` calls.
+    pub bytes_read: u64,
+    /// Total bytes accepted by `write` calls.
+    pub bytes_written: u64,
+    /// Number of `read` calls.
+    pub reads: u64,
+    /// Number of `write` calls.
+    pub writes: u64,
+    /// Number of all mutating operations (create/write/rename/...).
+    pub mutations: u64,
+}
+
+impl IoStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.mutations += other.mutations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = IoStats {
+            bytes_read: 1,
+            bytes_written: 2,
+            reads: 3,
+            writes: 4,
+            mutations: 5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.bytes_read, 2);
+        assert_eq!(a.mutations, 10);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut a = IoStats::new();
+        a.bytes_read = 7;
+        a.reset();
+        assert_eq!(a, IoStats::default());
+    }
+}

@@ -1,0 +1,240 @@
+//! filebench-style micro-benchmark personalities (paper Table III).
+//!
+//! The paper runs filebench's Fileserver, Varmail and Webserver mixes on
+//! native ext4, loopback FUSE, DeltaCFS, and DeltaCFS-with-checksums,
+//! reporting MB/s. These personalities reproduce the canonical op mixes
+//! against a [`Vfs`] whose observer does the interception work inline, so
+//! real wall-clock throughput reflects the interception overhead.
+
+use std::time::{Duration, Instant};
+
+use deltacfs_vfs::Vfs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which canonical filebench mix to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Personality {
+    /// Mixed create/append/read/delete on medium files (write-heavy).
+    Fileserver,
+    /// Small mail files: create, write, fsync, read, delete.
+    Varmail,
+    /// Read-mostly: whole-file reads plus a small log append.
+    Webserver,
+}
+
+impl Personality {
+    /// The personality's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Personality::Fileserver => "Fileserver",
+            Personality::Varmail => "Varmail",
+            Personality::Webserver => "Webserver",
+        }
+    }
+
+    /// All three personalities, in the paper's row order.
+    pub fn all() -> [Personality; 3] {
+        [
+            Personality::Fileserver,
+            Personality::Varmail,
+            Personality::Webserver,
+        ]
+    }
+}
+
+/// Parameters for a micro-benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilebenchConfig {
+    /// Files pre-created in the working set.
+    pub files: usize,
+    /// Nominal file size in bytes.
+    pub file_size: usize,
+    /// Operations to execute.
+    pub ops: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FilebenchConfig {
+    fn default() -> Self {
+        FilebenchConfig {
+            files: 200,
+            file_size: 128 * 1024,
+            ops: 2_000,
+            seed: 7,
+        }
+    }
+}
+
+/// Result of a run: bytes moved and the wall-clock time it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilebenchResult {
+    /// Bytes read plus bytes written by the workload.
+    pub bytes_processed: u64,
+    /// Real elapsed time.
+    pub elapsed: Duration,
+}
+
+impl FilebenchResult {
+    /// Throughput in MB/s.
+    pub fn mb_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return f64::INFINITY;
+        }
+        self.bytes_processed as f64 / (1024.0 * 1024.0) / secs
+    }
+}
+
+/// Runs `personality` against `fs` (whose observer, if any, does its
+/// interception work inline) and measures real throughput.
+///
+/// # Example
+///
+/// ```
+/// use deltacfs_vfs::Vfs;
+/// use deltacfs_workloads::filebench::{run, FilebenchConfig, Personality};
+///
+/// let mut fs = Vfs::new();
+/// let cfg = FilebenchConfig { files: 10, file_size: 8192, ops: 50, seed: 1 };
+/// let result = run(Personality::Webserver, &cfg, &mut fs);
+/// assert!(result.mb_per_sec() > 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics on file-system errors; the generated op stream is always valid.
+pub fn run(personality: Personality, cfg: &FilebenchConfig, fs: &mut Vfs) -> FilebenchResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    fs.mkdir_all("/bench").unwrap();
+
+    let file_size = match personality {
+        Personality::Fileserver => cfg.file_size,
+        Personality::Varmail => 16 * 1024,
+        Personality::Webserver => cfg.file_size,
+    };
+    // Pre-create the working set.
+    let mut payload = vec![0u8; file_size];
+    rng.fill(&mut payload[..]);
+    for i in 0..cfg.files {
+        let path = format!("/bench/f{i:05}");
+        fs.create(&path).unwrap();
+        fs.write(&path, 0, &payload).unwrap();
+    }
+    if matches!(personality, Personality::Webserver) {
+        fs.create("/bench/log").unwrap();
+    }
+
+    let mut bytes: u64 = 0;
+    let mut next_new = cfg.files;
+    let append = vec![1u8; 16 * 1024];
+    let start = Instant::now();
+    for _ in 0..cfg.ops {
+        match personality {
+            Personality::Fileserver => {
+                // Canonical fileserver flow: create+write a new file,
+                // append to a random file, read a random file, delete one.
+                match rng.gen_range(0..4u8) {
+                    0 => {
+                        let path = format!("/bench/f{next_new:05}");
+                        next_new += 1;
+                        fs.create(&path).unwrap();
+                        fs.write(&path, 0, &payload).unwrap();
+                        fs.close_path(&path).unwrap();
+                        bytes += payload.len() as u64;
+                    }
+                    1 => {
+                        let path = format!("/bench/f{:05}", rng.gen_range(0..cfg.files));
+                        let size = fs.metadata(&path).map(|m| m.size).unwrap_or(0);
+                        fs.write(&path, size, &append).unwrap();
+                        bytes += append.len() as u64;
+                    }
+                    2 => {
+                        let path = format!("/bench/f{:05}", rng.gen_range(0..cfg.files));
+                        bytes += fs.read_all(&path).unwrap().len() as u64;
+                    }
+                    _ => {
+                        // Overwrite in place (keeps the working set stable).
+                        let path = format!("/bench/f{:05}", rng.gen_range(0..cfg.files));
+                        fs.write(&path, 0, &payload).unwrap();
+                        bytes += payload.len() as u64;
+                    }
+                }
+            }
+            Personality::Varmail => {
+                let path = format!("/bench/mail{next_new:05}");
+                next_new += 1;
+                fs.create(&path).unwrap();
+                fs.write(&path, 0, &payload).unwrap();
+                fs.fsync(&path).unwrap();
+                bytes += payload.len() as u64;
+                bytes += fs.read_all(&path).unwrap().len() as u64;
+                fs.unlink(&path).unwrap();
+            }
+            Personality::Webserver => {
+                for _ in 0..10 {
+                    let path = format!("/bench/f{:05}", rng.gen_range(0..cfg.files));
+                    bytes += fs.read_all(&path).unwrap().len() as u64;
+                }
+                let size = fs.metadata("/bench/log").map(|m| m.size).unwrap_or(0);
+                fs.write("/bench/log", size, &append[..512]).unwrap();
+                bytes += 512;
+            }
+        }
+    }
+    FilebenchResult {
+        bytes_processed: bytes,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FilebenchConfig {
+        FilebenchConfig {
+            files: 10,
+            file_size: 8 * 1024,
+            ops: 50,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn all_personalities_run_and_move_bytes() {
+        for p in Personality::all() {
+            let mut fs = Vfs::new();
+            let r = run(p, &tiny(), &mut fs);
+            assert!(r.bytes_processed > 0, "{}", p.name());
+            assert!(r.mb_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn webserver_is_read_dominated() {
+        let mut fs = Vfs::new();
+        fs.reset_stats();
+        run(Personality::Webserver, &tiny(), &mut fs);
+        let stats = fs.stats();
+        assert!(stats.bytes_read > stats.bytes_written * 5);
+    }
+
+    #[test]
+    fn fileserver_is_write_heavy() {
+        let mut fs = Vfs::new();
+        run(Personality::Fileserver, &tiny(), &mut fs);
+        let stats = fs.stats();
+        assert!(stats.bytes_written > 0);
+    }
+
+    #[test]
+    fn varmail_cleans_up_after_itself() {
+        let mut fs = Vfs::new();
+        run(Personality::Varmail, &tiny(), &mut fs);
+        // Only the pre-created working set remains.
+        let files = fs.walk_files("/bench").unwrap();
+        assert_eq!(files.len(), 10);
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic content generation with controllable compressibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small vocabulary for text-like (compressible) content.
+const WORDS: &[&str] = &[
+    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "hello", "world", "meeting",
+    "tomorrow", "lunch", "thanks", "see", "you", "later", "report", "draft", "chapter", "figure",
+    "table", "result", "system", "design", "data", "sync", "cloud", "storage",
+];
+
+/// Deterministic generator for workload file content.
+///
+/// Two kinds of bytes are produced: *text* (word salad, compresses
+/// roughly 2–3×, standing in for documents and chat messages) and *noise*
+/// (uniform random bytes, incompressible, standing in for images and
+/// already-compressed blobs).
+#[derive(Debug)]
+pub struct ContentGen {
+    rng: StdRng,
+}
+
+impl ContentGen {
+    /// Creates a generator from a seed; identical seeds yield identical
+    /// byte streams.
+    pub fn new(seed: u64) -> Self {
+        ContentGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `len` bytes of compressible text.
+    pub fn text(&mut self, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len + 16);
+        while out.len() < len {
+            let word = WORDS[self.rng.gen_range(0..WORDS.len())];
+            out.extend_from_slice(word.as_bytes());
+            out.push(b' ');
+        }
+        out.truncate(len);
+        out
+    }
+
+    /// `len` bytes of incompressible noise.
+    pub fn noise(&mut self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.rng.fill(&mut out[..]);
+        out
+    }
+
+    /// `len` bytes that are `text_fraction` text and the rest noise, in
+    /// interleaved runs — the mix found in real document formats.
+    pub fn mixed(&mut self, len: usize, text_fraction: f64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let run = self.rng.gen_range(256..4096).min(len - out.len());
+            if self.rng.gen_bool(text_fraction) {
+                out.extend_from_slice(&self.text(run));
+            } else {
+                out.extend_from_slice(&self.noise(run));
+            }
+        }
+        out
+    }
+
+    /// A random value in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..bound)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ContentGen::new(7).text(1000);
+        let b = ContentGen::new(7).text(1000);
+        let c = ContentGen::new(8).text(1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn text_compresses_noise_does_not() {
+        let mut g = ContentGen::new(1);
+        let text = g.text(50_000);
+        let noise = g.noise(50_000);
+        let mut cost = deltacfs_delta::Cost::new();
+        let ct = deltacfs_delta::compress::compressed_size(&text, &mut cost);
+        let cn = deltacfs_delta::compress::compressed_size(&noise, &mut cost);
+        assert!(ct * 2 < text.len() as u64, "text compressed to {ct}");
+        assert!(cn > noise.len() as u64 * 9 / 10, "noise compressed to {cn}");
+    }
+
+    #[test]
+    fn exact_lengths() {
+        let mut g = ContentGen::new(2);
+        assert_eq!(g.text(123).len(), 123);
+        assert_eq!(g.noise(77).len(), 77);
+        assert_eq!(g.mixed(10_000, 0.5).len(), 10_000);
+        assert_eq!(g.text(0).len(), 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Trace serialization: export any [`Trace`] to JSON and replay recorded
+//! traces back.
+//!
+//! The paper's authors published their collected Word/WeChat traces
+//! alongside the prototype; this module provides the equivalent
+//! interchange point — a recorded trace is a JSON array of timed
+//! operations with hex-encoded payloads, loadable with
+//! [`RecordedTrace::from_json`] and replayable through the standard
+//! driver.
+
+use serde::{Deserialize, Serialize};
+
+use crate::traces::{TimedOp, Trace, TraceMeta, TraceOp};
+
+/// Serializable twin of [`TraceOp`] with hex payloads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+enum JsonOp {
+    Create {
+        path: String,
+    },
+    Mkdir {
+        path: String,
+    },
+    Write {
+        path: String,
+        offset: u64,
+        data_hex: String,
+    },
+    Truncate {
+        path: String,
+        size: u64,
+    },
+    Rename {
+        src: String,
+        dst: String,
+    },
+    Link {
+        src: String,
+        dst: String,
+    },
+    Unlink {
+        path: String,
+    },
+    Close {
+        path: String,
+    },
+    Fsync {
+        path: String,
+    },
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JsonTimedOp {
+    at_ms: u64,
+    #[serde(flatten)]
+    op: JsonOp,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JsonTrace {
+    name: String,
+    description: String,
+    ops: Vec<JsonTimedOp>,
+}
+
+fn to_hex(data: &[u8]) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        write!(s, "{b:02x}").expect("writing to String cannot fail");
+    }
+    s
+}
+
+fn from_hex(s: &str) -> Result<Vec<u8>, TraceJsonError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(TraceJsonError::BadHex);
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| TraceJsonError::BadHex))
+        .collect()
+}
+
+/// Errors loading a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceJsonError {
+    /// The JSON structure did not parse.
+    BadJson(String),
+    /// A `data_hex` field was not valid hex.
+    BadHex,
+    /// Operations were not sorted by timestamp.
+    Unsorted,
+}
+
+impl std::fmt::Display for TraceJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceJsonError::BadJson(e) => write!(f, "invalid trace json: {e}"),
+            TraceJsonError::BadHex => write!(f, "invalid hex payload in trace"),
+            TraceJsonError::Unsorted => write!(f, "trace operations are not in time order"),
+        }
+    }
+}
+
+impl std::error::Error for TraceJsonError {}
+
+/// A trace loaded from (or convertible to) JSON.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    name: String,
+    description: String,
+    ops: Vec<TimedOp>,
+}
+
+impl RecordedTrace {
+    /// Records every operation of `trace` into memory.
+    pub fn capture(trace: &dyn Trace) -> Self {
+        let meta = trace.meta();
+        let mut ops = Vec::new();
+        trace.generate(&mut |op| ops.push(op));
+        RecordedTrace {
+            name: meta.name.to_string(),
+            description: meta.description,
+            ops,
+        }
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[TimedOp] {
+        &self.ops
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        let json = JsonTrace {
+            name: self.name.clone(),
+            description: self.description.clone(),
+            ops: self
+                .ops
+                .iter()
+                .map(|t| JsonTimedOp {
+                    at_ms: t.at_ms,
+                    op: match &t.op {
+                        TraceOp::Create(p) => JsonOp::Create { path: p.clone() },
+                        TraceOp::Mkdir(p) => JsonOp::Mkdir { path: p.clone() },
+                        TraceOp::Write { path, offset, data } => JsonOp::Write {
+                            path: path.clone(),
+                            offset: *offset,
+                            data_hex: to_hex(data),
+                        },
+                        TraceOp::Truncate { path, size } => JsonOp::Truncate {
+                            path: path.clone(),
+                            size: *size,
+                        },
+                        TraceOp::Rename { src, dst } => JsonOp::Rename {
+                            src: src.clone(),
+                            dst: dst.clone(),
+                        },
+                        TraceOp::Link { src, dst } => JsonOp::Link {
+                            src: src.clone(),
+                            dst: dst.clone(),
+                        },
+                        TraceOp::Unlink(p) => JsonOp::Unlink { path: p.clone() },
+                        TraceOp::Close(p) => JsonOp::Close { path: p.clone() },
+                        TraceOp::Fsync(p) => JsonOp::Fsync { path: p.clone() },
+                    },
+                })
+                .collect(),
+        };
+        serde_json::to_string_pretty(&json).expect("trace serialization cannot fail")
+    }
+
+    /// Parses a trace from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceJsonError`] on malformed JSON, invalid hex, or out-of-order
+    /// timestamps.
+    pub fn from_json(json: &str) -> Result<Self, TraceJsonError> {
+        let parsed: JsonTrace =
+            serde_json::from_str(json).map_err(|e| TraceJsonError::BadJson(e.to_string()))?;
+        let mut ops = Vec::with_capacity(parsed.ops.len());
+        let mut last = 0u64;
+        for t in parsed.ops {
+            if t.at_ms < last {
+                return Err(TraceJsonError::Unsorted);
+            }
+            last = t.at_ms;
+            let op = match t.op {
+                JsonOp::Create { path } => TraceOp::Create(path),
+                JsonOp::Mkdir { path } => TraceOp::Mkdir(path),
+                JsonOp::Write {
+                    path,
+                    offset,
+                    data_hex,
+                } => TraceOp::Write {
+                    path,
+                    offset,
+                    data: from_hex(&data_hex)?,
+                },
+                JsonOp::Truncate { path, size } => TraceOp::Truncate { path, size },
+                JsonOp::Rename { src, dst } => TraceOp::Rename { src, dst },
+                JsonOp::Link { src, dst } => TraceOp::Link { src, dst },
+                JsonOp::Unlink { path } => TraceOp::Unlink(path),
+                JsonOp::Close { path } => TraceOp::Close(path),
+                JsonOp::Fsync { path } => TraceOp::Fsync(path),
+            };
+            ops.push(TimedOp { at_ms: t.at_ms, op });
+        }
+        Ok(RecordedTrace {
+            name: parsed.name,
+            description: parsed.description,
+            ops,
+        })
+    }
+}
+
+impl Trace for RecordedTrace {
+    fn meta(&self) -> TraceMeta {
+        TraceMeta {
+            // Leak-free static name is impossible for arbitrary strings;
+            // recorded traces identify themselves as such and carry the
+            // original name in the description.
+            name: "recorded",
+            description: format!("{} ({})", self.description, self.name),
+        }
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(TimedOp)) {
+        for op in &self.ops {
+            sink(op.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::{GeditTrace, TraceConfig};
+
+    #[test]
+    fn capture_export_import_roundtrip() {
+        let original = GeditTrace::new(TraceConfig::scaled(0.2));
+        let captured = RecordedTrace::capture(&original);
+        let json = captured.to_json();
+        let loaded = RecordedTrace::from_json(&json).unwrap();
+        assert_eq!(loaded.ops(), captured.ops());
+    }
+
+    #[test]
+    fn replaying_recorded_equals_replaying_original() {
+        use deltacfs_core::{DeltaCfsConfig, DeltaCfsSystem, SyncEngine};
+        use deltacfs_net::{LinkSpec, SimClock};
+        use deltacfs_vfs::Vfs;
+
+        let original = GeditTrace::new(TraceConfig::scaled(0.2));
+        let recorded = RecordedTrace::capture(&original);
+
+        let run = |trace: &dyn Trace| -> (u64, Vec<u8>) {
+            let clock = SimClock::new();
+            let mut sys = DeltaCfsSystem::new(DeltaCfsConfig::new(), clock.clone(), LinkSpec::pc());
+            let mut fs = Vfs::new();
+            crate::replay(trace, &mut fs, &mut sys, &clock, 100);
+            (
+                sys.report().traffic.bytes_up,
+                fs.peek_all("/notes.txt").unwrap(),
+            )
+        };
+        let (up1, content1) = run(&original);
+        let (up2, content2) = run(&recorded);
+        assert_eq!(up1, up2);
+        assert_eq!(content1, content2);
+    }
+
+    #[test]
+    fn hex_roundtrip_and_errors() {
+        assert_eq!(from_hex(&to_hex(b"\x00\xff\x42")).unwrap(), b"\x00\xff\x42");
+        assert_eq!(from_hex("abc"), Err(TraceJsonError::BadHex));
+        assert_eq!(from_hex("zz"), Err(TraceJsonError::BadHex));
+    }
+
+    #[test]
+    fn unsorted_traces_are_rejected() {
+        let json = r#"{
+            "name": "x", "description": "d",
+            "ops": [
+                {"at_ms": 10, "op": "create", "path": "/a"},
+                {"at_ms": 5, "op": "create", "path": "/b"}
+            ]
+        }"#;
+        assert_eq!(
+            RecordedTrace::from_json(json).unwrap_err(),
+            TraceJsonError::Unsorted
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        assert!(matches!(
+            RecordedTrace::from_json("{nope"),
+            Err(TraceJsonError::BadJson(_))
+        ));
+    }
+}

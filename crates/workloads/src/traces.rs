@@ -1,0 +1,820 @@
+//! The evaluation traces (paper §IV-A, Fig. 3).
+
+use crate::gen::ContentGen;
+
+/// One file operation of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Create an empty file.
+    Create(String),
+    /// Create a directory.
+    Mkdir(String),
+    /// Write bytes at an offset.
+    Write {
+        /// Target path.
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Data to write.
+        data: Vec<u8>,
+    },
+    /// Truncate to a size.
+    Truncate {
+        /// Target path.
+        path: String,
+        /// New size.
+        size: u64,
+    },
+    /// Rename a file.
+    Rename {
+        /// Old path.
+        src: String,
+        /// New path.
+        dst: String,
+    },
+    /// Hard-link a file.
+    Link {
+        /// Existing path.
+        src: String,
+        /// New link.
+        dst: String,
+    },
+    /// Remove a file.
+    Unlink(String),
+    /// Close a file (emits the close event sync engines pack on).
+    Close(String),
+    /// Fsync a file.
+    Fsync(String),
+}
+
+/// A trace operation with its simulated timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedOp {
+    /// Milliseconds since trace start.
+    pub at_ms: u64,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+/// Descriptive metadata about a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Short identifier ("append", "word", ...).
+    pub name: &'static str,
+    /// Human-readable description with the key parameters.
+    pub description: String,
+}
+
+/// A deterministic, replayable workload.
+pub trait Trace {
+    /// Descriptive metadata.
+    fn meta(&self) -> TraceMeta;
+
+    /// Produces the operations in timestamp order.
+    fn generate(&self, sink: &mut dyn FnMut(TimedOp));
+}
+
+/// Shared trace knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Size/length multiplier: `1.0` reproduces the paper's parameters;
+    /// smaller values shrink files and modification counts proportionally
+    /// (ratios between engines are preserved — every engine replays the
+    /// identical scaled trace).
+    pub scale: f64,
+    /// RNG seed for content and offsets.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            scale: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A scaled configuration with the default seed.
+    pub fn scaled(scale: f64) -> Self {
+        TraceConfig {
+            scale,
+            ..Self::default()
+        }
+    }
+
+    fn size(&self, bytes: usize) -> usize {
+        ((bytes as f64 * self.scale) as usize).max(1)
+    }
+
+    fn count(&self, n: usize) -> usize {
+        ((n as f64 * self.scale).round() as usize).max(2)
+    }
+}
+
+/// Emits a large write as a sequence of 1 MB chunk writes (applications
+/// write through bounded buffers, and the interception layer sees the
+/// chunked stream).
+fn write_chunked(sink: &mut dyn FnMut(TimedOp), at_ms: u64, path: &str, offset: u64, data: &[u8]) {
+    const CHUNK: usize = 1024 * 1024;
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let end = (pos + CHUNK).min(data.len());
+        sink(TimedOp {
+            at_ms,
+            op: TraceOp::Write {
+                path: path.to_string(),
+                offset: offset + pos as u64,
+                data: data[pos..end].to_vec(),
+            },
+        });
+        pos = end;
+    }
+}
+
+/// The *append write* artificial trace: 40 appends of ~800 KB at 15 s
+/// intervals; the file ends at 32 MB (§IV-A).
+#[derive(Debug, Clone)]
+pub struct AppendTrace {
+    cfg: TraceConfig,
+    writes: usize,
+    write_size: usize,
+    interval_ms: u64,
+    path: String,
+}
+
+impl AppendTrace {
+    /// The paper's parameters at the given scale.
+    pub fn new(cfg: TraceConfig) -> Self {
+        AppendTrace {
+            writes: 40,
+            write_size: cfg.size(800 * 1024),
+            interval_ms: 15_000,
+            path: "/append.dat".to_string(),
+            cfg,
+        }
+    }
+}
+
+impl Trace for AppendTrace {
+    fn meta(&self) -> TraceMeta {
+        TraceMeta {
+            name: "append",
+            description: format!(
+                "{} appends of {} KB every {} s",
+                self.writes,
+                self.write_size / 1024,
+                self.interval_ms / 1000
+            ),
+        }
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(TimedOp)) {
+        let mut gen = ContentGen::new(self.cfg.seed);
+        sink(TimedOp {
+            at_ms: 0,
+            op: TraceOp::Create(self.path.clone()),
+        });
+        let mut size = 0u64;
+        for i in 0..self.writes {
+            let at = (i as u64 + 1) * self.interval_ms;
+            let data = gen.mixed(self.write_size, 0.5);
+            sink(TimedOp {
+                at_ms: at,
+                op: TraceOp::Write {
+                    path: self.path.clone(),
+                    offset: size,
+                    data: data.clone(),
+                },
+            });
+            size += data.len() as u64;
+            sink(TimedOp {
+                at_ms: at + 1,
+                op: TraceOp::Fsync(self.path.clone()),
+            });
+        }
+    }
+}
+
+/// The *random write* artificial trace: a 20 MB file receiving 40 writes
+/// of 1010 bytes at random offsets, 15 s apart (§IV-A).
+#[derive(Debug, Clone)]
+pub struct RandomWriteTrace {
+    cfg: TraceConfig,
+    file_size: usize,
+    writes: usize,
+    write_size: usize,
+    interval_ms: u64,
+    path: String,
+}
+
+impl RandomWriteTrace {
+    /// The paper's parameters at the given scale.
+    pub fn new(cfg: TraceConfig) -> Self {
+        RandomWriteTrace {
+            file_size: cfg.size(20 * 1024 * 1024),
+            writes: 40,
+            write_size: 1010,
+            interval_ms: 15_000,
+            path: "/random.dat".to_string(),
+            cfg,
+        }
+    }
+}
+
+impl Trace for RandomWriteTrace {
+    fn meta(&self) -> TraceMeta {
+        TraceMeta {
+            name: "random",
+            description: format!(
+                "{} writes of {} B into a {} MB file every {} s",
+                self.writes,
+                self.write_size,
+                self.file_size / (1024 * 1024),
+                self.interval_ms / 1000
+            ),
+        }
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(TimedOp)) {
+        let mut gen = ContentGen::new(self.cfg.seed);
+        sink(TimedOp {
+            at_ms: 0,
+            op: TraceOp::Create(self.path.clone()),
+        });
+        let initial = gen.mixed(self.file_size, 0.4);
+        write_chunked(sink, 1, &self.path, 0, &initial);
+        sink(TimedOp {
+            at_ms: 2,
+            op: TraceOp::Close(self.path.clone()),
+        });
+        for i in 0..self.writes {
+            let at = (i as u64 + 1) * self.interval_ms;
+            let offset = gen.index(self.file_size - self.write_size) as u64;
+            sink(TimedOp {
+                at_ms: at,
+                op: TraceOp::Write {
+                    path: self.path.clone(),
+                    offset,
+                    data: gen.noise(self.write_size),
+                },
+            });
+        }
+    }
+}
+
+/// The Microsoft Word editing trace: 61 transactional saves of a document
+/// growing from 12.1 MB to 16.7 MB (§IV-A, Fig. 3).
+#[derive(Debug, Clone)]
+pub struct WordTrace {
+    cfg: TraceConfig,
+    saves: usize,
+    initial_size: usize,
+    final_size: usize,
+    interval_ms: u64,
+}
+
+impl WordTrace {
+    /// The paper's parameters at the given scale.
+    pub fn new(cfg: TraceConfig) -> Self {
+        WordTrace {
+            saves: cfg.count(61),
+            initial_size: cfg.size((12.1 * 1024.0 * 1024.0) as usize),
+            final_size: cfg.size((16.7 * 1024.0 * 1024.0) as usize),
+            interval_ms: 10_000,
+            cfg,
+        }
+    }
+
+    /// A deliberately small instance (the 12 MB / 23-save document of the
+    /// paper's Fig. 1 motivation experiment).
+    pub fn motivation(cfg: TraceConfig) -> Self {
+        WordTrace {
+            saves: cfg.count(23),
+            initial_size: cfg.size(12 * 1024 * 1024),
+            final_size: cfg.size(12 * 1024 * 1024 + 23 * 64 * 1024),
+            interval_ms: 10_000,
+            cfg,
+        }
+    }
+}
+
+impl Trace for WordTrace {
+    fn meta(&self) -> TraceMeta {
+        TraceMeta {
+            name: "word",
+            description: format!(
+                "{} transactional saves, {:.1} MB -> {:.1} MB",
+                self.saves,
+                self.initial_size as f64 / (1024.0 * 1024.0),
+                self.final_size as f64 / (1024.0 * 1024.0)
+            ),
+        }
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(TimedOp)) {
+        let mut gen = ContentGen::new(self.cfg.seed);
+        let f = "/doc.docx".to_string();
+        let mut doc = gen.mixed(self.initial_size, 0.7);
+
+        // Initial version written directly.
+        sink(TimedOp {
+            at_ms: 0,
+            op: TraceOp::Create(f.clone()),
+        });
+        write_chunked(sink, 1, &f, 0, &doc);
+        sink(TimedOp {
+            at_ms: 2,
+            op: TraceOp::Close(f.clone()),
+        });
+
+        let growth = (self.final_size - self.initial_size) / self.saves.max(1);
+        for save in 0..self.saves {
+            let t = (save as u64 + 1) * self.interval_ms;
+            // Edit: a few in-place modifications plus an insertion that
+            // shifts everything after it (what defeats fixed-block dedup).
+            for _ in 0..3 {
+                let pos = gen.index(doc.len().saturating_sub(2048));
+                let patch = gen.text(2048.min(doc.len() - pos));
+                doc[pos..pos + patch.len()].copy_from_slice(&patch);
+            }
+            let insert_at = gen.index(doc.len());
+            let inserted = gen.mixed(growth, 0.7);
+            doc.splice(insert_at..insert_at, inserted.iter().copied());
+
+            // Fig. 3: 1 rename f t0, 2-3 create-write t1, 4 rename t1 f,
+            // 5 delete t0.
+            sink(TimedOp {
+                at_ms: t,
+                op: TraceOp::Rename {
+                    src: f.clone(),
+                    dst: "/doc.tmp0".to_string(),
+                },
+            });
+            sink(TimedOp {
+                at_ms: t + 10,
+                op: TraceOp::Create("/doc.tmp1".to_string()),
+            });
+            write_chunked(sink, t + 20, "/doc.tmp1", 0, &doc);
+            sink(TimedOp {
+                at_ms: t + 100,
+                op: TraceOp::Close("/doc.tmp1".to_string()),
+            });
+            sink(TimedOp {
+                at_ms: t + 110,
+                op: TraceOp::Rename {
+                    src: "/doc.tmp1".to_string(),
+                    dst: f.clone(),
+                },
+            });
+            sink(TimedOp {
+                at_ms: t + 120,
+                op: TraceOp::Unlink("/doc.tmp0".to_string()),
+            });
+        }
+    }
+}
+
+/// The WeChat SQLite trace: a chat-history database updated through
+/// journaled page writes, growing 131 → 137 MB over 373 modifications
+/// (§IV-A, Fig. 3).
+#[derive(Debug, Clone)]
+pub struct WeChatTrace {
+    cfg: TraceConfig,
+    initial_size: usize,
+    mods: usize,
+    append_pages: usize,
+    overwrite_pages: usize,
+    interval_ms: u64,
+}
+
+/// SQLite page size.
+const PAGE: usize = 4096;
+
+impl WeChatTrace {
+    /// The paper's parameters at the given scale.
+    pub fn new(cfg: TraceConfig) -> Self {
+        WeChatTrace {
+            initial_size: cfg.size(131 * 1024 * 1024),
+            mods: cfg.count(373),
+            append_pages: 4,    // ≈ 6 MB growth over 373 modifications
+            overwrite_pages: 6, // B-tree interior updates, sub-page sized
+            interval_ms: 1_000,
+            cfg,
+        }
+    }
+
+    /// The motivation instance of Fig. 1(b)(d): a 130 MB database, 4
+    /// modifications comprising 85 writes, 688 KB changed in total.
+    pub fn motivation(cfg: TraceConfig) -> Self {
+        WeChatTrace {
+            initial_size: cfg.size(130 * 1024 * 1024),
+            mods: 4,
+            append_pages: 21, // 4 mods * ~85/4 writes, 688 KB total
+            overwrite_pages: 21,
+            interval_ms: 15_000,
+            cfg,
+        }
+    }
+}
+
+impl Trace for WeChatTrace {
+    fn meta(&self) -> TraceMeta {
+        TraceMeta {
+            name: "wechat",
+            description: format!(
+                "{} journaled SQLite modifications on a {} MB database",
+                self.mods,
+                self.initial_size / (1024 * 1024)
+            ),
+        }
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(TimedOp)) {
+        let mut gen = ContentGen::new(self.cfg.seed);
+        let f = "/chat.db".to_string();
+        let journal = "/chat.db-journal".to_string();
+
+        sink(TimedOp {
+            at_ms: 0,
+            op: TraceOp::Create(f.clone()),
+        });
+        // Chat history: mostly text with embedded blobs.
+        let initial = gen.mixed(self.initial_size, 0.6);
+        write_chunked(sink, 1, &f, 0, &initial);
+        sink(TimedOp {
+            at_ms: 2,
+            op: TraceOp::Fsync(f.clone()),
+        });
+        drop(initial);
+
+        sink(TimedOp {
+            at_ms: 3,
+            op: TraceOp::Create(journal.clone()),
+        });
+
+        let mut size = self.initial_size as u64;
+        for m in 0..self.mods {
+            let t = 10_000 + (m as u64) * self.interval_ms;
+            // 1-2: create-write f_journal (header + preserved old pages).
+            let preserved = self.overwrite_pages + 1;
+            sink(TimedOp {
+                at_ms: t,
+                op: TraceOp::Write {
+                    path: journal.clone(),
+                    offset: 0,
+                    data: gen.mixed(512 + preserved * PAGE, 0.6),
+                },
+            });
+            sink(TimedOp {
+                at_ms: t + 1,
+                op: TraceOp::Fsync(journal.clone()),
+            });
+            // 3: write f — the incremental data itself. B-tree cell
+            // updates touch only part of a page (the paper: "the file
+            // modifications in the WeChat trace are usually smaller than
+            // 4 KB"), which is exactly where op-level RPC beats 4 KB
+            // block-granularity delta encoding.
+            for p in 0..self.overwrite_pages {
+                let page = gen.index((size as usize / PAGE).saturating_sub(1));
+                let span = 128 + gen.index(896); // 128 B – 1 KB within the page
+                let in_page = gen.index(PAGE - span);
+                sink(TimedOp {
+                    at_ms: t + 2 + p as u64,
+                    op: TraceOp::Write {
+                        path: f.clone(),
+                        offset: (page * PAGE + in_page) as u64,
+                        data: gen.mixed(span, 0.8),
+                    },
+                });
+            }
+            // New messages appended as fresh pages.
+            let appended = gen.mixed(self.append_pages * PAGE, 0.8);
+            sink(TimedOp {
+                at_ms: t + 10,
+                op: TraceOp::Write {
+                    path: f.clone(),
+                    offset: size,
+                    data: appended.clone(),
+                },
+            });
+            size += appended.len() as u64;
+            // Header page: change counter, non-aligned small write.
+            sink(TimedOp {
+                at_ms: t + 11,
+                op: TraceOp::Write {
+                    path: f.clone(),
+                    offset: 24,
+                    data: gen.noise(16),
+                },
+            });
+            sink(TimedOp {
+                at_ms: t + 12,
+                op: TraceOp::Fsync(f.clone()),
+            });
+            // 4: truncate f_journal 0.
+            sink(TimedOp {
+                at_ms: t + 13,
+                op: TraceOp::Truncate {
+                    path: journal.clone(),
+                    size: 0,
+                },
+            });
+        }
+    }
+}
+
+/// gedit's save pattern: `create-write tmp; link f f~; rename tmp f`
+/// (§II-B, Fig. 3).
+#[derive(Debug, Clone)]
+pub struct GeditTrace {
+    cfg: TraceConfig,
+    saves: usize,
+    size: usize,
+    interval_ms: u64,
+}
+
+impl GeditTrace {
+    /// A text-editor session at the given scale.
+    pub fn new(cfg: TraceConfig) -> Self {
+        GeditTrace {
+            saves: cfg.count(20),
+            size: cfg.size(200 * 1024),
+            interval_ms: 5_000,
+            cfg,
+        }
+    }
+}
+
+impl Trace for GeditTrace {
+    fn meta(&self) -> TraceMeta {
+        TraceMeta {
+            name: "gedit",
+            description: format!(
+                "{} link+rename saves of a {} KB text file",
+                self.saves,
+                self.size / 1024
+            ),
+        }
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(TimedOp)) {
+        let mut gen = ContentGen::new(self.cfg.seed);
+        let f = "/notes.txt".to_string();
+        let backup = "/notes.txt~".to_string();
+        let tmp = "/.goutputstream".to_string();
+        let mut doc = gen.text(self.size);
+
+        sink(TimedOp {
+            at_ms: 0,
+            op: TraceOp::Create(f.clone()),
+        });
+        write_chunked(sink, 1, &f, 0, &doc);
+        sink(TimedOp {
+            at_ms: 2,
+            op: TraceOp::Close(f.clone()),
+        });
+
+        for save in 0..self.saves {
+            let t = (save as u64 + 1) * self.interval_ms;
+            // Append a paragraph and tweak a line.
+            let para = gen.text(512);
+            doc.extend_from_slice(&para);
+            let pos = gen.index(doc.len().saturating_sub(64));
+            let tweak = gen.text(64);
+            doc[pos..pos + 64].copy_from_slice(&tweak);
+
+            if save > 0 {
+                sink(TimedOp {
+                    at_ms: t,
+                    op: TraceOp::Unlink(backup.clone()),
+                });
+            }
+            sink(TimedOp {
+                at_ms: t + 1,
+                op: TraceOp::Create(tmp.clone()),
+            });
+            write_chunked(sink, t + 2, &tmp, 0, &doc);
+            sink(TimedOp {
+                at_ms: t + 10,
+                op: TraceOp::Close(tmp.clone()),
+            });
+            sink(TimedOp {
+                at_ms: t + 11,
+                op: TraceOp::Link {
+                    src: f.clone(),
+                    dst: backup.clone(),
+                },
+            });
+            sink(TimedOp {
+                at_ms: t + 12,
+                op: TraceOp::Rename {
+                    src: tmp.clone(),
+                    dst: f.clone(),
+                },
+            });
+        }
+    }
+}
+
+/// A mixed desktop session: a Word document, a gedit text file, and a
+/// chat database all living in one synced folder, interleaved in time.
+///
+/// No single-pattern trace exercises the engine's *adaptivity* — the whole
+/// point of DeltaCFS is that the relation table routes each file to the
+/// right mechanism concurrently: the document's saves trigger deltas while
+/// the database's page writes ship as RPC ops in between.
+#[derive(Debug, Clone)]
+pub struct DesktopTrace {
+    word: WordTrace,
+    gedit: GeditTrace,
+    wechat: WeChatTrace,
+}
+
+impl DesktopTrace {
+    /// Builds the combined session at the given scale. The component
+    /// traces keep their own timing; operations interleave by timestamp.
+    pub fn new(cfg: TraceConfig) -> Self {
+        // Shrink the heavyweight components so the mix stays balanced.
+        DesktopTrace {
+            word: WordTrace::new(TraceConfig {
+                scale: cfg.scale * 0.5,
+                seed: cfg.seed,
+            }),
+            gedit: GeditTrace::new(cfg),
+            wechat: WeChatTrace::new(TraceConfig {
+                scale: cfg.scale * 0.25,
+                seed: cfg.seed.wrapping_add(1),
+            }),
+        }
+    }
+}
+
+impl Trace for DesktopTrace {
+    fn meta(&self) -> TraceMeta {
+        TraceMeta {
+            name: "desktop",
+            description: format!(
+                "mixed session: [{}] + [{}] + [{}]",
+                self.word.meta().description,
+                self.gedit.meta().description,
+                self.wechat.meta().description
+            ),
+        }
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(TimedOp)) {
+        // Collect and merge by timestamp (stable: ties keep source order,
+        // and within one source the original order is preserved).
+        let mut ops: Vec<TimedOp> = Vec::new();
+        self.word.generate(&mut |op| ops.push(op));
+        self.gedit.generate(&mut |op| ops.push(op));
+        self.wechat.generate(&mut |op| ops.push(op));
+        ops.sort_by_key(|op| op.at_ms);
+        for op in ops {
+            sink(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(trace: &dyn Trace) -> Vec<TimedOp> {
+        let mut ops = Vec::new();
+        trace.generate(&mut |op| ops.push(op));
+        ops
+    }
+
+    fn total_written(ops: &[TimedOp]) -> u64 {
+        ops.iter()
+            .map(|o| match &o.op {
+                TraceOp::Write { data, .. } => data.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn append_reaches_32mb_at_full_scale() {
+        let ops = collect(&AppendTrace::new(TraceConfig::default()));
+        let written = total_written(&ops);
+        assert_eq!(written, 40 * 800 * 1024);
+        // Timestamps are monotone.
+        assert!(ops.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    }
+
+    #[test]
+    fn random_writes_are_in_bounds() {
+        let cfg = TraceConfig::scaled(0.1);
+        let trace = RandomWriteTrace::new(cfg);
+        let ops = collect(&trace);
+        let file_size = 2 * 1024 * 1024;
+        for op in &ops {
+            if let TraceOp::Write { offset, data, .. } = &op.op {
+                assert!(*offset as usize + data.len() <= file_size + 1024);
+            }
+        }
+        // 40 small writes after the initial content.
+        let small = ops
+            .iter()
+            .filter(|o| matches!(&o.op, TraceOp::Write { data, .. } if data.len() == 1010))
+            .count();
+        assert_eq!(small, 40);
+    }
+
+    #[test]
+    fn word_trace_follows_fig3_sequence() {
+        let ops = collect(&WordTrace::new(TraceConfig::scaled(0.05)));
+        // Find the first save and check the op pattern around it.
+        let first_rename = ops
+            .iter()
+            .position(|o| matches!(&o.op, TraceOp::Rename { dst, .. } if dst == "/doc.tmp0"))
+            .expect("save present");
+        assert!(matches!(&ops[first_rename + 1].op, TraceOp::Create(p) if p == "/doc.tmp1"));
+        let has_back_rename = ops[first_rename..]
+            .iter()
+            .any(|o| matches!(&o.op, TraceOp::Rename { src, dst } if src == "/doc.tmp1" && dst == "/doc.docx"));
+        assert!(has_back_rename);
+        let has_unlink = ops[first_rename..]
+            .iter()
+            .any(|o| matches!(&o.op, TraceOp::Unlink(p) if p == "/doc.tmp0"));
+        assert!(has_unlink);
+    }
+
+    #[test]
+    fn word_trace_grows_the_document() {
+        let trace = WordTrace::new(TraceConfig::scaled(0.05));
+        let ops = collect(&trace);
+        // The last save writes more than the first one did.
+        let writes: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| match &o.op {
+                TraceOp::Write { path, data, .. } if path == "/doc.tmp1" => Some(data.len() as u64),
+                _ => None,
+            })
+            .collect();
+        assert!(!writes.is_empty());
+    }
+
+    #[test]
+    fn wechat_trace_journals_every_modification() {
+        let trace = WeChatTrace::new(TraceConfig::scaled(0.02));
+        let ops = collect(&trace);
+        let journal_writes = ops
+            .iter()
+            .filter(|o| matches!(&o.op, TraceOp::Write { path, .. } if path == "/chat.db-journal"))
+            .count();
+        let truncates = ops
+            .iter()
+            .filter(
+                |o| matches!(&o.op, TraceOp::Truncate { path, .. } if path == "/chat.db-journal"),
+            )
+            .count();
+        assert_eq!(journal_writes, truncates);
+        assert!(truncates >= 2);
+    }
+
+    #[test]
+    fn gedit_uses_link_then_rename() {
+        let ops = collect(&GeditTrace::new(TraceConfig::scaled(0.2)));
+        let link_pos = ops
+            .iter()
+            .position(|o| matches!(&o.op, TraceOp::Link { .. }))
+            .expect("link present");
+        assert!(ops[link_pos..]
+            .iter()
+            .any(|o| matches!(&o.op, TraceOp::Rename { dst, .. } if dst == "/notes.txt")));
+    }
+
+    #[test]
+    fn desktop_trace_interleaves_all_three_apps() {
+        let ops = collect(&DesktopTrace::new(TraceConfig::scaled(0.1)));
+        assert!(ops.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        let touches = |needle: &str| {
+            ops.iter().any(|o| match &o.op {
+                TraceOp::Write { path, .. } => path.contains(needle),
+                _ => false,
+            })
+        };
+        assert!(touches("doc.docx"));
+        assert!(touches("notes.txt") || touches("goutputstream"));
+        assert!(touches("chat.db"));
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let a = collect(&WordTrace::new(TraceConfig::scaled(0.05)));
+        let b = collect(&WordTrace::new(TraceConfig::scaled(0.05)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_shrinks_data_volume() {
+        let full = total_written(&collect(&AppendTrace::new(TraceConfig::scaled(1.0))));
+        let small = total_written(&collect(&AppendTrace::new(TraceConfig::scaled(0.1))));
+        assert!(small < full / 5);
+    }
+}

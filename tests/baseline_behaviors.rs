@@ -1,0 +1,166 @@
+//! Behavioural contracts of the baseline engines — the modelling
+//! assumptions EXPERIMENTS.md relies on.
+
+use deltacfs::baselines::{DropboxConfig, DropboxEngine, DropsyncEngine, NfsEngine, SeafileEngine};
+use deltacfs::core::SyncEngine;
+use deltacfs::net::{LinkSpec, SimClock};
+use deltacfs::vfs::Vfs;
+use deltacfs::workloads::{replay, AppendTrace, RandomWriteTrace, Trace, TraceConfig};
+
+fn pump(engine: &mut dyn SyncEngine, fs: &mut Vfs) {
+    for e in fs.drain_events() {
+        engine.on_event(&e, fs);
+    }
+}
+
+#[test]
+fn dropbox_rescans_whole_file_every_sync_pass() {
+    let clock = SimClock::new();
+    let mut engine = DropboxEngine::with_defaults(clock.clone());
+    let mut fs = Vfs::new();
+    fs.enable_event_log();
+    fs.create("/big").unwrap();
+    fs.write("/big", 0, &vec![3u8; 1_000_000]).unwrap();
+    pump(&mut engine, &mut fs);
+    clock.advance(1_000);
+    engine.tick(&fs);
+    let read_initial = engine.report().client_cost.bytes_engine_read;
+
+    // Ten one-byte edits, each its own sync pass.
+    for i in 0..10u64 {
+        fs.write("/big", i, b"x").unwrap();
+        pump(&mut engine, &mut fs);
+        clock.advance(1_000);
+        engine.tick(&fs);
+    }
+    let read_total = engine.report().client_cost.bytes_engine_read;
+    // IO amplification: ≥10 MB read back for 10 bytes of change.
+    assert!(
+        read_total - read_initial >= 10 * 1_000_000,
+        "read only {} for 10 one-byte edits",
+        read_total - read_initial
+    );
+}
+
+#[test]
+fn dropbox_without_rsync_reuploads_changed_blocks_wholesale() {
+    let clock = SimClock::new();
+    let cfg = DropboxConfig {
+        rsync: false,
+        compress: false,
+        dedup_block: 256 * 1024,
+        ..DropboxConfig::default()
+    };
+    let mut engine = DropboxEngine::new(cfg, clock.clone(), LinkSpec::pc());
+    let mut fs = Vfs::new();
+    fs.enable_event_log();
+    // Incompressible-ish content.
+    let content: Vec<u8> = (0..1_000_000u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+        .collect();
+    fs.create("/f").unwrap();
+    fs.write("/f", 0, &content).unwrap();
+    pump(&mut engine, &mut fs);
+    clock.advance(1_000);
+    engine.tick(&fs);
+    let up_initial = engine.report().traffic.bytes_up;
+
+    fs.write("/f", 500_000, b"!").unwrap();
+    pump(&mut engine, &mut fs);
+    clock.advance(1_000);
+    engine.tick(&fs);
+    let edit_up = engine.report().traffic.bytes_up - up_initial;
+    // One byte changed, one whole 256 KB dedup block re-uploaded.
+    assert!(edit_up >= 256 * 1024, "uploaded {edit_up}");
+    assert!(edit_up < 2 * 256 * 1024 + 1024, "uploaded {edit_up}");
+}
+
+#[test]
+fn nfs_upload_tracks_written_bytes_exactly_on_aligned_writes() {
+    let clock = SimClock::new();
+    let mut engine = NfsEngine::with_defaults(clock.clone());
+    let mut fs = Vfs::new();
+    fs.enable_event_log();
+    fs.create("/f").unwrap();
+    for i in 0..8u64 {
+        fs.write("/f", i * 4096, &vec![i as u8; 4096]).unwrap();
+    }
+    pump(&mut engine, &mut fs);
+    let t = engine.report().traffic;
+    let payload = 8 * 4096;
+    // Upload = payload + per-op RPC headers, nothing else.
+    assert!(t.bytes_up >= payload);
+    assert!(t.bytes_up <= payload + 9 * 200, "upload {}", t.bytes_up);
+    assert_eq!(t.bytes_down, 0);
+}
+
+#[test]
+fn seafile_upload_granularity_is_chunks_not_bytes() {
+    let clock = SimClock::new();
+    let mut engine = SeafileEngine::with_defaults(clock.clone()); // ~1 MB chunks
+    let mut fs = Vfs::new();
+    fs.enable_event_log();
+    let content: Vec<u8> = (0..4_000_000u32)
+        .map(|i| (i.wrapping_mul(40503) >> 3) as u8)
+        .collect();
+    fs.create("/f").unwrap();
+    fs.write("/f", 0, &content).unwrap();
+    pump(&mut engine, &mut fs);
+    clock.advance(1_000);
+    engine.tick(&fs);
+    let up_initial = engine.report().traffic.bytes_up;
+
+    fs.write("/f", 2_000_000, b"z").unwrap();
+    pump(&mut engine, &mut fs);
+    clock.advance(1_000);
+    engine.tick(&fs);
+    let edit_up = engine.report().traffic.bytes_up - up_initial;
+    // At least a quarter-megabyte (the minimum chunk) for one byte.
+    assert!(edit_up >= 256 * 1024, "uploaded only {edit_up}");
+}
+
+#[test]
+fn dropsync_coalesces_while_uplink_saturated() {
+    // The append trace at mobile bandwidth: uploads take longer than the
+    // 15 s inter-write gap once the file outgrows ~15 MB, so later events
+    // coalesce and the number of full uploads stays well below the number
+    // of writes.
+    let clock = SimClock::new();
+    let mut engine = DropsyncEngine::with_defaults(clock.clone());
+    let mut fs = Vfs::new();
+    let trace = AppendTrace::new(TraceConfig::scaled(1.0));
+    replay(&trace, &mut fs, &mut engine, &clock, 100);
+    assert!(
+        engine.upload_count() < 40,
+        "no coalescing: {} uploads for 40 writes",
+        engine.upload_count()
+    );
+    assert!(engine.upload_count() > 2);
+}
+
+#[test]
+fn engines_are_deterministic_across_runs() {
+    let run = || {
+        let clock = SimClock::new();
+        let mut engine = SeafileEngine::with_defaults(clock.clone());
+        let mut fs = Vfs::new();
+        let trace = RandomWriteTrace::new(TraceConfig::scaled(0.02));
+        replay(&trace, &mut fs, &mut engine, &clock, 100);
+        let r = engine.report();
+        (
+            r.traffic.bytes_up,
+            r.client_cost.bytes_strong_hashed,
+            r.client_cost.bytes_chunked,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn trace_meta_descriptions_are_informative() {
+    let cfg = TraceConfig::scaled(1.0);
+    let append = AppendTrace::new(cfg);
+    assert!(append.meta().description.contains("800 KB"));
+    let random = RandomWriteTrace::new(cfg);
+    assert!(random.meta().description.contains("1010"));
+}

@@ -1,0 +1,233 @@
+//! Causal consistency, versioning, and durability integration tests.
+
+use deltacfs::core::{
+    ApplyOutcome, ClientId, CloudServer, DeltaCfsClient, DeltaCfsConfig, DeltaCfsSystem,
+    SyncEngine, UpdateMsg, UpdatePayload,
+};
+use deltacfs::kvstore::KvStore;
+use deltacfs::net::{LinkSpec, SimClock};
+use deltacfs::vfs::Vfs;
+
+fn pump(client: &mut DeltaCfsClient, fs: &mut Vfs) {
+    for e in fs.drain_events() {
+        client.handle_event(&e, fs);
+    }
+}
+
+/// The paper's causality example (§III-E): create a, b, c, then delete a
+/// before anything uploads. The cloud must never observe "b without a and
+/// c" — with the backindex, b and c arrive in one transaction and a is
+/// elided entirely.
+#[test]
+fn deleted_file_elision_keeps_b_and_c_atomic() {
+    let clock = SimClock::new();
+    let mut client = DeltaCfsClient::new(ClientId(1), DeltaCfsConfig::new(), clock.clone());
+    let mut server = CloudServer::new();
+    let mut fs = Vfs::new();
+    fs.enable_event_log();
+
+    for p in ["/a", "/b", "/c"] {
+        fs.create(p).unwrap();
+        fs.write(p, 0, p.as_bytes()).unwrap();
+    }
+    fs.unlink("/a").unwrap();
+    pump(&mut client, &mut fs);
+    clock.advance(4_000);
+    let groups = client.tick(&fs);
+    // All surviving messages form one transaction.
+    assert_eq!(groups.len(), 1);
+    let msgs = &groups[0];
+    assert!(msgs.iter().all(|m| m.txn.is_some()));
+    assert!(msgs.iter().all(|m| !m.path.starts_with("/a")));
+    let outcomes = server.apply_txn(msgs);
+    assert!(outcomes.iter().all(|o| *o == ApplyOutcome::Applied));
+    assert!(server.file("/b").is_some());
+    assert!(server.file("/c").is_some());
+    assert!(server.file("/a").is_none());
+}
+
+/// Uploads strictly follow update order regardless of file sizes
+/// (Table IV's "causal" column).
+#[test]
+fn upload_order_follows_update_order() {
+    let clock = SimClock::new();
+    let mut sys = DeltaCfsSystem::new(DeltaCfsConfig::new(), clock.clone(), LinkSpec::pc());
+    let mut fs = Vfs::new();
+    fs.enable_event_log();
+
+    // Sizes deliberately anti-correlated with update order.
+    let files = [
+        ("/huge", 3_000_000usize),
+        ("/medium", 30_000),
+        ("/tiny", 30),
+    ];
+    for (path, size) in files {
+        fs.create(path).unwrap();
+        fs.write(path, 0, &vec![7u8; size]).unwrap();
+        for e in fs.drain_events() {
+            sys.on_event(&e, &fs);
+        }
+        clock.advance(200);
+    }
+    clock.advance(10_000);
+    sys.tick(&fs);
+    sys.finish(&fs);
+    let order = sys.server().apply_order();
+    let pos = |p: &str| order.iter().position(|x| x == p).unwrap();
+    assert!(pos("/huge") < pos("/medium"));
+    assert!(pos("/medium") < pos("/tiny"));
+}
+
+/// A transaction with one stale member conflicts as a whole — the paper
+/// labels every file of an atomic operation as conflicted.
+#[test]
+fn whole_transaction_conflicts_together() {
+    use bytes::Bytes;
+    use deltacfs::core::Version;
+    let mut server = CloudServer::new();
+    let v = |c: u32, n: u64| Version {
+        client: ClientId(c),
+        counter: n,
+    };
+    let full = |path: &str, base: Option<Version>, ver: Version, data: &'static [u8]| UpdateMsg {
+        path: path.into(),
+        base,
+        version: Some(ver),
+        payload: UpdatePayload::Full(Bytes::from_static(data)),
+        txn: Some(1),
+    };
+    server.apply_msg(&full("/x", None, v(1, 1), b"x1"));
+    server.apply_msg(&full("/y", None, v(1, 2), b"y1"));
+    // /y's base is stale; /x's is fine — both must conflict.
+    let group = vec![
+        full("/x", Some(v(1, 1)), v(2, 1), b"x2"),
+        full("/y", Some(v(9, 9)), v(2, 2), b"y2"),
+    ];
+    let outcomes = server.apply_txn(&group);
+    assert!(outcomes.iter().all(|o| matches!(
+        o,
+        ApplyOutcome::Conflict { .. } | ApplyOutcome::Rejected { .. }
+    )));
+    assert_eq!(server.file("/x"), Some(&b"x1"[..]));
+    assert_eq!(server.file("/y"), Some(&b"y1"[..]));
+}
+
+/// The checksum store survives a client restart when backed by the
+/// persistent KV store: corruption injected while the client was down is
+/// detected by the post-restart scan.
+#[test]
+fn checksums_survive_restart_via_kvstore() {
+    let dir = std::env::temp_dir().join(format!("deltacfs-restart-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut fs = Vfs::new();
+    fs.enable_event_log();
+    {
+        let clock = SimClock::new();
+        let backend = KvStore::open(&dir).unwrap();
+        let mut client = DeltaCfsClient::with_backend(
+            ClientId(1),
+            DeltaCfsConfig::new(),
+            clock.clone(),
+            backend,
+        );
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, &vec![0x3Cu8; 32 * 1024]).unwrap();
+        for e in fs.drain_events() {
+            client.handle_event(&e, &fs);
+        }
+        clock.advance(4_000);
+        client.tick(&fs);
+        // Client process exits here (dropped).
+    }
+
+    // Corruption happens while no client is running.
+    fs.inject_bit_flip("/f", 10_000, 5).unwrap();
+
+    // Restart: a fresh client over the same persistent checksum store.
+    let clock = SimClock::new();
+    let backend = KvStore::open(&dir).unwrap();
+    let mut client =
+        DeltaCfsClient::with_backend(ClientId(1), DeltaCfsConfig::new(), clock.clone(), backend);
+    let issues = client.crash_recovery_scan(&["/f".to_string()], &fs);
+    assert_eq!(issues.len(), 1);
+    assert_eq!(issues[0].blocks, vec![2]); // byte 10_000 is in block 2
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Version counters never repeat and always carry the client id.
+#[test]
+fn versions_are_unique_per_client() {
+    let clock = SimClock::new();
+    let mut client = DeltaCfsClient::new(ClientId(7), DeltaCfsConfig::new(), clock.clone());
+    let mut fs = Vfs::new();
+    fs.enable_event_log();
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..20 {
+        let p = format!("/f{i}");
+        fs.create(&p).unwrap();
+        fs.write(&p, 0, b"x").unwrap();
+        pump(&mut client, &mut fs);
+        let v = client.version_of(&p).unwrap();
+        assert_eq!(v.client, ClientId(7));
+        assert!(seen.insert(v.counter), "duplicate counter {}", v.counter);
+    }
+}
+
+/// Conflict copies rebuilt from incremental data match what the losing
+/// client actually had (no re-upload round-trip needed).
+#[test]
+fn conflict_copy_content_is_exact() {
+    let clock = SimClock::new();
+    let mut server = CloudServer::new();
+    let mut c1 = DeltaCfsClient::new(ClientId(1), DeltaCfsConfig::new(), clock.clone());
+    let mut c2 = DeltaCfsClient::new(ClientId(2), DeltaCfsConfig::new(), clock.clone());
+    let mut fs1 = Vfs::new();
+    let mut fs2 = Vfs::new();
+    fs1.enable_event_log();
+    fs2.enable_event_log();
+
+    // Client 1 establishes the shared file.
+    fs1.create("/doc").unwrap();
+    fs1.write("/doc", 0, b"shared base content").unwrap();
+    pump(&mut c1, &mut fs1);
+    clock.advance(4_000);
+    let mut base_version = None;
+    for group in c1.tick(&fs1) {
+        base_version = group.last().and_then(|m| m.version);
+        server.apply_txn(&group);
+    }
+    // Client 2 receives it (simulated forward).
+    let forwarded = UpdateMsg {
+        path: "/doc".into(),
+        base: None,
+        version: base_version,
+        payload: UpdatePayload::Full(bytes::Bytes::copy_from_slice(server.file("/doc").unwrap())),
+        txn: None,
+    };
+    c2.apply_remote(&forwarded, &mut fs2);
+
+    // Both edit concurrently; client 1 wins the race.
+    fs1.write("/doc", 0, b"ONE").unwrap();
+    fs2.write("/doc", 7, b"TWO").unwrap();
+    pump(&mut c1, &mut fs1);
+    pump(&mut c2, &mut fs2);
+    clock.advance(4_000);
+    for group in c1.tick(&fs1) {
+        server.apply_txn(&group);
+    }
+    let mut conflict_path = None;
+    for group in c2.tick(&fs2) {
+        for outcome in server.apply_txn(&group) {
+            if let ApplyOutcome::Conflict { stored_as } = outcome {
+                conflict_path = Some(stored_as);
+            }
+        }
+    }
+    let conflict_path = conflict_path.expect("second writer must conflict");
+    // First write won.
+    assert_eq!(server.file("/doc"), Some(&b"ONEred base content"[..]));
+    // The conflict copy equals client 2's local file exactly.
+    let local2 = fs2.peek_all("/doc").unwrap();
+    assert_eq!(server.file(&conflict_path), Some(&local2[..]));
+}

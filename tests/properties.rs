@@ -1,0 +1,418 @@
+//! Property-based tests on the core invariants.
+
+use bytes::Bytes;
+use deltacfs::core::{ClientId, CloudServer, DeltaCfsClient, DeltaCfsConfig, UndoLog};
+use deltacfs::delta::{cdc, compress, local, rsync, Cost, DeltaParams};
+use deltacfs::net::SimClock;
+use deltacfs::vfs::Vfs;
+use proptest::prelude::*;
+
+fn buffer(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    // Skewed toward repetitive content so copies/matches actually occur.
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..max),
+        proptest::collection::vec(0u8..4, 0..max),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// rsync reconstructs any new file from any old file.
+    #[test]
+    fn rsync_roundtrip(old in buffer(8192), new in buffer(8192), bs in 1usize..256) {
+        let params = DeltaParams::with_block_size(bs);
+        let mut cost = Cost::new();
+        let sig = rsync::signature(&old, &params, &mut cost);
+        let delta = rsync::diff(&sig, &new, &params, &mut cost);
+        prop_assert_eq!(delta.apply(&old).unwrap(), new);
+    }
+
+    /// The local bitwise variant reconstructs identically and never
+    /// strong-hashes.
+    #[test]
+    fn local_diff_roundtrip_without_md5(old in buffer(8192), new in buffer(8192), bs in 1usize..256) {
+        let params = DeltaParams::with_block_size(bs);
+        let mut cost = Cost::new();
+        let delta = local::diff(&old, &new, &params, &mut cost);
+        prop_assert_eq!(delta.apply(&old).unwrap(), new);
+        prop_assert_eq!(cost.bytes_strong_hashed, 0);
+    }
+
+    /// Local and remote rsync produce deltas of identical output length
+    /// (they may differ in matching choices but must rebuild the same file).
+    #[test]
+    fn local_and_rsync_rebuild_identically(old in buffer(4096), new in buffer(4096)) {
+        let params = DeltaParams::with_block_size(64);
+        let mut cost = Cost::new();
+        let d1 = local::diff(&old, &new, &params, &mut cost);
+        let sig = rsync::signature(&old, &params, &mut cost);
+        let d2 = rsync::diff(&sig, &new, &params, &mut cost);
+        prop_assert_eq!(d1.apply(&old).unwrap(), d2.apply(&old).unwrap());
+    }
+
+    /// CDC chunks always partition the input exactly.
+    #[test]
+    fn cdc_partitions_input(data in buffer(64 * 1024)) {
+        let params = cdc::CdcParams { min_size: 64, mask_bits: 8, max_size: 2048 };
+        let spans = cdc::chunks(&data, &params, &mut Cost::new());
+        let mut pos = 0u64;
+        for s in &spans {
+            prop_assert_eq!(s.offset, pos);
+            prop_assert!(s.len > 0);
+            pos += s.len;
+        }
+        prop_assert_eq!(pos, data.len() as u64);
+    }
+
+    /// Compression round-trips on arbitrary input.
+    #[test]
+    fn compress_roundtrip(data in buffer(32 * 1024)) {
+        let compressed = compress::compress(&data, &mut Cost::new());
+        prop_assert_eq!(compress::decompress(&compressed), Some(data));
+    }
+
+    /// The undo log reconstructs the pre-image of any write/truncate
+    /// sequence.
+    #[test]
+    fn undo_log_reconstructs(initial in buffer(2048), ops in proptest::collection::vec((0usize..3000, buffer(256), any::<bool>()), 0..16)) {
+        let original = initial.clone();
+        let mut content = initial;
+        let mut log = UndoLog::new();
+        for (pos, data, is_truncate) in ops {
+            let old_len = content.len() as u64;
+            if is_truncate {
+                let size = pos.min(content.len() + 512);
+                let cut = if size < content.len() {
+                    Bytes::copy_from_slice(&content[size..])
+                } else {
+                    Bytes::new()
+                };
+                content.resize(size, 0);
+                log.record_truncate(old_len, size as u64, cut);
+            } else {
+                if data.is_empty() { continue; }
+                let offset = pos.min(content.len());
+                let end = offset + data.len();
+                let overwritten = Bytes::copy_from_slice(
+                    &content[offset.min(content.len())..end.min(content.len())],
+                );
+                if end > content.len() {
+                    content.resize(end, 0);
+                }
+                content[offset..end].copy_from_slice(&data);
+                log.record_write(old_len, offset as u64, overwritten, data.len() as u64);
+            }
+        }
+        prop_assert_eq!(log.reconstruct(&content), original);
+    }
+
+    /// Whatever in-place write/truncate sequence an application performs,
+    /// the cloud converges to the client's file content.
+    #[test]
+    fn client_server_converge_on_random_inplace_ops(
+        ops in proptest::collection::vec((0u64..4096, buffer(512), any::<bool>()), 1..24)
+    ) {
+        let clock = SimClock::new();
+        let mut client = DeltaCfsClient::new(ClientId(1), DeltaCfsConfig::new(), clock.clone());
+        let mut server = CloudServer::new();
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        fs.create("/f").unwrap();
+        for (offset, data, truncate) in ops {
+            if truncate {
+                fs.truncate("/f", offset).unwrap();
+            } else if !data.is_empty() {
+                fs.write("/f", offset, &data).unwrap();
+            }
+            for e in fs.drain_events() {
+                client.handle_event(&e, &fs);
+            }
+            // Occasionally let time pass so multiple nodes form.
+            clock.advance(1500);
+            for group in client.tick(&fs) {
+                server.apply_txn(&group);
+            }
+        }
+        clock.advance(10_000);
+        for group in client.flush(&fs) {
+            server.apply_txn(&group);
+        }
+        let local_content = fs.peek_all("/f").unwrap();
+        prop_assert_eq!(server.file("/f"), Some(&local_content[..]));
+    }
+
+    /// Transactional renames with arbitrary edits still converge.
+    #[test]
+    fn client_server_converge_on_transactional_saves(
+        edits in proptest::collection::vec(buffer(1024), 1..6)
+    ) {
+        let clock = SimClock::new();
+        let mut client = DeltaCfsClient::new(ClientId(1), DeltaCfsConfig::new(), clock.clone());
+        let mut server = CloudServer::new();
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        let pump = |client: &mut DeltaCfsClient, fs: &mut Vfs| {
+            for e in fs.drain_events() {
+                client.handle_event(&e, fs);
+            }
+        };
+        fs.create("/f").unwrap();
+        fs.write("/f", 0, b"initial content for the transactional file").unwrap();
+        pump(&mut client, &mut fs);
+        clock.advance(4000);
+        for group in client.tick(&fs) {
+            server.apply_txn(&group);
+        }
+        for (i, edit) in edits.iter().enumerate() {
+            let tmp0 = format!("/f.old{i}");
+            let tmp1 = format!("/f.new{i}");
+            fs.rename("/f", &tmp0).unwrap();
+            pump(&mut client, &mut fs);
+            fs.create(&tmp1).unwrap();
+            pump(&mut client, &mut fs);
+            let mut doc = fs.peek_all(&tmp0).unwrap();
+            doc.extend_from_slice(edit);
+            fs.write(&tmp1, 0, &doc).unwrap();
+            pump(&mut client, &mut fs);
+            fs.close_path(&tmp1).unwrap();
+            pump(&mut client, &mut fs);
+            fs.rename(&tmp1, "/f").unwrap();
+            pump(&mut client, &mut fs);
+            fs.unlink(&tmp0).unwrap();
+            pump(&mut client, &mut fs);
+            clock.advance(4000);
+            for group in client.tick(&fs) {
+                server.apply_txn(&group);
+            }
+        }
+        clock.advance(10_000);
+        for group in client.flush(&fs) {
+            server.apply_txn(&group);
+        }
+        let local_content = fs.peek_all("/f").unwrap();
+        prop_assert_eq!(server.file("/f"), Some(&local_content[..]));
+        // No temp files linger on the cloud.
+        for p in server.paths() {
+            prop_assert!(!p.contains(".old") && !p.contains(".new"), "stray {p}");
+        }
+    }
+}
+
+// --- Wire-format properties --------------------------------------------
+
+use deltacfs::core::{wire, FileOpItem, UpdateMsg, UpdatePayload};
+use deltacfs::delta::{Delta, DeltaOp};
+
+fn arb_version() -> impl Strategy<Value = Option<deltacfs::core::Version>> {
+    proptest::option::of(
+        (any::<u32>(), any::<u64>()).prop_map(|(c, n)| deltacfs::core::Version {
+            client: ClientId(c),
+            counter: n,
+        }),
+    )
+}
+
+fn arb_payload() -> impl Strategy<Value = UpdatePayload> {
+    prop_oneof![
+        Just(UpdatePayload::Create),
+        Just(UpdatePayload::Unlink),
+        Just(UpdatePayload::Mkdir),
+        Just(UpdatePayload::Rmdir),
+        "[a-z/]{1,20}".prop_map(|to| UpdatePayload::Rename { to }),
+        "[a-z/]{1,20}".prop_map(|to| UpdatePayload::Link { to }),
+        proptest::collection::vec(any::<u8>(), 0..256)
+            .prop_map(|d| UpdatePayload::Full(Bytes::from(d))),
+        proptest::collection::vec(
+            prop_oneof![
+                (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(o, d)| {
+                    FileOpItem::Write {
+                        offset: o,
+                        data: Bytes::from(d),
+                    }
+                }),
+                any::<u64>().prop_map(|s| FileOpItem::Truncate { size: s }),
+            ],
+            0..8
+        )
+        .prop_map(UpdatePayload::Ops),
+        (
+            "[a-z/]{1,20}",
+            proptest::collection::vec(
+                prop_oneof![
+                    (any::<u64>(), 1u64..10_000)
+                        .prop_map(|(o, l)| DeltaOp::Copy { offset: o, len: l }),
+                    proptest::collection::vec(any::<u8>(), 1..64)
+                        .prop_map(|d| DeltaOp::Literal(Bytes::from(d))),
+                ],
+                0..8
+            )
+        )
+            .prop_map(|(base_path, ops)| UpdatePayload::Delta {
+                base_path,
+                delta: Delta::from_ops(ops),
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every message round-trips through the wire format.
+    #[test]
+    fn wire_roundtrip(
+        path in "[a-z0-9/._-]{1,40}",
+        base in arb_version(),
+        version in arb_version(),
+        txn in proptest::option::of(1u64..u64::MAX),
+        payload in arb_payload(),
+    ) {
+        let msg = UpdateMsg { path, base, version, payload, txn };
+        let decoded = wire::decode(&wire::encode(&msg)).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Decoding arbitrary bytes never panics (it may error).
+    #[test]
+    fn wire_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    /// Decoding a randomly corrupted valid message never panics.
+    #[test]
+    fn wire_decode_survives_corruption(
+        payload in arb_payload(),
+        flip_at in any::<u16>(),
+        flip_bit in 0u8..8,
+    ) {
+        let msg = UpdateMsg {
+            path: "/f".into(),
+            base: None,
+            version: None,
+            payload,
+            txn: None,
+        };
+        let mut bytes = wire::encode(&msg);
+        let idx = flip_at as usize % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        // Either it errors, or it decodes to *some* message — but never
+        // panics or loops.
+        let _ = wire::decode(&bytes);
+    }
+}
+
+// --- Multi-client convergence ------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two clients editing disjoint files through the hub always converge
+    /// to identical folder states (no conflicts possible).
+    #[test]
+    fn hub_converges_on_disjoint_edits(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u8..3, 0u64..2048, buffer(256)),
+            1..24
+        )
+    ) {
+        use deltacfs::core::{DeltaCfsConfig, SyncHub};
+        use deltacfs::net::LinkSpec;
+
+        let clock = SimClock::new();
+        let mut hub = SyncHub::new(clock.clone());
+        let a = hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+        let b = hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+
+        for (who, file, offset, data) in ops {
+            let (idx, prefix) = if who { (a, "a") } else { (b, "b") };
+            let path = format!("/{prefix}{file}");
+            if !hub.fs(idx).exists(&path) {
+                hub.fs_mut(idx).create(&path).unwrap();
+            }
+            if !data.is_empty() {
+                hub.fs_mut(idx).write(&path, offset, &data).unwrap();
+            }
+            hub.pump();
+            clock.advance(1_000);
+            hub.pump();
+        }
+        clock.advance(10_000);
+        hub.pump();
+        hub.flush();
+
+        // Both clients and the cloud hold identical file sets.
+        let files_a = hub.fs(a).walk_files("/").unwrap();
+        let files_b = hub.fs(b).walk_files("/").unwrap();
+        prop_assert_eq!(&files_a, &files_b);
+        for path in files_a {
+            let ca = hub.fs(a).peek_all(path.as_str()).unwrap();
+            let cb = hub.fs(b).peek_all(path.as_str()).unwrap();
+            prop_assert_eq!(&ca, &cb, "{} diverged between clients", path);
+            prop_assert_eq!(
+                hub.server().file(path.as_str()),
+                Some(&ca[..]),
+                "{} diverged from cloud", path
+            );
+        }
+        prop_assert!(hub.conflicts().is_empty());
+    }
+}
+
+// --- Cloud-server invariants --------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever mix of (possibly stale) updates arrives, the server keeps
+    /// its invariants: the current content is always retrievable at the
+    /// current version, history stays bounded, and stale writers never
+    /// clobber the first writer.
+    #[test]
+    fn server_invariants_under_update_storms(
+        updates in proptest::collection::vec(
+            (0u8..3, any::<bool>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            1..40
+        )
+    ) {
+        use deltacfs::core::{ApplyOutcome, UpdateMsg, UpdatePayload, Version};
+
+        let mut server = CloudServer::new();
+        let mut latest: std::collections::HashMap<String, Version> =
+            std::collections::HashMap::new();
+        for (n, (file, stale, data)) in updates.into_iter().enumerate() {
+            let path = format!("/f{file}");
+            let version = Version { client: ClientId(1), counter: n as u64 + 1 };
+            // A stale writer uses a base that is one behind (or absent).
+            let base = if stale { None } else { latest.get(&path).copied() };
+            let outcome = server.apply_msg(&UpdateMsg {
+                path: path.clone(),
+                base,
+                version: Some(version),
+                payload: UpdatePayload::Full(Bytes::from(data.clone())),
+                txn: None,
+            });
+            match outcome {
+                ApplyOutcome::Applied => {
+                    latest.insert(path.clone(), version);
+                    // Current content is what we just wrote.
+                    prop_assert_eq!(server.file(&path), Some(&data[..]));
+                    prop_assert_eq!(server.version(&path), Some(version));
+                }
+                ApplyOutcome::Conflict { stored_as } => {
+                    // The current version must be untouched...
+                    prop_assert_eq!(server.version(&path), latest.get(&path).copied());
+                    // ...and the losing content preserved somewhere.
+                    prop_assert!(server.file(&stored_as).is_some());
+                }
+                ApplyOutcome::Rejected { .. } => {
+                    prop_assert_eq!(server.version(&path), latest.get(&path).copied());
+                }
+            }
+            // History is bounded and its entries all resolve.
+            for v in server.version_history(&path) {
+                prop_assert!(server.file_at(&path, v).is_some());
+            }
+            prop_assert!(server.version_history(&path).len() <= 9);
+        }
+    }
+}

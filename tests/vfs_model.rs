@@ -1,0 +1,215 @@
+//! Model-based property test: the Vfs behaves like a trivial
+//! `HashMap<String, Vec<u8>>` reference model under arbitrary valid
+//! operation sequences, and its event stream faithfully describes every
+//! mutation (replaying the events reconstructs the same state).
+
+use std::collections::HashMap;
+
+use deltacfs::vfs::{OpEvent, Vfs};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Create(u8),
+    Write(u8, u16, Vec<u8>),
+    Truncate(u8, u16),
+    Rename(u8, u8),
+    Link(u8, u8),
+    Unlink(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = ModelOp> {
+    prop_oneof![
+        (0u8..6).prop_map(ModelOp::Create),
+        (
+            0u8..6,
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(f, o, d)| ModelOp::Write(f, o % 512, d)),
+        (0u8..6, any::<u16>()).prop_map(|(f, s)| ModelOp::Truncate(f, s % 700)),
+        (0u8..6, 0u8..6).prop_map(|(a, b)| ModelOp::Rename(a, b)),
+        (0u8..6, 0u8..6).prop_map(|(a, b)| ModelOp::Link(a, b)),
+        (0u8..6).prop_map(ModelOp::Unlink),
+    ]
+}
+
+fn name(f: u8) -> String {
+    format!("/file{f}")
+}
+
+/// Applies an op to the reference model, mirroring POSIX semantics.
+/// Returns whether the op should succeed on the real Vfs.
+fn apply_model(model: &mut HashMap<String, Vec<u8>>, op: &ModelOp) -> bool {
+    match op {
+        ModelOp::Create(f) => {
+            let p = name(*f);
+            if let std::collections::hash_map::Entry::Vacant(e) = model.entry(p) {
+                e.insert(Vec::new());
+                true
+            } else {
+                false
+            }
+        }
+        ModelOp::Write(f, offset, data) => {
+            let p = name(*f);
+            match model.get_mut(&p) {
+                Some(content) => {
+                    let end = *offset as usize + data.len();
+                    if end > content.len() {
+                        content.resize(end, 0);
+                    }
+                    content[*offset as usize..end].copy_from_slice(data);
+                    true
+                }
+                None => false,
+            }
+        }
+        ModelOp::Truncate(f, size) => {
+            let p = name(*f);
+            match model.get_mut(&p) {
+                Some(content) => {
+                    content.resize(*size as usize, 0);
+                    true
+                }
+                None => false,
+            }
+        }
+        ModelOp::Rename(a, b) => {
+            let (pa, pb) = (name(*a), name(*b));
+            if !model.contains_key(&pa) {
+                return false;
+            }
+            if pa == pb {
+                return true;
+            }
+            let content = model.remove(&pa).expect("checked");
+            model.insert(pb, content);
+            true
+        }
+        ModelOp::Link(a, b) => {
+            // NOTE: the model does not track shared inodes; to keep it a
+            // plain map we only allow links whose source is never written
+            // again — instead we model link as a snapshot copy and then
+            // *unlink the source*, keeping semantics exact. Simpler: skip
+            // aliasing by rejecting links in the model comparison when
+            // both names persist. To stay faithful we instead treat Link
+            // as create-copy and immediately... this is handled below by
+            // not generating writes through the alias: the Vfs shares
+            // content, the model copies. We therefore only compare when
+            // no write follows a link — enforced by filtering in the test
+            // body. Here: copy.
+            let (pa, pb) = (name(*a), name(*b));
+            if !model.contains_key(&pa) || model.contains_key(&pb) || pa == pb {
+                return false;
+            }
+            let content = model.get(&pa).expect("checked").clone();
+            model.insert(pb, content);
+            true
+        }
+        ModelOp::Unlink(f) => model.remove(&name(*f)).is_some(),
+    }
+}
+
+fn apply_real(fs: &mut Vfs, op: &ModelOp) -> bool {
+    match op {
+        ModelOp::Create(f) => fs.create(&name(*f)).is_ok(),
+        ModelOp::Write(f, offset, data) => fs.write(&name(*f), *offset as u64, data).is_ok(),
+        ModelOp::Truncate(f, size) => fs.truncate(&name(*f), *size as u64).is_ok(),
+        ModelOp::Rename(a, b) => fs.rename(&name(*a), &name(*b)).is_ok(),
+        ModelOp::Link(a, b) => fs.link(&name(*a), &name(*b)).is_ok(),
+        ModelOp::Unlink(f) => fs.unlink(&name(*f)).is_ok(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Vfs state matches the reference model after any op sequence that
+    /// avoids hard-link aliasing (writes through one of two link names),
+    /// which a flat map cannot model.
+    #[test]
+    fn vfs_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 0..64)) {
+        // Filter out aliasing: once a Link succeeds, drop subsequent
+        // Write/Truncate ops to either endpoint.
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        let mut fs = Vfs::new();
+        let mut aliased: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for op in &ops {
+            if let ModelOp::Write(f, ..) | ModelOp::Truncate(f, _) = op {
+                if aliased.contains(&name(*f)) {
+                    continue;
+                }
+            }
+            let expect = apply_model(&mut model, op);
+            let got = apply_real(&mut fs, op);
+            prop_assert_eq!(expect, got, "op {:?} disagreed", op);
+            if let (ModelOp::Link(a, b), true) = (op, got) {
+                aliased.insert(name(*a));
+                aliased.insert(name(*b));
+            }
+            // Renames move aliasing along.
+            if let (ModelOp::Rename(a, b), true) = (op, got) {
+                if aliased.remove(&name(*a)) {
+                    aliased.insert(name(*b));
+                }
+            }
+        }
+        // Final state comparison.
+        let mut real: HashMap<String, Vec<u8>> = HashMap::new();
+        for path in fs.walk_files("/").unwrap() {
+            real.insert(path.to_string(), fs.peek_all(path.as_str()).unwrap());
+        }
+        prop_assert_eq!(real, model);
+    }
+
+    /// Replaying the emitted event stream into a second Vfs reproduces
+    /// the exact same file state — the event stream is a complete and
+    /// faithful description of every mutation (what the sync engines
+    /// rely on).
+    #[test]
+    fn event_stream_is_complete(ops in proptest::collection::vec(op_strategy(), 0..64)) {
+        let mut fs = Vfs::new();
+        fs.enable_event_log();
+        for op in &ops {
+            let _ = apply_real(&mut fs, op);
+        }
+        let events = fs.drain_events();
+
+        let mut replayed = Vfs::new();
+        for event in &events {
+            match event {
+                OpEvent::Create { path } => { replayed.create(path.as_str()).unwrap(); }
+                OpEvent::Write { path, offset, data, .. } => {
+                    replayed.write(path.as_str(), *offset, data).unwrap();
+                }
+                OpEvent::Truncate { path, size, .. } => {
+                    replayed.truncate(path.as_str(), *size).unwrap();
+                }
+                OpEvent::Rename { src, dst, .. } => {
+                    replayed.rename(src.as_str(), dst.as_str()).unwrap();
+                }
+                OpEvent::Link { src, dst } => {
+                    replayed.link(src.as_str(), dst.as_str()).unwrap();
+                }
+                OpEvent::Unlink { path, .. } => {
+                    replayed.unlink(path.as_str()).unwrap();
+                }
+                OpEvent::Mkdir { path } => { replayed.mkdir(path.as_str()).unwrap(); }
+                OpEvent::Rmdir { path } => { replayed.rmdir(path.as_str()).unwrap(); }
+                OpEvent::Close { .. } | OpEvent::Fsync { .. } => {}
+            }
+        }
+        for path in fs.walk_files("/").unwrap() {
+            prop_assert_eq!(
+                fs.peek_all(path.as_str()).unwrap(),
+                replayed.peek_all(path.as_str()).unwrap(),
+                "{} diverged", path
+            );
+        }
+        prop_assert_eq!(
+            fs.walk_files("/").unwrap().len(),
+            replayed.walk_files("/").unwrap().len()
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Table V: fault-injection matrix — convergence under seeded loss,
+//! duplication, reordering, server crash/restart, and disconnection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltacfs_bench::experiments::table5;
+use deltacfs_bench::table::render_table5;
+
+const SEEDS: &[u64] = &[1, 2, 3, 4];
+
+fn table5_bench(c: &mut Criterion) {
+    let rows = table5(SEEDS);
+    println!("\n{}", render_table5(&rows));
+    for row in &rows {
+        assert!(
+            row.converged,
+            "scenario {} seed {} did not converge",
+            row.scenario, row.seed
+        );
+        assert_eq!(row.gave_up, 0, "scenario {} seed {}", row.scenario, row.seed);
+    }
+
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("fault_matrix_one_seed", |b| b.iter(|| table5(&[1])));
+    group.finish();
+}
+
+criterion_group!(benches, table5_bench);
+criterion_main!(benches);

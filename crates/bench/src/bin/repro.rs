@@ -95,6 +95,11 @@ fn main() {
         println!("{}", table::render_table4(&rows));
         json.insert("table4".into(), serde_json::to_value(&rows).unwrap());
     }
+    if wants("table5") {
+        let rows = experiments::table5(&[1, 2, 3, 4]);
+        println!("{}", table::render_table5(&rows));
+        json.insert("table5".into(), serde_json::to_value(&rows).unwrap());
+    }
 
     if let Some(path) = json_path {
         std::fs::write(
@@ -109,7 +114,7 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [all|fig1|fig2|table2|fig8|fig9|table3|table4]... [--scale F] [--json PATH]"
+        "usage: repro [all|fig1|fig2|table2|fig8|fig9|table3|table4|table5]... [--scale F] [--json PATH]"
     );
     std::process::exit(2);
 }

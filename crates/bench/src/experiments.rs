@@ -1,8 +1,10 @@
 //! The experiments, one function per paper table/figure.
 
 use deltacfs_baselines::{DropboxConfig, DropboxEngine, DropsyncEngine, NfsEngine, SeafileEngine};
-use deltacfs_core::{DeltaCfsConfig, DeltaCfsSystem, InlineInterceptor, InlineMode, SyncEngine};
-use deltacfs_net::{LinkSpec, PlatformProfile, SimClock};
+use deltacfs_core::{
+    DeltaCfsConfig, DeltaCfsSystem, InlineInterceptor, InlineMode, SyncEngine, SyncHub,
+};
+use deltacfs_net::{CrashPhase, FaultSpec, LinkSpec, PlatformProfile, SimClock};
 use deltacfs_vfs::Vfs;
 use deltacfs_workloads::filebench::{self, FilebenchConfig, Personality};
 use deltacfs_workloads::{
@@ -532,6 +534,107 @@ fn causal_verdict_baseline() -> &'static str {
     }
 }
 
+/// One cell of the fault-injection reliability matrix ("Table V" —
+/// beyond the paper's Table IV: the same two-client workload pushed
+/// through seeded network faults and server crashes).
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultCellResult {
+    /// Fault scenario label.
+    pub scenario: &'static str,
+    /// Seed reproducing the cell's fault schedule.
+    pub seed: u64,
+    /// Whether clients and server converged byte-identically.
+    pub converged: bool,
+    /// Courier retransmissions across both clients.
+    pub retries: u64,
+    /// Duplicate groups the server's idempotency index absorbed.
+    pub duplicates: u64,
+    /// Injected server crashes (both phases).
+    pub server_crashes: u64,
+    /// Total client→cloud bytes (retries included).
+    pub bytes_up: u64,
+    /// Groups abandoned after exhausting the retry budget (must be 0).
+    pub gave_up: usize,
+}
+
+fn fault_cell(scenario: &'static str, spec: FaultSpec) -> FaultCellResult {
+    let seed = spec.seed;
+    let clock = SimClock::new();
+    let mut hub = SyncHub::new(clock.clone());
+    hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+    hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+    hub.enable_faults(spec);
+
+    let round = |hub: &mut SyncHub| {
+        hub.pump();
+        clock.advance(4_000);
+        hub.pump();
+    };
+    hub.fs_mut(0).create("/a").unwrap();
+    hub.fs_mut(0).write("/a", 0, &vec![1u8; 8_192]).unwrap();
+    hub.fs_mut(1).create("/b").unwrap();
+    hub.fs_mut(1).write("/b", 0, &vec![2u8; 4_096]).unwrap();
+    round(&mut hub);
+    hub.fs_mut(0).write("/a", 100, &[9u8; 512]).unwrap();
+    hub.fs_mut(1).write("/b", 0, b"edited").unwrap();
+    round(&mut hub);
+    hub.fs_mut(0).create("/c").unwrap();
+    hub.fs_mut(0).write("/c", 0, &vec![3u8; 1_024]).unwrap();
+    round(&mut hub);
+
+    let drained = hub.settle(600_000);
+    let stats = hub.fault_stats().expect("faults are armed");
+    let converged = drained
+        && hub.server().paths().iter().all(|p| {
+            (0..2).all(|i| hub.fs(i).peek_all(p).ok().as_deref() == hub.server().file(p))
+        });
+    FaultCellResult {
+        scenario,
+        seed,
+        converged,
+        retries: hub.retries(0) + hub.retries(1),
+        duplicates: hub.server().duplicates_ignored(),
+        server_crashes: stats.crashes_before_apply + stats.crashes_after_apply,
+        bytes_up: hub.traffic(0).bytes_up + hub.traffic(1).bytes_up,
+        gave_up: hub.given_up(0) + hub.given_up(1),
+    }
+}
+
+/// Table V: the fault scenario matrix — every scenario × every seed,
+/// each cell a full two-client sync run under injected faults.
+pub fn table5(seeds: &[u64]) -> Vec<FaultCellResult> {
+    let mut rows = Vec::new();
+    for &seed in seeds {
+        rows.push(fault_cell("clean", FaultSpec::clean(seed)));
+        rows.push(fault_cell(
+            "lossy",
+            FaultSpec::clean(seed).with_rates(0.3, 0.2, 0.0),
+        ));
+        rows.push(fault_cell(
+            "dup+reorder",
+            FaultSpec::clean(seed).with_rates(0.0, 0.0, 0.6).with_reorder(0.7),
+        ));
+        rows.push(fault_cell(
+            "crash",
+            FaultSpec::clean(seed)
+                .with_crash(2, CrashPhase::BeforeApply)
+                .with_crash(5, CrashPhase::AfterApply),
+        ));
+        rows.push(fault_cell(
+            "disconnect",
+            FaultSpec::clean(seed).with_disconnect(1, 0, 15_000),
+        ));
+        rows.push(fault_cell(
+            "chaos",
+            FaultSpec::clean(seed)
+                .with_rates(0.25, 0.15, 0.3)
+                .with_reorder(0.5)
+                .with_crash(3, CrashPhase::AfterApply),
+        ));
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,5 +752,32 @@ mod tests {
         // Webserver (read-mostly) is essentially unaffected.
         let webserver = rows.iter().find(|r| r.workload == "Webserver").unwrap();
         assert!(webserver.deltacfs_c > webserver.native * 0.5);
+    }
+
+    #[test]
+    fn table5_every_fault_scenario_converges() {
+        let rows = table5(&[1, 2, 3]);
+        for row in &rows {
+            assert!(
+                row.converged,
+                "scenario {} seed {} did not converge",
+                row.scenario, row.seed
+            );
+            assert_eq!(
+                row.gave_up, 0,
+                "scenario {} seed {} abandoned a group",
+                row.scenario, row.seed
+            );
+        }
+        // The faults actually bit: losses forced retries, duplication
+        // engaged the dedup index, crash cells saw crashes.
+        let sum = |s: &str, f: fn(&FaultCellResult) -> u64| -> u64 {
+            rows.iter().filter(|r| r.scenario == s).map(f).sum()
+        };
+        assert!(sum("lossy", |r| r.retries) > 0);
+        assert!(sum("dup+reorder", |r| r.duplicates) > 0);
+        assert!(sum("crash", |r| r.server_crashes) > 0);
+        // Clean cells never retry.
+        assert_eq!(sum("clean", |r| r.retries), 0);
     }
 }

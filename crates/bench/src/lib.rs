@@ -21,6 +21,6 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    fig1, fig2, fig8, fig9, table2, table3, table4, CellResult, EngineKind, Fig2Result,
-    ReliabilityRow, Table3Row,
+    fig1, fig2, fig8, fig9, table2, table3, table4, table5, CellResult, EngineKind,
+    FaultCellResult, Fig2Result, ReliabilityRow, Table3Row,
 };

@@ -1,6 +1,8 @@
 //! Paper-style text rendering of experiment results.
 
-use crate::experiments::{CellResult, EngineKind, Fig2Result, ReliabilityRow, Table3Row, TRACES};
+use crate::experiments::{
+    CellResult, EngineKind, FaultCellResult, Fig2Result, ReliabilityRow, Table3Row, TRACES,
+};
 
 fn mb(bytes: u64) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
@@ -140,6 +142,28 @@ pub fn render_table4(rows: &[ReliabilityRow]) -> String {
         out.push_str(&format!(
             "{:<10}| {:<10}| {:<13}| {}\n",
             row.service, row.corrupted, row.inconsistent, row.causal
+        ));
+    }
+    out
+}
+
+/// Renders Table V (fault-injection matrix).
+pub fn render_table5(rows: &[FaultCellResult]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE V: Fault-injection matrix (seeded, deterministic).\n");
+    out.push_str("Scenario    | Seed | Converged | Retries | Dups | Crashes | Gave up |   Up MB\n");
+    out.push_str("------------+------+-----------+---------+------+---------+---------+--------\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<12}| {:>4} | {:<9} | {:>7} | {:>4} | {:>7} | {:>7} | {:>7}\n",
+            row.scenario,
+            row.seed,
+            if row.converged { "yes" } else { "NO" },
+            row.retries,
+            row.duplicates,
+            row.server_crashes,
+            row.gave_up,
+            mb(row.bytes_up)
         ));
     }
     out

@@ -78,6 +78,11 @@ pub struct DeltaCfsClient<K: KeyValue = MemStore> {
     ver_counter: u64,
     pending_delta: HashMap<String, Preserved>,
     undo: HashMap<String, UndoLog>,
+    /// The version a file held when its (currently open) undo batch
+    /// started — i.e. the newest version the cloud could have acked for
+    /// it. Crash recovery replays the undo log as a delta only when the
+    /// cloud is still at this base.
+    undo_base: HashMap<String, Version>,
     checksums: Option<ChecksumStore<K>>,
     quarantined: HashSet<String>,
     issues: Vec<IntegrityIssue>,
@@ -110,6 +115,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             ver_counter: 0,
             pending_delta: HashMap::new(),
             undo: HashMap::new(),
+            undo_base: HashMap::new(),
             checksums,
             quarantined: HashSet::new(),
             issues: Vec::new(),
@@ -156,6 +162,26 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             client: self.id,
             counter: self.ver_counter,
         }
+    }
+
+    /// When a fresh undo batch opens for `path`, remember which version
+    /// the file had — the delta base crash recovery will need.
+    fn note_undo_base(&mut self, path: &str) {
+        if self.undo.get(path).is_none_or(UndoLog::is_empty) {
+            match self.versions.get(path) {
+                Some(v) => {
+                    self.undo_base.insert(path.to_string(), *v);
+                }
+                None => {
+                    self.undo_base.remove(path);
+                }
+            }
+        }
+    }
+
+    fn clear_undo(&mut self, path: &str) {
+        self.undo.remove(path);
+        self.undo_base.remove(path);
     }
 
     fn peek(&mut self, fs: &Vfs, path: &str) -> Vec<u8> {
@@ -293,6 +319,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
         }
 
         // Undo log: preserve the overwritten bytes (paper §III-A).
+        self.note_undo_base(path);
         self.undo.entry(path.to_string()).or_default().record_write(
             old_len,
             offset,
@@ -394,6 +421,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
         if self.quarantined.contains(path) {
             return;
         }
+        self.note_undo_base(path);
         self.undo
             .entry(path.to_string())
             .or_default()
@@ -425,6 +453,9 @@ impl<K: KeyValue> DeltaCfsClient<K> {
         }
         if let Some(u) = self.undo.remove(src) {
             self.undo.insert(dst.to_string(), u);
+        }
+        if let Some(v) = self.undo_base.remove(src) {
+            self.undo_base.insert(dst.to_string(), v);
         }
         if let Some(p) = self.pending_delta.remove(src) {
             self.pending_delta.insert(dst.to_string(), p);
@@ -531,7 +562,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
         }
         self.versions.remove(path);
         self.sizes.remove(path);
-        self.undo.remove(path);
+        self.clear_undo(path);
         self.pending_delta.remove(path);
         self.quarantined.remove(path);
         if let Some(cs) = &mut self.checksums {
@@ -631,7 +662,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             self.queue.delete_nodes(&ids, node_id);
         }
         // The RPC history no longer matters for this file.
-        self.undo.remove(path);
+        self.clear_undo(path);
     }
 
     /// Advances timeouts and returns the transaction groups that are ready
@@ -756,7 +787,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             self.cost.bytes_copied += old.len() as u64;
             let params = DeltaParams::with_block_size(self.cfg.block_size);
             let delta = local::diff(&old, &current, &params, &mut self.cost);
-            self.undo.remove(path);
+            self.clear_undo(path);
             if delta.wire_size() < raw_size {
                 return UpdatePayload::Delta {
                     base_path: path.to_string(),
@@ -764,7 +795,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                 };
             }
         } else {
-            self.undo.remove(path);
+            self.clear_undo(path);
         }
         UpdatePayload::Ops(ops.to_vec())
     }
@@ -975,6 +1006,98 @@ impl<K: KeyValue> DeltaCfsClient<K> {
     /// recovery).
     pub fn is_quarantined(&self, path: &str) -> bool {
         self.quarantined.contains(path)
+    }
+
+    /// Rebuilds the sync queue after a client crash by replaying the undo
+    /// log (the paper's durable per-file journal of overwritten bytes).
+    ///
+    /// The sync queue, relation table, and in-flight retransmissions are
+    /// volatile — a crash loses them — but the local files and their undo
+    /// logs survive. For every file with an open undo batch this
+    /// re-derives the update the lost queue would have shipped:
+    ///
+    /// * if the cloud still holds exactly the version the batch started
+    ///   from (`cloud_version` reports the server's current version per
+    ///   path), the old content is reconstructed from the undo log and a
+    ///   **delta** is queued against it;
+    /// * otherwise (cloud advanced past us, or never saw the file) the
+    ///   current content ships **whole**, based on whatever the cloud
+    ///   holds, so server-side validation accepts it.
+    ///
+    /// The version counter is *not* reset: versions assigned before the
+    /// crash may still sit in the server's idempotency index, and reusing
+    /// them would make fresh updates look like retransmissions.
+    ///
+    /// Returns the paths that were re-queued.
+    pub fn restart_from_undo_log<F>(&mut self, fs: &Vfs, cloud_version: F) -> Vec<String>
+    where
+        F: Fn(&str) -> Option<Version>,
+    {
+        let now = self.clock.now();
+        // Volatile state died with the process.
+        self.queue = SyncQueue::new(self.cfg.upload_delay_ms);
+        self.relation = RelationTable::new(self.cfg.relation_timeout_ms);
+        self.pending_delta.clear();
+
+        let mut paths: Vec<String> = self.undo.keys().cloned().collect();
+        paths.sort();
+        let mut replayed = Vec::new();
+        for path in paths {
+            if !fs.exists(&path) {
+                self.clear_undo(&path);
+                continue;
+            }
+            let (log_empty, initial_len) = {
+                let log = &self.undo[&path];
+                (log.is_empty(), log.initial_len())
+            };
+            if log_empty {
+                self.clear_undo(&path);
+                continue;
+            }
+            let current = self.peek(fs, &path);
+            let cloud = cloud_version(&path);
+            let base_matches =
+                cloud.is_some() && cloud == self.undo_base.get(path.as_str()).copied();
+            let version = self.next_version();
+            let mut pushed_delta = false;
+            if base_matches && initial_len > 0 {
+                let old = self.undo[&path].reconstruct(&current);
+                self.cost.bytes_copied += old.len() as u64;
+                let params = DeltaParams::with_block_size(self.cfg.block_size);
+                let delta = local::diff(&old, &current, &params, &mut self.cost);
+                if delta.wire_size() < current.len() as u64 {
+                    self.queue.push(
+                        NodeKind::Delta {
+                            path: path.clone(),
+                            base_path: path.clone(),
+                            delta,
+                        },
+                        cloud,
+                        Some(version),
+                        now,
+                    );
+                    pushed_delta = true;
+                }
+            }
+            if !pushed_delta {
+                self.cost.bytes_copied += current.len() as u64;
+                self.queue.push(
+                    NodeKind::Full {
+                        path: path.clone(),
+                        data: Bytes::from(current.clone()),
+                    },
+                    cloud,
+                    Some(version),
+                    now,
+                );
+            }
+            self.versions.insert(path.clone(), version);
+            self.sizes.insert(path.clone(), current.len() as u64);
+            self.clear_undo(&path);
+            replayed.push(path);
+        }
+        replayed
     }
 }
 

@@ -61,6 +61,7 @@ mod multi;
 pub mod persist;
 mod protocol;
 mod relation_table;
+mod retry;
 mod server;
 mod sync_queue;
 mod threaded;
@@ -79,6 +80,7 @@ pub use protocol::{
     OP_ITEM_HEADER_BYTES,
 };
 pub use relation_table::{OldVersion, Preserved, RelationTable};
+pub use retry::{Courier, Flight, RetryPolicy};
 pub use server::CloudServer;
 pub use sync_queue::{Node, NodeKind, SyncQueue};
 pub use threaded::{spawn_cloud, CloudGone, CloudHandle};

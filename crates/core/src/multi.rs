@@ -7,18 +7,22 @@
 //! Conflicts on receiving clients reconcile exactly like on the cloud
 //! (first write wins; the local edit survives as a conflict copy).
 
-use deltacfs_net::{Link, LinkSpec, SimClock};
+use deltacfs_kvstore::MemStore;
+use deltacfs_net::{FaultPlan, FaultSpec, FaultStats, Link, LinkSpec, SimClock, UploadVerdict};
 use deltacfs_vfs::Vfs;
 
 use crate::client::{DeltaCfsClient, RemoteConflict};
 use crate::config::DeltaCfsConfig;
-use crate::protocol::{ApplyOutcome, ClientId, UpdateMsg, UpdatePayload};
+use crate::persist;
+use crate::protocol::{ApplyOutcome, ClientId, UpdateMsg, UpdatePayload, Version};
+use crate::retry::{Courier, RetryPolicy};
 use crate::server::CloudServer;
 
 struct Slot {
     client: DeltaCfsClient,
     fs: Vfs,
     link: Link,
+    courier: Courier,
 }
 
 /// A cloud server with any number of attached DeltaCFS clients, all
@@ -48,6 +52,18 @@ pub struct SyncHub {
     clock: SimClock,
     conflicts: Vec<(usize, RemoteConflict)>,
     server_outcomes: Vec<ApplyOutcome>,
+    /// `Some` once [`SyncHub::enable_faults`] arms a fault schedule; the
+    /// pump then runs through the reliability layer (couriers + server
+    /// idempotency + crash/restart from the snapshot store).
+    fault: Option<FaultPlan>,
+    /// The server's durable snapshot, refreshed after every applied
+    /// group; a simulated server crash reloads from here.
+    store: MemStore,
+    /// Duplicated group copies held back for out-of-order redelivery.
+    deferred: Vec<Vec<UpdateMsg>>,
+    /// Every `(client, path, version)` the server acknowledged as
+    /// applied — the commit record fault tests check against.
+    acked: Vec<(usize, String, Version)>,
 }
 
 impl std::fmt::Debug for SyncHub {
@@ -67,6 +83,10 @@ impl SyncHub {
             clock,
             conflicts: Vec::new(),
             server_outcomes: Vec::new(),
+            fault: None,
+            store: MemStore::new(),
+            deferred: Vec::new(),
+            acked: Vec::new(),
         }
     }
 
@@ -80,8 +100,56 @@ impl SyncHub {
             client,
             fs,
             link: Link::new(link_spec),
+            courier: Courier::new(RetryPolicy::default(), courier_seed(0, idx)),
         });
         idx
+    }
+
+    /// Arms a fault schedule: from now on every upload runs through the
+    /// reliability layer — stop-and-wait couriers with seeded backoff,
+    /// server-side `<CliID, VerCnt>` deduplication, and crash/restart
+    /// from the persisted snapshot.
+    ///
+    /// Each courier's jitter stream is re-seeded from `spec.seed`, so
+    /// one seed reproduces the entire run.
+    pub fn enable_faults(&mut self, spec: FaultSpec) {
+        let seed = spec.seed;
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            slot.courier = Courier::new(RetryPolicy::default(), courier_seed(seed, idx));
+        }
+        self.fault = Some(FaultPlan::new(spec));
+        persist::save(&self.server, &mut self.store).expect("MemStore save cannot fail");
+    }
+
+    /// What the fault plan has injected so far (`None` until
+    /// [`SyncHub::enable_faults`]).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(FaultPlan::stats)
+    }
+
+    /// The seed reproducing the current fault schedule.
+    pub fn fault_seed(&self) -> Option<u64> {
+        self.fault.as_ref().map(FaultPlan::seed)
+    }
+
+    /// Every `(client, path, version)` the server acknowledged.
+    pub fn acked(&self) -> &[(usize, String, Version)] {
+        &self.acked
+    }
+
+    /// Retransmissions client `idx`'s courier performed.
+    pub fn retries(&self, idx: usize) -> u64 {
+        self.slots[idx].courier.retries()
+    }
+
+    /// Groups client `idx` abandoned after exhausting its retry budget.
+    pub fn given_up(&self, idx: usize) -> usize {
+        self.slots[idx].courier.given_up().len()
+    }
+
+    /// Traffic counters of client `idx`'s link.
+    pub fn traffic(&self, idx: usize) -> deltacfs_net::TrafficStats {
+        self.slots[idx].link.stats()
     }
 
     /// Number of attached clients.
@@ -182,23 +250,128 @@ impl SyncHub {
             } else {
                 slot.client.tick(&slot.fs)
             };
-            for group in groups {
-                let wire: u64 = group.iter().map(UpdateMsg::wire_size).sum();
-                self.slots[idx].link.upload(wire, now);
-                let outcomes = self.server.apply_txn(&group);
-                let all_applied = outcomes.iter().all(|o| *o == ApplyOutcome::Applied);
-                self.server_outcomes.extend(outcomes);
-                self.slots[idx].link.download(32, now);
-                if all_applied {
-                    self.forward(idx, &group, now);
+            if self.fault.is_some() {
+                for group in groups {
+                    self.slots[idx].courier.enqueue(group);
+                }
+                self.drive_courier(idx, now);
+            } else {
+                for group in groups {
+                    let wire: u64 = group.iter().map(UpdateMsg::wire_size).sum();
+                    self.slots[idx].link.upload(wire, now);
+                    let outcomes = self.server.apply_txn(&group);
+                    let all_applied = outcomes.iter().all(|o| *o == ApplyOutcome::Applied);
+                    self.server_outcomes.extend(outcomes);
+                    self.slots[idx].link.download(32, now);
+                    if all_applied {
+                        self.forward(idx, &group, now, &mut None);
+                    }
                 }
             }
         }
     }
 
+    /// Runs client `idx`'s courier until its queue drains or backoff /
+    /// disconnection parks it: each attempt goes through the fault plan,
+    /// and only a surviving acknowledgement advances the queue.
+    fn drive_courier(&mut self, idx: usize, now: deltacfs_net::SimTime) {
+        let mut plan = self.fault.take().expect("fault mode is armed");
+        while self.slots[idx].courier.ready(now) {
+            let Some(flight) = self.slots[idx].courier.take_attempt(now) else {
+                break;
+            };
+            let group = flight.group.clone();
+            let wire: u64 = group.iter().map(UpdateMsg::wire_size).sum();
+            let (_, verdict) = self.slots[idx].link.upload_faulty(wire, now, idx, &mut plan);
+            match verdict {
+                UploadVerdict::Disconnected => {
+                    // The reconnection time is known: park until then.
+                    let until = plan.disconnect_until(idx, now).unwrap_or(now.plus_millis(1));
+                    self.slots[idx].courier.defer_until(until);
+                    break;
+                }
+                UploadVerdict::Dropped => {
+                    self.slots[idx].courier.on_failure(now);
+                }
+                UploadVerdict::CrashBeforeApply => {
+                    // The group dies with the server's volatile state; the
+                    // restarted server comes back from its last snapshot
+                    // and the client retries into it.
+                    self.server = persist::load(&mut self.store).expect("snapshot loads");
+                    self.slots[idx].courier.on_failure(now);
+                }
+                UploadVerdict::Delivered {
+                    duplicate,
+                    crash_after_apply,
+                } => {
+                    let (outcomes, was_dup) = self.server.apply_txn_idempotent(&group);
+                    persist::save(&self.server, &mut self.store).expect("MemStore save");
+                    if duplicate {
+                        // Only fully versioned groups may arrive late:
+                        // the idempotency index recognizes them whenever
+                        // they show up. A version-less duplicate (pure
+                        // rename/mkdir) replayed after newer groups could
+                        // hit a recreated path, so it arrives right away.
+                        let dedupable = group.iter().all(|m| m.version.is_some());
+                        if dedupable && plan.defer_duplicate() {
+                            self.deferred.push(group.clone());
+                        } else {
+                            self.server.apply_txn_idempotent(&group);
+                        }
+                    }
+                    if crash_after_apply {
+                        // Applied and persisted, but the ack died with the
+                        // server: the retry must hit the rebuilt
+                        // idempotency index of the restarted server.
+                        self.server = persist::load(&mut self.store).expect("snapshot loads");
+                        self.slots[idx].courier.on_failure(now);
+                    } else if self.slots[idx]
+                        .link
+                        .download_faulty(32, now, idx, &mut plan)
+                        .is_some()
+                    {
+                        self.slots[idx].courier.on_ack();
+                        if !was_dup {
+                            let all_applied =
+                                outcomes.iter().all(|o| *o == ApplyOutcome::Applied);
+                            for (msg, out) in group.iter().zip(&outcomes) {
+                                if *out == ApplyOutcome::Applied {
+                                    if let Some(v) = msg.version {
+                                        self.acked.push((idx, msg.path.clone(), v));
+                                    }
+                                }
+                            }
+                            self.server_outcomes.extend(outcomes);
+                            if all_applied {
+                                self.forward(idx, &group, now, &mut Some(&mut plan));
+                            }
+                        }
+                    } else {
+                        // Ack lost: the client cannot tell this from a
+                        // dropped upload and retransmits.
+                        self.slots[idx].courier.on_failure(now);
+                    }
+                }
+            }
+        }
+        // Late (reordered) duplicate copies arrive now, after any newer
+        // groups — the idempotency index must absorb them.
+        for group in std::mem::take(&mut self.deferred) {
+            self.server.apply_txn_idempotent(&group);
+        }
+        self.fault = Some(plan);
+    }
+
     /// Sends `group` to every client except `from` — the same incremental
-    /// data, no recomputation (paper §III-D).
-    fn forward(&mut self, from: usize, group: &[UpdateMsg], now: deltacfs_net::SimTime) {
+    /// data, no recomputation (paper §III-D). In fault mode each
+    /// forwarded message can be lost on the peer's downlink.
+    fn forward(
+        &mut self,
+        from: usize,
+        group: &[UpdateMsg],
+        now: deltacfs_net::SimTime,
+        plan: &mut Option<&mut FaultPlan>,
+    ) {
         for idx in 0..self.slots.len() {
             if idx == from {
                 continue;
@@ -217,6 +390,15 @@ impl SyncHub {
                         let local_version = slot.client.version_of(base_path);
                         local_version != msg.base
                     }
+                    // An ops batch assumes the peer holds the base the
+                    // uploader built on. A peer that missed an earlier
+                    // forward (lost downlink) would silently apply the
+                    // ops to stale content — materialize instead, which
+                    // also heals the earlier gap.
+                    UpdatePayload::Ops(_) => {
+                        let slot = &self.slots[idx];
+                        slot.client.version_of(&msg.path) != msg.base
+                    }
                     _ => false,
                 };
                 let forwarded = if peer_diverged {
@@ -233,7 +415,22 @@ impl SyncHub {
                     msg.clone()
                 };
                 let wire = forwarded.wire_size();
-                self.slots[idx].link.download(wire, now);
+                let arrived = match plan.as_mut() {
+                    Some(plan) => self.slots[idx]
+                        .link
+                        .download_faulty(wire, now, idx, plan)
+                        .is_some(),
+                    None => {
+                        self.slots[idx].link.download(wire, now);
+                        true
+                    }
+                };
+                if !arrived {
+                    // A lost forward leaves the peer behind; the next
+                    // forward's divergence check (or a settle pass)
+                    // re-materializes the content.
+                    continue;
+                }
                 let slot = &mut self.slots[idx];
                 if let Some(conflict) = slot.client.apply_remote(&forwarded, &mut slot.fs) {
                     self.conflicts.push((idx, conflict));
@@ -241,6 +438,100 @@ impl SyncHub {
             }
         }
     }
+
+    /// Pumps and advances the clock until every courier drains (or
+    /// `max_ms` of simulated time passes), then runs one anti-entropy
+    /// pass that reconciles every client with the server — healing gaps
+    /// left by forwarded updates that were lost on peer downlinks.
+    ///
+    /// Returns `true` when all couriers drained without giving up.
+    pub fn settle(&mut self, max_ms: u64) -> bool {
+        let start = self.clock.now();
+        loop {
+            self.pump_inner(true);
+            let idle = self.slots.iter().all(|s| s.courier.is_idle());
+            if idle || self.clock.now().since(start) > max_ms {
+                break;
+            }
+            self.clock.advance(250);
+        }
+        let drained = self.slots.iter().all(|s| s.courier.is_idle())
+            && self.slots.iter().all(|s| s.courier.given_up().is_empty());
+
+        // Anti-entropy: the server's state is authoritative; push every
+        // divergence down as full content (local conflict copies are
+        // per-client artifacts and stay put).
+        let now = self.clock.now();
+        for idx in 0..self.slots.len() {
+            for path in self.server.paths() {
+                let server_content = self
+                    .server
+                    .file(&path)
+                    .map(<[u8]>::to_vec)
+                    .expect("listed path exists");
+                let local = self.slots[idx].fs.peek_all(&path).ok();
+                if local.as_deref() == Some(&server_content[..]) {
+                    continue;
+                }
+                let msg = UpdateMsg {
+                    path: path.clone(),
+                    base: None,
+                    version: self.server.version(&path),
+                    payload: UpdatePayload::Full(bytes::Bytes::from(server_content)),
+                    txn: None,
+                };
+                self.slots[idx].link.download(msg.wire_size(), now);
+                let slot = &mut self.slots[idx];
+                if let Some(conflict) = slot.client.apply_remote(&msg, &mut slot.fs) {
+                    self.conflicts.push((idx, conflict));
+                }
+            }
+            // Files the server does not have (e.g. an unlink whose
+            // forward was lost) disappear locally too.
+            let local_paths = self.slots[idx].fs.walk_files("/").unwrap_or_default();
+            for path in local_paths {
+                let path = path.to_string();
+                if self.server.file(&path).is_none() && !path.contains(".conflict-") {
+                    let msg = UpdateMsg {
+                        path,
+                        base: None,
+                        version: None,
+                        payload: UpdatePayload::Unlink,
+                        txn: None,
+                    };
+                    let slot = &mut self.slots[idx];
+                    slot.client.apply_remote(&msg, &mut slot.fs);
+                }
+            }
+        }
+        drained
+    }
+
+    /// Simulates a crash of client `idx`: the volatile sync queue and
+    /// in-flight retransmissions are lost, then the client rebuilds its
+    /// upload state from the durable undo log
+    /// (see [`DeltaCfsClient::restart_from_undo_log`]).
+    ///
+    /// Returns the paths the restarted client re-queued.
+    pub fn crash_and_restart_client(&mut self, idx: usize) -> Vec<String> {
+        // Interception is synchronous: operations that completed before
+        // the crash already reached the engine (and its undo logs).
+        let events = self.slots[idx].fs.drain_events();
+        for e in &events {
+            let slot = &mut self.slots[idx];
+            slot.client.handle_event(e, &slot.fs);
+        }
+        self.slots[idx].courier.clear();
+        let server = &self.server;
+        let slot = &mut self.slots[idx];
+        slot.client
+            .restart_from_undo_log(&slot.fs, |p| server.version(p))
+    }
+}
+
+/// Mixes the fault seed and the slot index into one courier seed.
+fn courier_seed(fault_seed: u64, idx: usize) -> u64 {
+    fault_seed ^ (idx as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
 #[cfg(test)]

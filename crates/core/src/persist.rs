@@ -162,6 +162,11 @@ pub fn load<K: KeyValue>(store: &mut K) -> Result<CloudServer, PersistError> {
             txn: None,
         });
     }
+    // The idempotency memory died with the old process; every applied
+    // version is recoverable from the reloaded file state, so a client
+    // retransmitting a group the crashed server had already applied is
+    // still recognized as a duplicate.
+    server.rebuild_idempotency_index();
     Ok(server)
 }
 
@@ -248,6 +253,23 @@ mod tests {
         let restored = load(&mut store).unwrap();
         assert!(restored.file("/old").is_none());
         assert_eq!(restored.file("/new"), Some(&b"y"[..]));
+    }
+
+    #[test]
+    fn reloaded_server_still_deduplicates_applied_groups() {
+        let mut server = CloudServer::new();
+        let group = vec![full("/f", None, 1, b"v1")];
+        server.apply_txn_idempotent(&group);
+        let mut store = MemStore::new();
+        save(&server, &mut store).unwrap();
+
+        // Crash: the in-memory server (and its idempotency map) is gone.
+        let mut restored = load(&mut store).unwrap();
+        // The client never got the ack and retransmits the same group.
+        let (outcomes, duplicate) = restored.apply_txn_idempotent(&group);
+        assert!(duplicate, "reloaded server must recognize the dup");
+        assert_eq!(outcomes, vec![crate::protocol::ApplyOutcome::Applied]);
+        assert_eq!(restored.version_history("/f"), vec![v(1)]);
     }
 
     #[test]

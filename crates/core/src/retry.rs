@@ -1,0 +1,305 @@
+//! Client-side reliability: retransmission with capped exponential
+//! backoff over the faulty link.
+//!
+//! The paper's protocol (§III-D) assumes a reliable transport; this
+//! module supplies the piece that makes the simulated lossy transport
+//! behave like one. Each client runs a [`Courier`] — a stop-and-wait
+//! sender that holds the sync queue's update groups in flight order and
+//! retransmits the head group until the server acknowledges it.
+//! Stop-and-wait keeps the causal order the sync queue established:
+//! group *n+1* never reaches the server before group *n* is applied, so
+//! the server's base-version validation still sees updates in
+//! dependency order no matter how many retries it took.
+//!
+//! Retries are paced by [`RetryPolicy`]: capped exponential backoff with
+//! seeded jitter, so a fault schedule replays identically for a given
+//! seed.
+
+use std::collections::VecDeque;
+
+use deltacfs_net::SimTime;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::protocol::UpdateMsg;
+
+/// Backoff parameters for retransmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single backoff delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Exponential growth factor between consecutive retries.
+    pub multiplier: u64,
+    /// Attempts (first try included) before the courier gives up on a
+    /// group and parks it in [`Courier::given_up`].
+    pub max_attempts: u32,
+    /// Jitter fraction: the computed delay is scaled by a uniform draw
+    /// from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_ms: 500,
+            cap_ms: 8_000,
+            multiplier: 2,
+            max_attempts: 16,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry number `attempt` (1 = first
+    /// retry), jittered by `rng`.
+    ///
+    /// The rng is always consulted exactly once so the decision stream
+    /// stays aligned across runs regardless of the computed delay.
+    pub fn backoff_ms(&self, attempt: u32, rng: &mut StdRng) -> u64 {
+        let exp = attempt.saturating_sub(1).min(16);
+        let raw = self
+            .base_ms
+            .saturating_mul(self.multiplier.saturating_pow(exp))
+            .min(self.cap_ms);
+        let scale: f64 = rng.gen_range(1.0 - self.jitter..1.0 + self.jitter);
+        ((raw as f64) * scale).round() as u64
+    }
+}
+
+/// One update group waiting for (re)transmission.
+#[derive(Debug, Clone)]
+pub struct Flight {
+    /// The group, exactly as the sync queue emitted it.
+    pub group: Vec<UpdateMsg>,
+    /// Transmission attempts made so far.
+    pub attempts: u32,
+    /// Earliest time the next attempt may go on the wire.
+    pub not_before: SimTime,
+}
+
+/// Stop-and-wait retransmitter for one client's update groups.
+///
+/// Groups are sent strictly in enqueue order; the head group is
+/// retransmitted with backoff until acknowledged. Groups that exhaust
+/// [`RetryPolicy::max_attempts`] are parked in [`Courier::given_up`]
+/// (tests treat a non-empty parking lot as a failure).
+#[derive(Debug)]
+pub struct Courier {
+    policy: RetryPolicy,
+    rng: StdRng,
+    queue: VecDeque<Flight>,
+    given_up: Vec<Vec<UpdateMsg>>,
+    retries: u64,
+}
+
+impl Courier {
+    /// Creates a courier whose jitter stream is derived from `seed`.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        Courier {
+            policy,
+            rng: StdRng::seed_from_u64(seed ^ 0xc0_7e_57_ab_1e_c0_ff_ee),
+            queue: VecDeque::new(),
+            given_up: Vec::new(),
+            retries: 0,
+        }
+    }
+
+    /// Appends a group to the tail of the flight queue.
+    pub fn enqueue(&mut self, group: Vec<UpdateMsg>) {
+        self.queue.push_back(Flight {
+            group,
+            attempts: 0,
+            not_before: SimTime::ZERO,
+        });
+    }
+
+    /// Whether the head group may be (re)transmitted at `now`.
+    pub fn ready(&self, now: SimTime) -> bool {
+        self.queue.front().is_some_and(|f| f.not_before <= now)
+    }
+
+    /// The head group, if any; marks one attempt against it.
+    pub fn take_attempt(&mut self, now: SimTime) -> Option<&Flight> {
+        let flight = self.queue.front_mut()?;
+        if flight.not_before > now {
+            return None;
+        }
+        flight.attempts += 1;
+        if flight.attempts > 1 {
+            self.retries += 1;
+        }
+        Some(&*flight)
+    }
+
+    /// The server acknowledged the head group: drop it and expose the
+    /// next one.
+    pub fn on_ack(&mut self) -> Option<Vec<UpdateMsg>> {
+        self.queue.pop_front().map(|f| f.group)
+    }
+
+    /// The head group's attempt failed (drop, crash, lost ack): arm the
+    /// backoff timer, or park the group if attempts are exhausted.
+    pub fn on_failure(&mut self, now: SimTime) {
+        let Some(flight) = self.queue.front_mut() else {
+            return;
+        };
+        if flight.attempts >= self.policy.max_attempts {
+            let flight = self.queue.pop_front().expect("front exists");
+            self.given_up.push(flight.group);
+            return;
+        }
+        let delay = self.policy.backoff_ms(flight.attempts, &mut self.rng);
+        flight.not_before = now.plus_millis(delay);
+    }
+
+    /// Postpones the head group until `until` without consuming an
+    /// attempt's backoff draw (used for disconnect windows, where the
+    /// reconnection time is known).
+    pub fn defer_until(&mut self, until: SimTime) {
+        if let Some(flight) = self.queue.front_mut() {
+            flight.not_before = flight.not_before.max(until);
+        }
+    }
+
+    /// Discards all in-flight groups (client crash: the volatile queue
+    /// is lost and will be rebuilt from the undo log).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Earliest time the courier wants to act again, if anything is
+    /// queued.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.queue.front().map(|f| f.not_before)
+    }
+
+    /// Total retransmissions performed (attempts beyond the first, over
+    /// all groups).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Groups abandoned after exhausting the retry budget.
+    pub fn given_up(&self) -> &[Vec<UpdateMsg>] {
+        &self.given_up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::UpdatePayload;
+
+    fn group(n: u64) -> Vec<UpdateMsg> {
+        vec![UpdateMsg {
+            path: format!("/f{n}"),
+            base: None,
+            version: None,
+            payload: UpdatePayload::Create,
+            txn: None,
+        }]
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(policy.backoff_ms(1, &mut rng), 500);
+        assert_eq!(policy.backoff_ms(2, &mut rng), 1_000);
+        assert_eq!(policy.backoff_ms(3, &mut rng), 2_000);
+        assert_eq!(policy.backoff_ms(10, &mut rng), 8_000); // capped
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for attempt in 1..10 {
+            assert_eq!(
+                policy.backoff_ms(attempt, &mut a),
+                policy.backoff_ms(attempt, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let policy = RetryPolicy {
+            jitter: 0.25,
+            ..RetryPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for attempt in 1..=6 {
+            let ms = policy.backoff_ms(attempt, &mut rng);
+            let raw = 500u64 * 2u64.pow(attempt - 1).min(16);
+            let raw = raw.min(8_000);
+            let lo = ((raw as f64) * 0.75).floor() as u64;
+            let hi = ((raw as f64) * 1.25).ceil() as u64;
+            assert!(ms >= lo && ms <= hi, "attempt {attempt}: {ms} not in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn courier_preserves_order_across_failures() {
+        let mut courier = Courier::new(RetryPolicy::default(), 1);
+        courier.enqueue(group(1));
+        courier.enqueue(group(2));
+
+        // First attempt on group 1 fails; group 2 must not jump ahead.
+        let sent = courier.take_attempt(SimTime::ZERO).unwrap();
+        assert_eq!(sent.group[0].path, "/f1");
+        courier.on_failure(SimTime::ZERO);
+        assert!(!courier.ready(SimTime::ZERO), "backoff armed");
+
+        // After backoff expires, the head is still group 1.
+        let later = SimTime(20_000);
+        let sent = courier.take_attempt(later).unwrap();
+        assert_eq!(sent.group[0].path, "/f1");
+        assert_eq!(sent.attempts, 2);
+        courier.on_ack();
+
+        let sent = courier.take_attempt(later).unwrap();
+        assert_eq!(sent.group[0].path, "/f2");
+        assert_eq!(courier.retries(), 1);
+    }
+
+    #[test]
+    fn exhausted_group_is_parked_not_retried_forever() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut courier = Courier::new(policy, 9);
+        courier.enqueue(group(1));
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            now = courier.next_wakeup().unwrap().max(now);
+            assert!(courier.take_attempt(now).is_some());
+            courier.on_failure(now);
+        }
+        assert!(courier.is_idle());
+        assert_eq!(courier.given_up().len(), 1);
+    }
+
+    #[test]
+    fn defer_until_does_not_consume_attempts() {
+        let mut courier = Courier::new(RetryPolicy::default(), 5);
+        courier.enqueue(group(1));
+        courier.defer_until(SimTime(5_000));
+        assert!(!courier.ready(SimTime(4_999)));
+        let sent = courier.take_attempt(SimTime(5_000)).unwrap();
+        assert_eq!(sent.attempts, 1);
+        assert_eq!(courier.retries(), 0);
+    }
+}

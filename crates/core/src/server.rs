@@ -65,6 +65,12 @@ pub struct CloudServer {
     cost: Cost,
     history_limit: usize,
     apply_order: Vec<String>,
+    /// Idempotency memory: the outcome recorded for every versioned
+    /// message already applied, keyed by its `<CliID, VerCnt>` version.
+    /// Retransmitted groups replay their outcomes from here instead of
+    /// being applied twice.
+    seen: HashMap<Version, ApplyOutcome>,
+    duplicate_groups: u64,
 }
 
 impl Default for CloudServer {
@@ -82,6 +88,8 @@ impl CloudServer {
             cost: Cost::new(),
             history_limit: DEFAULT_HISTORY,
             apply_order: Vec::new(),
+            seen: HashMap::new(),
+            duplicate_groups: 0,
         }
     }
 
@@ -288,6 +296,80 @@ impl CloudServer {
                 .collect()
         } else {
             msgs.iter().map(|m| self.apply_as_conflict(m)).collect()
+        }
+    }
+
+    /// Applies a transaction group with `<CliID, VerCnt>` deduplication:
+    /// a group containing any already-seen versioned message is treated
+    /// as a network-level retransmission — nothing is re-applied and the
+    /// recorded outcomes are replayed. Returns the outcomes plus whether
+    /// the group was such a duplicate.
+    ///
+    /// Retransmissions are whole-group (the retry layer resends the
+    /// entire atomic group), so per-member partial duplication does not
+    /// arise; versionless members of a duplicate group (namespace ops)
+    /// report [`ApplyOutcome::Applied`].
+    pub fn apply_txn_idempotent(&mut self, msgs: &[UpdateMsg]) -> (Vec<ApplyOutcome>, bool) {
+        let duplicate = msgs
+            .iter()
+            .any(|m| m.version.is_some_and(|v| self.seen.contains_key(&v)));
+        if duplicate {
+            self.duplicate_groups += 1;
+            let outcomes = msgs
+                .iter()
+                .map(|m| {
+                    m.version
+                        .and_then(|v| self.seen.get(&v).cloned())
+                        .unwrap_or(ApplyOutcome::Applied)
+                })
+                .collect();
+            return (outcomes, true);
+        }
+        let outcomes = self.apply_txn(msgs);
+        for (msg, outcome) in msgs.iter().zip(&outcomes) {
+            if let Some(v) = msg.version {
+                self.seen.insert(v, outcome.clone());
+            }
+        }
+        (outcomes, false)
+    }
+
+    /// How many duplicate (retransmitted) groups were absorbed without
+    /// re-applying.
+    pub fn duplicates_ignored(&self) -> u64 {
+        self.duplicate_groups
+    }
+
+    /// Whether a `<CliID, VerCnt>` version has already been applied (or
+    /// conflicted) here.
+    pub fn has_seen(&self, version: Version) -> bool {
+        self.seen.contains_key(&version)
+    }
+
+    /// Rebuilds the idempotency memory from the stored files — used after
+    /// reloading a crashed server from its persisted snapshot, where the
+    /// in-memory `seen` map died with the process but every applied
+    /// version is recoverable from the version histories (and every
+    /// conflicted one from its conflict-copy file).
+    pub(crate) fn rebuild_idempotency_index(&mut self) {
+        self.seen.clear();
+        for (path, file) in &self.files {
+            let conflict = path.contains(".conflict-c");
+            for v in file
+                .history
+                .iter()
+                .map(|(v, _)| *v)
+                .chain(file.version)
+            {
+                let outcome = if conflict {
+                    ApplyOutcome::Conflict {
+                        stored_as: path.clone(),
+                    }
+                } else {
+                    ApplyOutcome::Applied
+                };
+                self.seen.insert(v, outcome);
+            }
         }
     }
 
@@ -701,6 +783,67 @@ mod tests {
             s.apply_msg(&ops_msg("/f", base, v(1, i + 1), vec![write_op(0, b"z")]));
         }
         assert!(s.files["/f"].history.len() <= DEFAULT_HISTORY);
+    }
+
+    #[test]
+    fn idempotent_apply_absorbs_retransmissions() {
+        let mut s = CloudServer::new();
+        let group = vec![ops_msg("/f", None, v(1, 1), vec![write_op(0, b"once")])];
+        let (first, dup) = s.apply_txn_idempotent(&group);
+        assert_eq!(first, vec![ApplyOutcome::Applied]);
+        assert!(!dup);
+        // The same group retransmitted: outcomes replayed, state untouched.
+        let (second, dup) = s.apply_txn_idempotent(&group);
+        assert_eq!(second, vec![ApplyOutcome::Applied]);
+        assert!(dup);
+        assert_eq!(s.duplicates_ignored(), 1);
+        assert_eq!(s.version_history("/f"), vec![v(1, 1)]);
+        assert!(s.has_seen(v(1, 1)));
+        assert!(!s.has_seen(v(1, 2)));
+    }
+
+    #[test]
+    fn idempotent_apply_replays_conflict_outcomes() {
+        let mut s = CloudServer::new();
+        s.apply_msg(&ops_msg("/f", None, v(1, 1), vec![write_op(0, b"base")]));
+        s.apply_msg(&ops_msg(
+            "/f",
+            Some(v(1, 1)),
+            v(2, 1),
+            vec![write_op(0, b"AAAA")],
+        ));
+        let late = vec![ops_msg(
+            "/f",
+            Some(v(1, 1)),
+            v(3, 1),
+            vec![write_op(0, b"BB")],
+        )];
+        let (first, _) = s.apply_txn_idempotent(&late);
+        let (replayed, dup) = s.apply_txn_idempotent(&late);
+        assert!(dup);
+        assert_eq!(first, replayed);
+        assert!(matches!(replayed[0], ApplyOutcome::Conflict { .. }));
+        // Only one conflict copy materialized.
+        let copies = s
+            .paths()
+            .iter()
+            .filter(|p| p.contains(".conflict"))
+            .count();
+        assert_eq!(copies, 1);
+    }
+
+    #[test]
+    fn rebuilt_index_still_deduplicates() {
+        let mut s = CloudServer::new();
+        let group = vec![ops_msg("/f", None, v(1, 1), vec![write_op(0, b"x")])];
+        s.apply_txn_idempotent(&group);
+        // Simulate a crash: the in-memory map dies, the index is rebuilt
+        // from the (persisted) file state.
+        s.seen.clear();
+        s.rebuild_idempotency_index();
+        let (_, dup) = s.apply_txn_idempotent(&group);
+        assert!(dup);
+        assert_eq!(s.version_history("/f"), vec![v(1, 1)]);
     }
 
     #[test]

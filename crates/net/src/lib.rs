@@ -25,11 +25,15 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod fault;
 mod link;
 mod profile;
 mod traffic;
 
 pub use clock::{SimClock, SimTime};
+pub use fault::{
+    CrashPhase, CrashPoint, DisconnectWindow, FaultPlan, FaultSpec, FaultStats, UploadVerdict,
+};
 pub use link::{Link, LinkSpec};
 pub use profile::PlatformProfile;
 pub use traffic::TrafficStats;

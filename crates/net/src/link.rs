@@ -1,4 +1,5 @@
 use crate::clock::SimTime;
+use crate::fault::{FaultPlan, UploadVerdict};
 use crate::traffic::TrafficStats;
 
 /// Static characteristics of a simulated link.
@@ -108,6 +109,47 @@ impl Link {
         let duration = transfer_ms(bytes, self.spec.bandwidth_down) + self.spec.latency_ms;
         self.down_busy_until = start.plus_millis(duration);
         self.down_busy_until
+    }
+
+    /// Sends `bytes` client → cloud through `plan`'s fault schedule.
+    ///
+    /// A disconnected client transmits nothing (the transfer is not
+    /// accounted); every other verdict puts the bytes on the wire —
+    /// dropped uploads still cost bandwidth, which is how retries show up
+    /// in the traffic counters. Returns the completion time of whatever
+    /// was transmitted, plus the verdict for the RPC layer to act on.
+    pub fn upload_faulty(
+        &mut self,
+        bytes: u64,
+        now: SimTime,
+        client: usize,
+        plan: &mut FaultPlan,
+    ) -> (Option<SimTime>, UploadVerdict) {
+        let verdict = plan.upload_verdict(client, now);
+        if verdict == UploadVerdict::Disconnected {
+            return (None, verdict);
+        }
+        let done = self.upload(bytes, now);
+        (Some(done), verdict)
+    }
+
+    /// Sends `bytes` cloud → client through `plan`'s fault schedule.
+    ///
+    /// Returns the completion time when the transfer arrives, or `None`
+    /// when it is lost (still accounted: the server did transmit it).
+    pub fn download_faulty(
+        &mut self,
+        bytes: u64,
+        now: SimTime,
+        client: usize,
+        plan: &mut FaultPlan,
+    ) -> Option<SimTime> {
+        let done = self.download(bytes, now);
+        if plan.download_lost(client, now) {
+            None
+        } else {
+            Some(done)
+        }
     }
 }
 

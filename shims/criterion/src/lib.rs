@@ -1,0 +1,217 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal timing harness with the same API shape: `criterion_group!`
+//! / `criterion_main!`, `Criterion::{bench_function, benchmark_group}`,
+//! groups with `sample_size` / `throughput` / `bench_with_input`, and
+//! `Bencher::iter`. Each benchmark runs a small fixed number of timed
+//! iterations and prints mean wall-clock time (plus throughput when
+//! configured) — enough to compare engines while staying dependency-free
+//! and fast under `cargo bench`.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput for a benchmark, scaling the printed rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier (`BenchmarkId::from_parameter(..)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id built from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id built from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warmup iteration, then timed samples.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters == 0 {
+        println!("bench {name}: no samples");
+        return;
+    }
+    let per_iter = bencher.elapsed / bencher.iters as u32;
+    let mut line = format!("bench {name}: {per_iter:?}/iter ({} iters)", bencher.iters);
+    if let Some(tp) = throughput {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(", {:.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!(", {:.0} elem/s", n as f64 / secs));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { samples: self.sample_size, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { samples: self.sample_size, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is bookkeeping).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// A driver with default settings.
+    pub fn new() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 { 10 } else { self.default_sample_size };
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = if self.default_sample_size == 0 { 10 } else { self.default_sample_size };
+        let mut bencher = Bencher { samples, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        report(name, &bencher, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut c = Criterion::new();
+        let mut runs = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.throughput(Throughput::Bytes(1024));
+            group.bench_function("count", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        // 3 samples + 1 warmup.
+        assert_eq!(runs, 4);
+    }
+}

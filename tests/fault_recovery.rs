@@ -1,0 +1,289 @@
+//! Fault-injection matrix: the reliability layer must converge client
+//! and server state under seeded loss, duplication, reordering, server
+//! crash/restart, and client disconnection.
+//!
+//! Every assertion embeds the seed that reproduces the failing schedule:
+//! re-run with that seed pinned in a `FaultSpec` to replay it exactly.
+
+use deltacfs::core::{ApplyOutcome, DeltaCfsConfig, SyncHub};
+use deltacfs::net::{CrashPhase, FaultSpec, LinkSpec, SimClock};
+
+const SETTLE_MS: u64 = 600_000;
+
+fn two_client_hub() -> (SyncHub, SimClock) {
+    let clock = SimClock::new();
+    let mut hub = SyncHub::new(clock.clone());
+    hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+    hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+    (hub, clock)
+}
+
+/// Ingest pending events, then advance past the upload delay and pump
+/// again so the aged nodes actually go on the (faulty) wire.
+fn pump_round(hub: &mut SyncHub, clock: &SimClock) {
+    hub.pump();
+    clock.advance(4_000);
+    hub.pump();
+}
+
+/// Asserts that every file the server holds is byte-identical on every
+/// client, and that no client holds stray non-conflict files the server
+/// lacks.
+fn assert_converged(hub: &SyncHub, seed: u64) {
+    for path in hub.server().paths() {
+        let server = hub.server().file(&path).unwrap().to_vec();
+        for idx in 0..hub.client_count() {
+            let local = hub.fs(idx).peek_all(&path).unwrap_or_default();
+            assert_eq!(
+                local, server,
+                "seed {seed}: client {idx} diverged from server on {path}"
+            );
+        }
+    }
+    for idx in 0..hub.client_count() {
+        for path in hub.fs(idx).walk_files("/").unwrap_or_default() {
+            let path = path.to_string();
+            if !path.contains(".conflict-") {
+                assert!(
+                    hub.server().file(&path).is_some(),
+                    "seed {seed}: client {idx} holds {path} the server lacks"
+                );
+            }
+        }
+    }
+}
+
+/// A small two-client workload on disjoint paths: several rounds of
+/// creates and in-place edits, each round a separate upload group.
+fn run_disjoint_workload(hub: &mut SyncHub, clock: &SimClock) {
+    hub.fs_mut(0).create("/a.txt").unwrap();
+    hub.fs_mut(0).write("/a.txt", 0, b"alpha round one").unwrap();
+    hub.fs_mut(1).create("/b.txt").unwrap();
+    hub.fs_mut(1).write("/b.txt", 0, b"bravo round one").unwrap();
+    pump_round(hub, clock);
+
+    hub.fs_mut(0).write("/a.txt", 6, b"ROUND TWO").unwrap();
+    hub.fs_mut(1).write("/b.txt", 0, b"BRAVO").unwrap();
+    pump_round(hub, clock);
+
+    hub.fs_mut(0).create("/a2.txt").unwrap();
+    hub.fs_mut(0).write("/a2.txt", 0, &vec![7u8; 2_000]).unwrap();
+    hub.fs_mut(1).write("/b.txt", 15, b" plus a tail").unwrap();
+    pump_round(hub, clock);
+}
+
+#[test]
+fn drop_matrix_converges() {
+    for seed in 0..8u64 {
+        let (mut hub, clock) = two_client_hub();
+        hub.enable_faults(
+            FaultSpec::clean(seed)
+                .with_rates(0.3, 0.2, 0.3)
+                .with_reorder(0.5),
+        );
+        run_disjoint_workload(&mut hub, &clock);
+        let drained = hub.settle(SETTLE_MS);
+        assert!(drained, "seed {seed}: a courier gave up or never drained");
+        assert_eq!(hub.given_up(0) + hub.given_up(1), 0, "seed {seed}");
+        assert_converged(&hub, seed);
+    }
+}
+
+#[test]
+fn server_crash_matrix_loses_no_committed_version() {
+    for seed in 0..8u64 {
+        for phase in [CrashPhase::BeforeApply, CrashPhase::AfterApply] {
+            // Crash a different upload attempt per seed so the matrix
+            // sweeps injection points across the whole exchange.
+            let crash_at = seed % 4 + 1;
+            let (mut hub, clock) = two_client_hub();
+            hub.enable_faults(FaultSpec::clean(seed).with_crash(crash_at, phase));
+            run_disjoint_workload(&mut hub, &clock);
+            let drained = hub.settle(SETTLE_MS);
+            assert!(
+                drained,
+                "seed {seed} crash@{crash_at} {phase:?}: courier never drained"
+            );
+            assert_converged(&hub, seed);
+            // Zero lost committed versions: everything the server acked
+            // is still retrievable from its (restarted) state.
+            assert!(
+                !hub.acked().is_empty(),
+                "seed {seed} crash@{crash_at} {phase:?}: nothing was acked"
+            );
+            for (client, path, version) in hub.acked() {
+                assert!(
+                    hub.server().version_history(path).contains(version),
+                    "seed {seed} crash@{crash_at} {phase:?}: acked version \
+                     {version:?} from client {client} lost on {path}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn first_write_wins_when_losers_upload_is_delayed_by_loss() {
+    let seed = 42u64;
+    let (mut hub, clock) = two_client_hub();
+    // Shared baseline, synced before faults are armed.
+    hub.fs_mut(0).create("/doc").unwrap();
+    hub.fs_mut(0).write("/doc", 0, &vec![b'x'; 50_000]).unwrap();
+    pump_round(&mut hub, &clock);
+    assert_eq!(hub.server().file("/doc").map(<[u8]>::len), Some(50_000));
+
+    // Upload attempt 1 (client 1's edit) is dropped; the retry arrives
+    // only after client 0's competing edit has been applied.
+    hub.enable_faults(FaultSpec::clean(seed).with_dropped_upload(1));
+    let up_before = hub.traffic(1).bytes_up;
+
+    hub.fs_mut(1).write("/doc", 0, b"SECOND").unwrap();
+    pump_round(&mut hub, &clock); // dropped, courier backs off
+
+    hub.fs_mut(0).write("/doc", 0, b"FIRST!").unwrap();
+    pump_round(&mut hub, &clock); // client 0 wins; client 1 retries late
+    let drained = hub.settle(SETTLE_MS);
+    assert!(drained, "seed {seed}: courier never drained");
+
+    // First write wins: the cloud kept client 0's content.
+    let doc = hub.server().file("/doc").unwrap();
+    assert_eq!(&doc[..6], b"FIRST!", "seed {seed}");
+    // The late loser was stored as a cloud-side conflict copy, built
+    // from its incremental ops against the historical base.
+    let conflict_path = "/doc.conflict-c2";
+    let copy = hub
+        .server()
+        .file(conflict_path)
+        .unwrap_or_else(|| panic!("seed {seed}: no conflict copy {conflict_path}"));
+    assert_eq!(&copy[..6], b"SECOND", "seed {seed}");
+    assert_eq!(copy.len(), 50_000, "seed {seed}: copy not built on full base");
+    assert!(
+        hub.server_outcomes()
+            .iter()
+            .any(|o| matches!(o, ApplyOutcome::Conflict { .. })),
+        "seed {seed}: server never recorded the conflict"
+    );
+    // The losing edit travelled as incremental ops both times — never as
+    // a re-upload of the whole 50 KB file.
+    let up = hub.traffic(1).bytes_up - up_before;
+    assert!(
+        up < 10_000,
+        "seed {seed}: client 1 uploaded {up} bytes for a 6-byte edit"
+    );
+    assert_converged(&hub, seed);
+}
+
+#[test]
+fn client_crash_restart_replays_undo_log_as_delta() {
+    let seed = 7u64;
+    let (mut hub, clock) = two_client_hub();
+    hub.fs_mut(0).create("/db").unwrap();
+    hub.fs_mut(0).write("/db", 0, &vec![3u8; 40_000]).unwrap();
+    pump_round(&mut hub, &clock);
+    hub.enable_faults(FaultSpec::clean(seed));
+    let up_before = hub.traffic(0).bytes_up;
+
+    // In-place edits that never reach the wire before the crash.
+    hub.fs_mut(0).write("/db", 1_000, &[9u8; 64]).unwrap();
+    hub.fs_mut(0).write("/db", 30_000, &[8u8; 32]).unwrap();
+    let replayed = hub.crash_and_restart_client(0);
+    assert_eq!(replayed, vec!["/db".to_string()], "seed {seed}");
+
+    let drained = hub.settle(SETTLE_MS);
+    assert!(drained, "seed {seed}");
+    let mut expect = vec![3u8; 40_000];
+    expect[1_000..1_064].copy_from_slice(&[9u8; 64]);
+    expect[30_000..30_032].copy_from_slice(&[8u8; 32]);
+    assert_eq!(hub.server().file("/db"), Some(&expect[..]), "seed {seed}");
+    assert_converged(&hub, seed);
+    // The replay shipped a delta against the cloud's base, not 40 KB.
+    let up = hub.traffic(0).bytes_up - up_before;
+    assert!(
+        up < 10_000,
+        "seed {seed}: crash replay uploaded {up} bytes for ~100 changed bytes"
+    );
+}
+
+#[test]
+fn client_crash_restart_ships_unsynced_file_whole() {
+    let seed = 11u64;
+    let (mut hub, clock) = two_client_hub();
+    hub.enable_faults(FaultSpec::clean(seed));
+    // A brand-new file the cloud has never seen; the queue dies with the
+    // crash, so recovery must fall back to full content.
+    hub.fs_mut(0).create("/fresh").unwrap();
+    hub.fs_mut(0).write("/fresh", 0, b"never uploaded").unwrap();
+    let replayed = hub.crash_and_restart_client(0);
+    assert_eq!(replayed, vec!["/fresh".to_string()], "seed {seed}");
+    let drained = hub.settle(SETTLE_MS);
+    assert!(drained, "seed {seed}");
+    assert_eq!(
+        hub.server().file("/fresh"),
+        Some(&b"never uploaded"[..]),
+        "seed {seed}"
+    );
+    let _ = clock;
+    assert_converged(&hub, seed);
+}
+
+#[test]
+fn duplicate_and_reordered_deliveries_are_absorbed() {
+    for seed in 0..8u64 {
+        let (mut hub, clock) = two_client_hub();
+        hub.enable_faults(
+            FaultSpec::clean(seed)
+                .with_rates(0.0, 0.0, 1.0) // every delivery duplicated
+                .with_reorder(1.0), // every duplicate arrives late
+        );
+        run_disjoint_workload(&mut hub, &clock);
+        let drained = hub.settle(SETTLE_MS);
+        assert!(drained, "seed {seed}");
+        assert!(
+            hub.server().duplicates_ignored() > 0,
+            "seed {seed}: dedup never engaged"
+        );
+        // No version was applied twice: histories hold distinct versions.
+        for path in hub.server().paths() {
+            let history = hub.server().version_history(&path);
+            let mut dedup = history.clone();
+            dedup.dedup();
+            assert_eq!(
+                history, dedup,
+                "seed {seed}: duplicate application left twin versions on {path}"
+            );
+        }
+        assert_converged(&hub, seed);
+    }
+}
+
+#[test]
+fn disconnect_window_defers_and_heals() {
+    let seed = 3u64;
+    let (mut hub, clock) = two_client_hub();
+    // Client 1 is offline for the first 20 s of the run.
+    hub.enable_faults(FaultSpec::clean(seed).with_disconnect(1, 0, 20_000));
+
+    hub.fs_mut(0).create("/from0").unwrap();
+    hub.fs_mut(0).write("/from0", 0, b"while peer offline").unwrap();
+    hub.fs_mut(1).create("/from1").unwrap();
+    hub.fs_mut(1).write("/from1", 0, b"queued while offline").unwrap();
+    pump_round(&mut hub, &clock);
+
+    // Inside the window nothing from client 1 reached the cloud.
+    assert!(
+        hub.server().file("/from1").is_none(),
+        "seed {seed}: disconnected client still uploaded"
+    );
+    let stats = hub.fault_stats().unwrap();
+    assert!(stats.disconnected_sends > 0, "seed {seed}");
+
+    // Settling advances past the window; everything converges.
+    let drained = hub.settle(SETTLE_MS);
+    assert!(drained, "seed {seed}");
+    assert_eq!(
+        hub.server().file("/from1"),
+        Some(&b"queued while offline"[..]),
+        "seed {seed}"
+    );
+    assert_converged(&hub, seed);
+}

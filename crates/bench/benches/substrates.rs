@@ -66,6 +66,7 @@ fn bench_wire(c: &mut Criterion) {
             data: bytes::Bytes::from(vec![7u8; 4096]),
         }]),
         txn: Some(3),
+        group: None,
     };
     let encoded = wire::encode(&msg);
     let mut group = c.benchmark_group("wire");

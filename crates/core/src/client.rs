@@ -27,7 +27,7 @@ use deltacfs_vfs::{OpEvent, Vfs};
 
 use crate::checksum_store::ChecksumStore;
 use crate::config::{CausalMode, DeltaCfsConfig};
-use crate::protocol::{ClientId, FileOpItem, UpdateMsg, UpdatePayload, Version};
+use crate::protocol::{ClientId, FileOpItem, GroupId, UpdateMsg, UpdatePayload, Version};
 use crate::relation_table::{OldVersion, Preserved, RelationTable};
 use crate::sync_queue::{NodeKind, SyncQueue};
 use crate::undo_log::UndoLog;
@@ -76,6 +76,12 @@ pub struct DeltaCfsClient<K: KeyValue = MemStore> {
     /// File sizes tracked from the event stream (for undo-log bookkeeping).
     sizes: HashMap<String, u64>,
     ver_counter: u64,
+    /// Monotonic upload-group counter: every group leaving this client is
+    /// stamped `<CliID, GroupSeq>` from here. Like `ver_counter` it is
+    /// never reset — a crash rebuilds the queue but not the counters, so
+    /// post-restart groups can never collide with pre-crash sequence
+    /// numbers in the server's replay index.
+    group_counter: u64,
     pending_delta: HashMap<String, Preserved>,
     undo: HashMap<String, UndoLog>,
     /// The version a file held when its (currently open) undo batch
@@ -113,6 +119,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             versions: HashMap::new(),
             sizes: HashMap::new(),
             ver_counter: 0,
+            group_counter: 0,
             pending_delta: HashMap::new(),
             undo: HashMap::new(),
             undo_base: HashMap::new(),
@@ -719,6 +726,14 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                 }
             }
             if !msgs.is_empty() {
+                self.group_counter += 1;
+                let gid = GroupId {
+                    client: self.id,
+                    seq: self.group_counter,
+                };
+                for m in &mut msgs {
+                    m.group = Some(gid);
+                }
                 out.push(msgs);
             }
         }
@@ -748,6 +763,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             version: node.version,
             payload,
             txn: None,
+            group: None, // stamped per-group by convert_groups
         })
     }
 
@@ -1497,6 +1513,7 @@ mod tests {
             }),
             payload: UpdatePayload::Full(Bytes::from_static(b"from-peer")),
             txn: None,
+            group: None,
         };
         let conflict = client.apply_remote(&msg, &mut fs);
         assert!(conflict.is_none());
@@ -1521,6 +1538,7 @@ mod tests {
             }),
             payload: UpdatePayload::Full(Bytes::from_static(b"remote wins")),
             txn: None,
+            group: None,
         };
         let conflict = client
             .apply_remote(&msg, &mut fs)

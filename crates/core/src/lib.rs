@@ -76,8 +76,8 @@ pub use event_buffer::{BufferObserver, EventBuffer};
 pub use inline::{InlineInterceptor, InlineMode};
 pub use multi::SyncHub;
 pub use protocol::{
-    ApplyOutcome, ClientId, FileOpItem, UpdateMsg, UpdatePayload, Version, MSG_HEADER_BYTES,
-    OP_ITEM_HEADER_BYTES,
+    ApplyOutcome, ClientId, FileOpItem, GroupId, UpdateMsg, UpdatePayload, Version,
+    MSG_HEADER_BYTES, OP_ITEM_HEADER_BYTES,
 };
 pub use relation_table::{OldVersion, Preserved, RelationTable};
 pub use retry::{Courier, Flight, RetryPolicy};

@@ -8,7 +8,9 @@
 //! (first write wins; the local edit survives as a conflict copy).
 
 use deltacfs_kvstore::MemStore;
-use deltacfs_net::{FaultPlan, FaultSpec, FaultStats, Link, LinkSpec, SimClock, UploadVerdict};
+use deltacfs_net::{
+    FaultSpec, FaultStats, FaultTopology, Link, LinkSpec, SimClock, UploadVerdict,
+};
 use deltacfs_vfs::Vfs;
 
 use crate::client::{DeltaCfsClient, RemoteConflict};
@@ -52,10 +54,12 @@ pub struct SyncHub {
     clock: SimClock,
     conflicts: Vec<(usize, RemoteConflict)>,
     server_outcomes: Vec<ApplyOutcome>,
-    /// `Some` once [`SyncHub::enable_faults`] arms a fault schedule; the
-    /// pump then runs through the reliability layer (couriers + server
-    /// idempotency + crash/restart from the snapshot store).
-    fault: Option<FaultPlan>,
+    /// `Some` once [`SyncHub::enable_faults`] (one shared schedule) or
+    /// [`SyncHub::enable_fault_topology`] (independent per-writer
+    /// schedules) arms fault injection; the pump then runs through the
+    /// reliability layer (couriers + server idempotency + crash/restart
+    /// from the snapshot store).
+    fault: Option<FaultTopology>,
     /// The server's durable snapshot, refreshed after every applied
     /// group; a simulated server crash reloads from here.
     store: MemStore,
@@ -117,19 +121,60 @@ impl SyncHub {
         for (idx, slot) in self.slots.iter_mut().enumerate() {
             slot.courier = Courier::new(RetryPolicy::default(), courier_seed(seed, idx));
         }
-        self.fault = Some(FaultPlan::new(spec));
+        self.fault = Some(FaultTopology::shared(spec));
         persist::save(&self.server, &mut self.store).expect("MemStore save cannot fail");
     }
 
-    /// What the fault plan has injected so far (`None` until
-    /// [`SyncHub::enable_faults`]).
-    pub fn fault_stats(&self) -> Option<FaultStats> {
-        self.fault.as_ref().map(FaultPlan::stats)
+    /// Arms one *independent* fault schedule per client: `specs[i]`
+    /// drives client `i` with its own seed, RNG, drop/dup/reorder rates,
+    /// crash points (keyed on that client's upload attempts), and
+    /// disconnect windows. This is the multi-writer topology: two or
+    /// more concurrent faulty writers whose decision streams never
+    /// perturb each other.
+    ///
+    /// Each courier keeps the per-client seeding rule of
+    /// [`SyncHub::enable_faults`] — client `i`'s jitter stream is
+    /// re-seeded from *its own* `specs[i].seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `specs` has exactly one spec per attached client.
+    pub fn enable_fault_topology(&mut self, specs: Vec<FaultSpec>) {
+        assert_eq!(
+            specs.len(),
+            self.slots.len(),
+            "one FaultSpec per attached client"
+        );
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            slot.courier = Courier::new(RetryPolicy::default(), courier_seed(specs[idx].seed, idx));
+        }
+        self.fault = Some(FaultTopology::per_client(specs));
+        persist::save(&self.server, &mut self.store).expect("MemStore save cannot fail");
     }
 
-    /// The seed reproducing the current fault schedule.
+    /// What the fault schedules have injected so far, summed over every
+    /// plan (`None` until fault injection is armed).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(FaultTopology::stats)
+    }
+
+    /// The seed reproducing the current fault schedule (the first
+    /// plan's seed under a per-client topology — see
+    /// [`SyncHub::fault_seeds`] for all of them).
     pub fn fault_seed(&self) -> Option<u64> {
-        self.fault.as_ref().map(FaultPlan::seed)
+        self.fault.as_ref().map(|t| t.seeds()[0])
+    }
+
+    /// Every plan's seed, in client order (one entry when shared).
+    pub fn fault_seeds(&self) -> Option<Vec<u64>> {
+        self.fault.as_ref().map(FaultTopology::seeds)
+    }
+
+    /// Duplicated group copies currently held back for late redelivery.
+    /// Always zero after a [`SyncHub::pump`] returns — the pump drains
+    /// the defer queue at the end of every round.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
     }
 
     /// Every `(client, path, version)` the server acknowledged.
@@ -201,6 +246,7 @@ impl SyncHub {
                 version: None,
                 payload: UpdatePayload::Mkdir,
                 txn: None,
+                group: None,
             });
         }
         for path in self.server.paths() {
@@ -211,6 +257,7 @@ impl SyncHub {
                 version: self.server.version(&path),
                 payload: UpdatePayload::Full(bytes::Bytes::copy_from_slice(content)),
                 txn: None,
+                group: None,
             });
         }
         for msg in msgs {
@@ -269,24 +316,38 @@ impl SyncHub {
                 }
             }
         }
+        // Late (reordered) duplicate copies arrive now, after *every*
+        // courier ran this round — a deterministic, FIFO redelivery
+        // window that can straddle writers. The `<CliID, GroupSeq>`
+        // replay index must absorb each copy, versioned or not.
+        for group in std::mem::take(&mut self.deferred) {
+            self.server.apply_txn_idempotent(&group);
+        }
     }
 
     /// Runs client `idx`'s courier until its queue drains or backoff /
-    /// disconnection parks it: each attempt goes through the fault plan,
-    /// and only a surviving acknowledgement advances the queue.
+    /// disconnection parks it: each attempt goes through the client's
+    /// fault plan, and only a surviving acknowledgement advances the
+    /// queue.
     fn drive_courier(&mut self, idx: usize, now: deltacfs_net::SimTime) {
-        let mut plan = self.fault.take().expect("fault mode is armed");
+        let mut topo = self.fault.take().expect("fault mode is armed");
         while self.slots[idx].courier.ready(now) {
             let Some(flight) = self.slots[idx].courier.take_attempt(now) else {
                 break;
             };
             let group = flight.group.clone();
             let wire: u64 = group.iter().map(UpdateMsg::wire_size).sum();
-            let (_, verdict) = self.slots[idx].link.upload_faulty(wire, now, idx, &mut plan);
+            let (_, verdict) =
+                self.slots[idx]
+                    .link
+                    .upload_faulty(wire, now, idx, topo.plan_for(idx));
             match verdict {
                 UploadVerdict::Disconnected => {
                     // The reconnection time is known: park until then.
-                    let until = plan.disconnect_until(idx, now).unwrap_or(now.plus_millis(1));
+                    let until = topo
+                        .plan_for(idx)
+                        .disconnect_until(idx, now)
+                        .unwrap_or(now.plus_millis(1));
                     self.slots[idx].courier.defer_until(until);
                     break;
                 }
@@ -307,13 +368,11 @@ impl SyncHub {
                     let (outcomes, was_dup) = self.server.apply_txn_idempotent(&group);
                     persist::save(&self.server, &mut self.store).expect("MemStore save");
                     if duplicate {
-                        // Only fully versioned groups may arrive late:
-                        // the idempotency index recognizes them whenever
-                        // they show up. A version-less duplicate (pure
-                        // rename/mkdir) replayed after newer groups could
-                        // hit a recreated path, so it arrives right away.
-                        let dedupable = group.iter().all(|m| m.version.is_some());
-                        if dedupable && plan.defer_duplicate() {
+                        // Every duplicated copy — versioned or namespace-
+                        // only — may be held back and redelivered after
+                        // newer groups: the `<CliID, GroupSeq>` replay
+                        // index recognizes it whenever it shows up.
+                        if topo.plan_for(idx).defer_duplicate() {
                             self.deferred.push(group.clone());
                         } else {
                             self.server.apply_txn_idempotent(&group);
@@ -327,7 +386,7 @@ impl SyncHub {
                         self.slots[idx].courier.on_failure(now);
                     } else if self.slots[idx]
                         .link
-                        .download_faulty(32, now, idx, &mut plan)
+                        .download_faulty(32, now, idx, topo.plan_for(idx))
                         .is_some()
                     {
                         self.slots[idx].courier.on_ack();
@@ -343,7 +402,7 @@ impl SyncHub {
                             }
                             self.server_outcomes.extend(outcomes);
                             if all_applied {
-                                self.forward(idx, &group, now, &mut Some(&mut plan));
+                                self.forward(idx, &group, now, &mut Some(&mut topo));
                             }
                         }
                     } else {
@@ -354,23 +413,19 @@ impl SyncHub {
                 }
             }
         }
-        // Late (reordered) duplicate copies arrive now, after any newer
-        // groups — the idempotency index must absorb them.
-        for group in std::mem::take(&mut self.deferred) {
-            self.server.apply_txn_idempotent(&group);
-        }
-        self.fault = Some(plan);
+        self.fault = Some(topo);
     }
 
     /// Sends `group` to every client except `from` — the same incremental
     /// data, no recomputation (paper §III-D). In fault mode each
-    /// forwarded message can be lost on the peer's downlink.
+    /// forwarded message can be lost on the *receiving peer's* downlink,
+    /// as decided by that peer's own fault plan.
     fn forward(
         &mut self,
         from: usize,
         group: &[UpdateMsg],
         now: deltacfs_net::SimTime,
-        plan: &mut Option<&mut FaultPlan>,
+        fault: &mut Option<&mut FaultTopology>,
     ) {
         for idx in 0..self.slots.len() {
             if idx == from {
@@ -415,10 +470,10 @@ impl SyncHub {
                     msg.clone()
                 };
                 let wire = forwarded.wire_size();
-                let arrived = match plan.as_mut() {
-                    Some(plan) => self.slots[idx]
+                let arrived = match fault.as_mut() {
+                    Some(topo) => self.slots[idx]
                         .link
-                        .download_faulty(wire, now, idx, plan)
+                        .download_faulty(wire, now, idx, topo.plan_for(idx))
                         .is_some(),
                     None => {
                         self.slots[idx].link.download(wire, now);
@@ -479,6 +534,7 @@ impl SyncHub {
                     version: self.server.version(&path),
                     payload: UpdatePayload::Full(bytes::Bytes::from(server_content)),
                     txn: None,
+                    group: None,
                 };
                 self.slots[idx].link.download(msg.wire_size(), now);
                 let slot = &mut self.slots[idx];
@@ -498,6 +554,7 @@ impl SyncHub {
                         version: None,
                         payload: UpdatePayload::Unlink,
                         txn: None,
+                        group: None,
                     };
                     let slot = &mut self.slots[idx];
                     slot.client.apply_remote(&msg, &mut slot.fs);

@@ -14,11 +14,19 @@
 //! f\0<path>            = wire-encoded Full message (current content+version)
 //! h\0<path>\0<n>       = wire-encoded Full message (history entry n)
 //! d\0<path>            = directory marker
+//! g\0<client:u32 BE><seq:u64 BE> = recorded whole-group outcomes
 //! ```
+//!
+//! The `g\0` records matter for correctness, not just bookkeeping: the
+//! per-version idempotency index is rebuildable from the file histories,
+//! but a version-less group (pure rename/mkdir) leaves no version behind
+//! — only its persisted `<CliID, GroupSeq>` record lets the restarted
+//! server recognize its retransmission. Each group is one record, so a
+//! snapshot can never hold a partially recorded group.
 
 use deltacfs_kvstore::{KeyValue, KvError};
 
-use crate::protocol::{UpdateMsg, UpdatePayload};
+use crate::protocol::{ApplyOutcome, ClientId, GroupId, UpdateMsg, UpdatePayload};
 use crate::server::CloudServer;
 use crate::wire;
 
@@ -78,6 +86,75 @@ fn dir_key(path: &str) -> Vec<u8> {
     k
 }
 
+fn group_key(group: GroupId) -> Vec<u8> {
+    let mut k = Vec::with_capacity(2 + 4 + 8);
+    k.extend_from_slice(b"g\0");
+    k.extend_from_slice(&group.client.0.to_be_bytes());
+    k.extend_from_slice(&group.seq.to_be_bytes());
+    k
+}
+
+fn encode_outcomes(outcomes: &[ApplyOutcome]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + outcomes.len() * 2);
+    buf.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+    for o in outcomes {
+        match o {
+            ApplyOutcome::Applied => buf.push(0),
+            ApplyOutcome::Conflict { stored_as } => {
+                buf.push(1);
+                buf.extend_from_slice(&(stored_as.len() as u32).to_le_bytes());
+                buf.extend_from_slice(stored_as.as_bytes());
+            }
+            ApplyOutcome::Rejected { reason } => {
+                buf.push(2);
+                buf.extend_from_slice(&(reason.len() as u32).to_le_bytes());
+                buf.extend_from_slice(reason.as_bytes());
+            }
+        }
+    }
+    buf
+}
+
+fn take_record<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], PersistError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| PersistError::Corrupt("group outcomes: truncated".into()))?;
+    let out = &buf[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+fn decode_outcomes(buf: &[u8]) -> Result<Vec<ApplyOutcome>, PersistError> {
+    let corrupt = |m: &str| PersistError::Corrupt(format!("group outcomes: {m}"));
+    let mut pos = 0usize;
+    let count = u32::from_le_bytes(take_record(buf, &mut pos, 4)?.try_into().expect("4")) as usize;
+    let mut out = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let tag = take_record(buf, &mut pos, 1)?[0];
+        out.push(match tag {
+            0 => ApplyOutcome::Applied,
+            1 | 2 => {
+                let len =
+                    u32::from_le_bytes(take_record(buf, &mut pos, 4)?.try_into().expect("4"))
+                        as usize;
+                let s = String::from_utf8(take_record(buf, &mut pos, len)?.to_vec())
+                    .map_err(|_| corrupt("utf-8"))?;
+                if tag == 1 {
+                    ApplyOutcome::Conflict { stored_as: s }
+                } else {
+                    ApplyOutcome::Rejected { reason: s }
+                }
+            }
+            _ => return Err(corrupt("tag")),
+        });
+    }
+    if pos != buf.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(out)
+}
+
 /// Writes a full snapshot of `server` into `store` (replacing any previous
 /// snapshot).
 ///
@@ -86,7 +163,7 @@ fn dir_key(path: &str) -> Vec<u8> {
 /// Propagates backing-store failures.
 pub fn save<K: KeyValue>(server: &CloudServer, store: &mut K) -> Result<(), PersistError> {
     // Clear any previous snapshot.
-    for prefix in [&b"f\0"[..], &b"h\0"[..], &b"d\0"[..]] {
+    for prefix in [&b"f\0"[..], &b"h\0"[..], &b"d\0"[..], &b"g\0"[..]] {
         for (key, _) in store.scan_prefix(prefix)? {
             store.delete(&key)?;
         }
@@ -110,6 +187,7 @@ pub fn save<K: KeyValue>(server: &CloudServer, store: &mut K) -> Result<(), Pers
                 version: Some(*v),
                 payload: UpdatePayload::Full(bytes::Bytes::copy_from_slice(old)),
                 txn: None,
+                group: None,
             };
             store.put(&history_key(&path, n), &wire::encode(&msg))?;
             prev = Some(*v);
@@ -121,11 +199,17 @@ pub fn save<K: KeyValue>(server: &CloudServer, store: &mut K) -> Result<(), Pers
             version: server.version(&path),
             payload: UpdatePayload::Full(bytes::Bytes::copy_from_slice(content)),
             txn: None,
+            group: None,
         };
         store.put(&file_key(&path), &wire::encode(&msg))?;
     }
     for dir in server.dirs() {
         store.put(&dir_key(&dir), b"")?;
+    }
+    // One record per applied group: the whole outcome vector together, so
+    // a reloaded server replays namespace-only groups all-or-nothing.
+    for (group, outcomes) in server.group_records() {
+        store.put(&group_key(group), &encode_outcomes(outcomes))?;
     }
     Ok(())
 }
@@ -160,13 +244,28 @@ pub fn load<K: KeyValue>(store: &mut K) -> Result<CloudServer, PersistError> {
             version: None,
             payload: UpdatePayload::Mkdir,
             txn: None,
+            group: None,
         });
     }
-    // The idempotency memory died with the old process; every applied
-    // version is recoverable from the reloaded file state, so a client
-    // retransmitting a group the crashed server had already applied is
-    // still recognized as a duplicate.
+    // The per-version idempotency memory died with the old process; every
+    // applied version is recoverable from the reloaded file state, so a
+    // client retransmitting a group the crashed server had already
+    // applied is still recognized as a duplicate.
     server.rebuild_idempotency_index();
+    // The whole-group index is *not* rebuildable (a rename leaves no
+    // version behind); restore it from its own records.
+    for (key, value) in store.scan_prefix(b"g\0")? {
+        if key.len() != 2 + 4 + 8 {
+            return Err(PersistError::Corrupt(format!("group key {key:?}")));
+        }
+        let client = u32::from_be_bytes(key[2..6].try_into().expect("4"));
+        let seq = u64::from_be_bytes(key[6..14].try_into().expect("8"));
+        let group = GroupId {
+            client: ClientId(client),
+            seq,
+        };
+        server.restore_group_record(group, decode_outcomes(&value)?);
+    }
     Ok(server)
 }
 
@@ -191,6 +290,7 @@ mod tests {
             version: Some(v(ver)),
             payload: UpdatePayload::Full(Bytes::from_static(data)),
             txn: None,
+            group: None,
         }
     }
 
@@ -206,6 +306,7 @@ mod tests {
             version: None,
             payload: UpdatePayload::Mkdir,
             txn: None,
+            group: None,
         });
 
         let mut store = MemStore::new();

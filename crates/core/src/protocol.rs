@@ -41,6 +41,28 @@ impl fmt::Display for Version {
     }
 }
 
+/// Identifier of one upload group: `<CliID, GroupSeq>`.
+///
+/// Like file versions, group sequence numbers are client-assigned from a
+/// per-client monotonic counter — but they stamp the *group*, not the
+/// file, so namespace-only groups (pure renames/mkdirs, which carry no
+/// file version) are just as dedupable as content-bearing ones. The
+/// server's replay index keys on this pair to recognize retransmitted
+/// groups regardless of payload kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId {
+    /// The client that uploaded the group.
+    pub client: ClientId,
+    /// That client's monotonically increasing group counter.
+    pub seq: u64,
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},g{}>", self.client, self.seq)
+    }
+}
+
 /// One intercepted file operation, as shipped by NFS-like file RPC.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FileOpItem {
@@ -145,6 +167,11 @@ pub struct UpdateMsg {
     /// Transaction group; messages sharing a `txn` id must be applied
     /// atomically (backindex grouping, paper §III-E).
     pub txn: Option<u64>,
+    /// The upload group this message travelled in (`<CliID, GroupSeq>`),
+    /// shared by every member of the group. `None` only for synthetic
+    /// messages that never cross the client→cloud upload path (full-sync
+    /// pushes, anti-entropy repairs, persisted snapshot records).
+    pub group: Option<GroupId>,
 }
 
 impl UpdateMsg {
@@ -202,6 +229,15 @@ mod tests {
     }
 
     #[test]
+    fn group_id_display_names_client_and_sequence() {
+        let g = GroupId {
+            client: ClientId(2),
+            seq: 5,
+        };
+        assert_eq!(g.to_string(), "<c2,g5>");
+    }
+
+    #[test]
     fn op_apply_write_extends_and_overwrites() {
         let mut content = b"abcdef".to_vec();
         FileOpItem::Write {
@@ -230,6 +266,7 @@ mod tests {
                 FileOpItem::Truncate { size: 0 },
             ]),
             txn: None,
+            group: None,
         };
         assert_eq!(
             msg.wire_size(),

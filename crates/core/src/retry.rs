@@ -53,7 +53,9 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The backoff delay before retry number `attempt` (1 = first
-    /// retry), jittered by `rng`.
+    /// retry), jittered by `rng`. Never exceeds [`RetryPolicy::cap_ms`]:
+    /// the cap bounds the final delay, jitter included, so upward jitter
+    /// on an already-capped delay cannot push past it.
     ///
     /// The rng is always consulted exactly once so the decision stream
     /// stays aligned across runs regardless of the computed delay.
@@ -64,7 +66,7 @@ impl RetryPolicy {
             .saturating_mul(self.multiplier.saturating_pow(exp))
             .min(self.cap_ms);
         let scale: f64 = rng.gen_range(1.0 - self.jitter..1.0 + self.jitter);
-        ((raw as f64) * scale).round() as u64
+        (((raw as f64) * scale).round() as u64).min(self.cap_ms)
     }
 }
 
@@ -204,6 +206,7 @@ mod tests {
             version: None,
             payload: UpdatePayload::Create,
             txn: None,
+            group: None,
         }]
     }
 
@@ -248,6 +251,38 @@ mod tests {
             let hi = ((raw as f64) * 1.25).ceil() as u64;
             assert!(ms >= lo && ms <= hi, "attempt {attempt}: {ms} not in [{lo},{hi}]");
         }
+    }
+
+    #[test]
+    fn backoff_never_exceeds_cap_across_seeded_draws() {
+        // Regression: jitter used to scale *after* capping, so a capped
+        // delay could come out as 1.25 × cap_ms (10 s against the
+        // documented 8 s ceiling). The cap bounds the final delay.
+        let policy = RetryPolicy::default();
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for draw in 0..100u32 {
+                let attempt = draw % 20 + 1; // deep attempts stay capped
+                let ms = policy.backoff_ms(attempt, &mut rng);
+                assert!(
+                    ms <= policy.cap_ms,
+                    "seed {seed} attempt {attempt}: {ms} ms exceeds cap {}",
+                    policy.cap_ms
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capped_backoff_keeps_downward_jitter() {
+        // The cap must not flatten jitter entirely: delays below cap_ms
+        // still occur at capped attempts (only the upward excursions are
+        // clamped), so retry storms stay decorrelated.
+        let policy = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let draws: Vec<u64> = (0..50).map(|_| policy.backoff_ms(12, &mut rng)).collect();
+        assert!(draws.iter().any(|&ms| ms < policy.cap_ms));
+        assert!(draws.iter().all(|&ms| ms >= (policy.cap_ms * 3) / 4));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use bytes::Bytes;
 use deltacfs_delta::Cost;
 
-use crate::protocol::{ApplyOutcome, UpdateMsg, UpdatePayload, Version};
+use crate::protocol::{ApplyOutcome, GroupId, UpdateMsg, UpdatePayload, Version};
 
 /// How many past versions the server retains per file.
 const DEFAULT_HISTORY: usize = 8;
@@ -54,6 +54,7 @@ impl ServerFile {
 ///     version: Some(v1),
 ///     payload: UpdatePayload::Full(Bytes::from_static(b"v1")),
 ///     txn: None,
+///     group: None,
 /// });
 /// assert_eq!(cloud.file("/f"), Some(&b"v1"[..]));
 /// assert_eq!(cloud.version_history("/f"), vec![v1]);
@@ -70,6 +71,12 @@ pub struct CloudServer {
     /// Retransmitted groups replay their outcomes from here instead of
     /// being applied twice.
     seen: HashMap<Version, ApplyOutcome>,
+    /// Whole-group idempotency memory keyed by `<CliID, GroupSeq>`: the
+    /// full outcome vector of every stamped group, recorded in one insert
+    /// so a replay is always all-or-nothing. This is what makes
+    /// version-less groups (pure renames/mkdirs) dedupable — their
+    /// members carry no file version for `seen` to key on.
+    group_seen: HashMap<GroupId, Vec<ApplyOutcome>>,
     duplicate_groups: u64,
 }
 
@@ -89,6 +96,7 @@ impl CloudServer {
             history_limit: DEFAULT_HISTORY,
             apply_order: Vec::new(),
             seen: HashMap::new(),
+            group_seen: HashMap::new(),
             duplicate_groups: 0,
         }
     }
@@ -299,17 +307,31 @@ impl CloudServer {
         }
     }
 
-    /// Applies a transaction group with `<CliID, VerCnt>` deduplication:
-    /// a group containing any already-seen versioned message is treated
-    /// as a network-level retransmission — nothing is re-applied and the
-    /// recorded outcomes are replayed. Returns the outcomes plus whether
-    /// the group was such a duplicate.
+    /// Applies a transaction group with replay deduplication. A stamped
+    /// group (every upload group is, see [`GroupId`]) is keyed by its
+    /// `<CliID, GroupSeq>` in the whole-group index: on a hit, the
+    /// recorded outcome vector — real outcomes for namespace ops included
+    /// — is replayed verbatim and nothing is re-applied. Unstamped groups
+    /// (legacy callers, synthetic messages) fall back to per-member
+    /// `<CliID, VerCnt>` detection. Returns the outcomes plus whether the
+    /// group was a duplicate.
     ///
     /// Retransmissions are whole-group (the retry layer resends the
     /// entire atomic group), so per-member partial duplication does not
-    /// arise; versionless members of a duplicate group (namespace ops)
-    /// report [`ApplyOutcome::Applied`].
+    /// arise; the group record is likewise written in a single insert, so
+    /// a crash can never leave a half-recorded group behind.
     pub fn apply_txn_idempotent(&mut self, msgs: &[UpdateMsg]) -> (Vec<ApplyOutcome>, bool) {
+        let gid = msgs.iter().find_map(|m| m.group);
+        if let Some(gid) = gid {
+            if let Some(recorded) = self.group_seen.get(&gid) {
+                self.duplicate_groups += 1;
+                return (recorded.clone(), true);
+            }
+        }
+        // Version fallback: a version can only be in `seen` if its group
+        // was applied, so a hit is always a retransmission. This covers
+        // unstamped groups entirely and stamped groups whose record is
+        // absent (e.g. a snapshot written before group records existed).
         let duplicate = msgs
             .iter()
             .any(|m| m.version.is_some_and(|v| self.seen.contains_key(&v)));
@@ -331,7 +353,27 @@ impl CloudServer {
                 self.seen.insert(v, outcome.clone());
             }
         }
+        if let Some(gid) = gid {
+            // One atomic insert for the whole group: there is never a
+            // moment where only some members' outcomes are recorded.
+            self.group_seen.insert(gid, outcomes.clone());
+        }
         (outcomes, false)
+    }
+
+    /// Whether a `<CliID, GroupSeq>` group has already been applied here.
+    pub fn has_seen_group(&self, group: GroupId) -> bool {
+        self.group_seen.contains_key(&group)
+    }
+
+    /// The recorded whole-group outcomes, for snapshotting.
+    pub(crate) fn group_records(&self) -> impl Iterator<Item = (GroupId, &[ApplyOutcome])> {
+        self.group_seen.iter().map(|(g, o)| (*g, &o[..]))
+    }
+
+    /// Restores one group's recorded outcomes (snapshot load path).
+    pub(crate) fn restore_group_record(&mut self, group: GroupId, outcomes: Vec<ApplyOutcome>) {
+        self.group_seen.insert(group, outcomes);
     }
 
     /// How many duplicate (retransmitted) groups were absorbed without
@@ -550,6 +592,7 @@ mod tests {
             version: Some(ver),
             payload: UpdatePayload::Ops(ops),
             txn: None,
+            group: None,
         }
     }
 
@@ -569,6 +612,7 @@ mod tests {
             version: Some(v(1, 1)),
             payload: UpdatePayload::Create,
             txn: None,
+            group: None,
         };
         assert_eq!(s.apply_msg(&create), ApplyOutcome::Applied);
         let msg = ops_msg("/f", Some(v(1, 1)), v(1, 2), vec![write_op(0, b"hello")]);
@@ -646,6 +690,7 @@ mod tests {
                 delta,
             },
             txn: None,
+            group: None,
         };
         assert_eq!(s.apply_msg(&msg), ApplyOutcome::Applied);
         assert_eq!(s.file("/f"), Some(&b"old NEW"[..]));
@@ -661,6 +706,7 @@ mod tests {
             version: None,
             payload: UpdatePayload::Link { to: "/a~".into() },
             txn: None,
+            group: None,
         });
         assert_eq!(s.file("/a~"), Some(&b"data"[..]));
         s.apply_msg(&UpdateMsg {
@@ -669,6 +715,7 @@ mod tests {
             version: None,
             payload: UpdatePayload::Rename { to: "/b".into() },
             txn: None,
+            group: None,
         });
         assert!(s.file("/a").is_none());
         assert_eq!(s.file("/b"), Some(&b"data"[..]));
@@ -678,6 +725,7 @@ mod tests {
             version: None,
             payload: UpdatePayload::Unlink,
             txn: None,
+            group: None,
         });
         assert!(s.file("/b").is_none());
     }
@@ -846,6 +894,96 @@ mod tests {
         assert_eq!(s.version_history("/f"), vec![v(1, 1)]);
     }
 
+    fn gid(c: u32, n: u64) -> GroupId {
+        GroupId {
+            client: ClientId(c),
+            seq: n,
+        }
+    }
+
+    #[test]
+    fn late_versionless_rename_replay_cannot_clobber_recreated_path() {
+        // Regression for the version-less dedup hole: a pure rename
+        // group carries no version, so the per-version index never saw
+        // it — a late (reordered) duplicate re-executed the rename
+        // against whatever path state existed by then. The
+        // `<CliID, GroupSeq>` index recognizes the replay regardless.
+        let mut s = CloudServer::new();
+        let mut setup = vec![ops_msg("/old", None, v(1, 1), vec![write_op(0, b"payload")])];
+        setup[0].group = Some(gid(1, 1));
+        s.apply_txn_idempotent(&setup);
+        // A namespace-only group: no version anywhere in it.
+        let rename = vec![UpdateMsg {
+            path: "/old".into(),
+            base: None,
+            version: None,
+            payload: UpdatePayload::Rename { to: "/new".into() },
+            txn: None,
+            group: Some(gid(1, 2)),
+        }];
+        let (first, dup) = s.apply_txn_idempotent(&rename);
+        assert!(!dup);
+        // The path is later recreated with fresh content...
+        let mut recreate = vec![ops_msg("/old", None, v(1, 2), vec![write_op(0, b"fresh")])];
+        recreate[0].group = Some(gid(1, 3));
+        s.apply_txn_idempotent(&recreate);
+        // ...and only then does the duplicated rename copy show up.
+        let (replayed, dup) = s.apply_txn_idempotent(&rename);
+        assert!(dup, "group index must recognize the version-less replay");
+        assert_eq!(replayed, first);
+        assert!(s.has_seen_group(gid(1, 2)));
+        assert_eq!(s.file("/old"), Some(&b"fresh"[..]));
+        assert_eq!(s.file("/new"), Some(&b"payload"[..]));
+    }
+
+    #[test]
+    fn whole_group_outcome_is_recorded_atomically() {
+        let mut s = CloudServer::new();
+        s.apply_msg(&ops_msg("/f", None, v(1, 1), vec![write_op(0, b"base")]));
+        s.apply_msg(&ops_msg(
+            "/f",
+            Some(v(1, 1)),
+            v(2, 1),
+            vec![write_op(0, b"AAAA")],
+        ));
+        // A two-member group whose first member carries a stale base:
+        // validation fails group-wide, so *every* member lands as a
+        // conflict copy (atomic-group semantics), and the record must
+        // carry the full outcome vector as one unit.
+        let mut group = vec![
+            ops_msg("/f", Some(v(1, 1)), v(3, 1), vec![write_op(0, b"BB")]),
+            UpdateMsg {
+                path: "/g".into(),
+                base: None,
+                version: Some(v(3, 2)),
+                payload: UpdatePayload::Full(Bytes::from_static(b"new")),
+                txn: None,
+                group: None,
+            },
+        ];
+        for m in &mut group {
+            m.group = Some(gid(3, 1));
+        }
+        let (first, dup) = s.apply_txn_idempotent(&group);
+        assert!(!dup);
+        assert!(matches!(first[0], ApplyOutcome::Conflict { .. }));
+        assert!(matches!(first[1], ApplyOutcome::Conflict { .. }));
+        // Exactly one whole-group record, holding every member's
+        // outcome — there is no observable half-recorded state.
+        let records: Vec<_> = s.group_records().collect();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].0, gid(3, 1));
+        assert_eq!(records[0].1, &first[..]);
+        // The replay returns the recorded outcomes verbatim and mints
+        // no second round of conflict copies.
+        let copies_before = s.paths().iter().filter(|p| p.contains(".conflict")).count();
+        let (replayed, dup) = s.apply_txn_idempotent(&group);
+        assert!(dup);
+        assert_eq!(replayed, first);
+        let copies_after = s.paths().iter().filter(|p| p.contains(".conflict")).count();
+        assert_eq!(copies_before, copies_after);
+    }
+
     #[test]
     fn create_of_existing_file_conflicts_not_duplicates() {
         let mut s = CloudServer::new();
@@ -856,6 +994,7 @@ mod tests {
             version: Some(v(2, 1)),
             payload: UpdatePayload::Create,
             txn: None,
+            group: None,
         });
         // An empty create against an existing file materializes as a
         // (trivially empty) conflict copy.

@@ -11,16 +11,17 @@
 //!
 //! ```text
 //! msg      = magic "DCFS" | u8 opcode | path | opt_version base |
-//!            opt_version new | u64 txn_or_0 | body
+//!            opt_version new | u64 txn_or_0 | opt_group | body
 //! path     = u16 len | bytes
 //! version  = u8 present | [u32 client | u64 counter]
+//! group    = u8 present | [u32 client | u64 seq]
 //! body     = per opcode (see below)
 //! ```
 
 use bytes::Bytes;
 use deltacfs_delta::{Delta, DeltaOp};
 
-use crate::protocol::{ClientId, FileOpItem, UpdateMsg, UpdatePayload, Version};
+use crate::protocol::{ClientId, FileOpItem, GroupId, UpdateMsg, UpdatePayload, Version};
 
 const MAGIC: &[u8; 4] = b"DCFS";
 
@@ -92,6 +93,17 @@ impl Writer {
             None => self.u8(0),
         }
     }
+
+    fn group_opt(&mut self, g: Option<GroupId>) {
+        match g {
+            Some(g) => {
+                self.u8(1);
+                self.u32(g.client.0);
+                self.u64(g.seq);
+            }
+            None => self.u8(0),
+        }
+    }
 }
 
 struct Reader<'a> {
@@ -146,6 +158,17 @@ impl<'a> Reader<'a> {
             _ => Err(WireError::Malformed("version tag")),
         }
     }
+
+    fn group_opt(&mut self) -> Result<Option<GroupId>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(GroupId {
+                client: ClientId(self.u32()?),
+                seq: self.u64()?,
+            })),
+            _ => Err(WireError::Malformed("group tag")),
+        }
+    }
 }
 
 fn opcode(payload: &UpdatePayload) -> u8 {
@@ -175,6 +198,7 @@ fn opcode(payload: &UpdatePayload) -> u8 {
 ///     version: None,
 ///     payload: UpdatePayload::Mkdir,
 ///     txn: None,
+///     group: None,
 /// };
 /// let bytes = wire::encode(&msg);
 /// assert_eq!(wire::decode(&bytes).unwrap(), msg);
@@ -187,6 +211,7 @@ pub fn encode(msg: &UpdateMsg) -> Vec<u8> {
     w.version_opt(msg.base);
     w.version_opt(msg.version);
     w.u64(msg.txn.unwrap_or(0));
+    w.group_opt(msg.group);
     match &msg.payload {
         UpdatePayload::Create
         | UpdatePayload::Unlink
@@ -251,6 +276,7 @@ pub fn decode(buf: &[u8]) -> Result<UpdateMsg, WireError> {
         0 => None,
         t => Some(t),
     };
+    let group = r.group_opt()?;
     let payload = match opcode {
         0 => UpdatePayload::Create,
         1 => {
@@ -312,6 +338,7 @@ pub fn decode(buf: &[u8]) -> Result<UpdateMsg, WireError> {
         version,
         payload,
         txn,
+        group,
     })
 }
 
@@ -326,6 +353,13 @@ mod tests {
         }
     }
 
+    fn g(c: u32, n: u64) -> GroupId {
+        GroupId {
+            client: ClientId(c),
+            seq: n,
+        }
+    }
+
     fn sample_msgs() -> Vec<UpdateMsg> {
         vec![
             UpdateMsg {
@@ -333,6 +367,7 @@ mod tests {
                 base: None,
                 version: Some(v(1, 1)),
                 payload: UpdatePayload::Create,
+                group: Some(g(1, 1)),
                 txn: None,
             },
             UpdateMsg {
@@ -346,6 +381,7 @@ mod tests {
                     },
                     FileOpItem::Truncate { size: 10 },
                 ]),
+                group: Some(g(1, 2)),
                 txn: Some(7),
             },
             UpdateMsg {
@@ -359,6 +395,7 @@ mod tests {
                         DeltaOp::Literal(Bytes::from_static(b"tail")),
                     ]),
                 },
+                group: None,
                 txn: None,
             },
             UpdateMsg {
@@ -366,6 +403,7 @@ mod tests {
                 base: None,
                 version: Some(v(1, 4)),
                 payload: UpdatePayload::Full(Bytes::from_static(b"whole file")),
+                group: Some(g(1, 3)),
                 txn: None,
             },
             UpdateMsg {
@@ -373,6 +411,7 @@ mod tests {
                 base: None,
                 version: None,
                 payload: UpdatePayload::Rename { to: "/new".into() },
+                group: Some(g(2, 7)),
                 txn: None,
             },
             UpdateMsg {
@@ -380,6 +419,7 @@ mod tests {
                 base: None,
                 version: None,
                 payload: UpdatePayload::Link { to: "/dst".into() },
+                group: None,
                 txn: None,
             },
             UpdateMsg {
@@ -387,6 +427,7 @@ mod tests {
                 base: Some(v(3, 3)),
                 version: None,
                 payload: UpdatePayload::Unlink,
+                group: Some(g(3, 1)),
                 txn: Some(2),
             },
             UpdateMsg {
@@ -394,6 +435,7 @@ mod tests {
                 base: None,
                 version: None,
                 payload: UpdatePayload::Mkdir,
+                group: None,
                 txn: None,
             },
             UpdateMsg {
@@ -401,6 +443,7 @@ mod tests {
                 base: None,
                 version: None,
                 payload: UpdatePayload::Rmdir,
+                group: Some(g(1, 4)),
                 txn: None,
             },
         ]
@@ -447,6 +490,15 @@ mod tests {
         assert!(matches!(decode(&buf), Err(WireError::Malformed(_))));
         let buf = b"XXXX".to_vec();
         assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn corrupted_group_tag_is_rejected() {
+        // Header layout for sample 0: magic(4) opcode(1) path(2+2)
+        // base(1) version(13) txn(8) — the group tag sits at offset 31.
+        let mut buf = encode(&sample_msgs()[0]);
+        buf[31] = 0xFF;
+        assert_eq!(decode(&buf), Err(WireError::Malformed("group tag")));
     }
 
     #[test]

@@ -133,6 +133,7 @@ impl FaultSpec {
 /// Counters describing what the plan actually injected.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
+    // When adding a field, also add it to `FaultStats::absorb`.
     /// Upload attempts that reached the verdict stage (client online).
     pub uploads_attempted: u64,
     /// Uploads lost in transit.
@@ -149,6 +150,20 @@ pub struct FaultStats {
     pub crashes_after_apply: u64,
     /// Sends suppressed because the client was inside a disconnect window.
     pub disconnected_sends: u64,
+}
+
+impl FaultStats {
+    /// Adds another plan's counters into this one (topology aggregation).
+    fn absorb(&mut self, other: &FaultStats) {
+        self.uploads_attempted += other.uploads_attempted;
+        self.uploads_dropped += other.uploads_dropped;
+        self.uploads_duplicated += other.uploads_duplicated;
+        self.duplicates_reordered += other.duplicates_reordered;
+        self.downloads_dropped += other.downloads_dropped;
+        self.crashes_before_apply += other.crashes_before_apply;
+        self.crashes_after_apply += other.crashes_after_apply;
+        self.disconnected_sends += other.disconnected_sends;
+    }
 }
 
 /// The verdict for one upload attempt.
@@ -293,6 +308,83 @@ impl FaultPlan {
             self.stats.downloads_dropped += 1;
         }
         lost
+    }
+}
+
+/// The fault schedules driving one multi-client run.
+///
+/// Two shapes exist:
+///
+/// * **Shared** — the seed harness's original model: one [`FaultPlan`]
+///   (one RNG, one global upload counter) serves every client, so crash
+///   points key on the 1-based upload attempt counted *across all
+///   clients* and a single seed reproduces the whole run.
+/// * **Per-client** — one independent plan per client, each with its own
+///   seed, RNG, rates, crash schedule (keyed on *that client's* upload
+///   attempts), and disconnect windows. This is what lets two or more
+///   concurrent faulty writers carry genuinely independent
+///   drop/dup/reorder/crash schedules: one writer's retries never shift
+///   another writer's decision stream.
+///
+/// Aggregate counters sum over all plans.
+#[derive(Debug, Clone)]
+pub struct FaultTopology {
+    plans: Vec<FaultPlan>,
+    shared: bool,
+}
+
+impl FaultTopology {
+    /// One plan shared by every client (the single-writer model).
+    pub fn shared(spec: FaultSpec) -> Self {
+        FaultTopology {
+            plans: vec![FaultPlan::new(spec)],
+            shared: true,
+        }
+    }
+
+    /// One independent plan per client; `specs[i]` drives client `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn per_client(specs: Vec<FaultSpec>) -> Self {
+        assert!(!specs.is_empty(), "a topology needs at least one spec");
+        FaultTopology {
+            plans: specs.into_iter().map(FaultPlan::new).collect(),
+            shared: false,
+        }
+    }
+
+    /// Whether every client draws from one shared plan.
+    pub fn is_shared(&self) -> bool {
+        self.shared
+    }
+
+    /// The plan deciding `client`'s fate.
+    ///
+    /// # Panics
+    ///
+    /// Panics in per-client mode if `client` has no plan.
+    pub fn plan_for(&mut self, client: usize) -> &mut FaultPlan {
+        if self.shared {
+            &mut self.plans[0]
+        } else {
+            &mut self.plans[client]
+        }
+    }
+
+    /// The seed of each plan, in client order (one entry when shared).
+    pub fn seeds(&self) -> Vec<u64> {
+        self.plans.iter().map(FaultPlan::seed).collect()
+    }
+
+    /// Injected-fault counters summed over every plan.
+    pub fn stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for plan in &self.plans {
+            total.absorb(&plan.stats);
+        }
+        total
     }
 }
 

@@ -32,7 +32,8 @@ mod traffic;
 
 pub use clock::{SimClock, SimTime};
 pub use fault::{
-    CrashPhase, CrashPoint, DisconnectWindow, FaultPlan, FaultSpec, FaultStats, UploadVerdict,
+    CrashPhase, CrashPoint, DisconnectWindow, FaultPlan, FaultSpec, FaultStats, FaultTopology,
+    UploadVerdict,
 };
 pub use link::{Link, LinkSpec};
 pub use profile::PlatformProfile;

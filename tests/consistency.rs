@@ -95,6 +95,7 @@ fn whole_transaction_conflicts_together() {
         version: Some(ver),
         payload: UpdatePayload::Full(Bytes::from_static(data)),
         txn: Some(1),
+        group: None,
     };
     server.apply_msg(&full("/x", None, v(1, 1), b"x1"));
     server.apply_msg(&full("/y", None, v(1, 2), b"y1"));
@@ -204,6 +205,7 @@ fn conflict_copy_content_is_exact() {
         version: base_version,
         payload: UpdatePayload::Full(bytes::Bytes::copy_from_slice(server.file("/doc").unwrap())),
         txn: None,
+        group: None,
     };
     c2.apply_remote(&forwarded, &mut fs2);
 

@@ -257,6 +257,117 @@ fn duplicate_and_reordered_deliveries_are_absorbed() {
 }
 
 #[test]
+fn multi_writer_fault_matrix_converges() {
+    // Two *concurrently faulty* writers, each under its own pinned,
+    // independent schedule: distinct seeds, distinct drop/dup/reorder
+    // rates, and (on odd seeds) a server crash keyed on writer 1's own
+    // upload attempts. One writer's retries never perturb the other's
+    // decision stream, and both must still converge with the server.
+    for seed in 0..8u64 {
+        let (mut hub, clock) = two_client_hub();
+        let mut spec_b = FaultSpec::clean(seed ^ 0x00DE_C0DE)
+            .with_rates(0.25, 0.15, 0.5)
+            .with_reorder(1.0);
+        if seed % 2 == 1 {
+            spec_b = spec_b.with_crash(seed % 3 + 1, CrashPhase::AfterApply);
+        }
+        hub.enable_fault_topology(vec![
+            FaultSpec::clean(seed)
+                .with_rates(0.3, 0.2, 0.4)
+                .with_reorder(0.5),
+            spec_b,
+        ]);
+        run_disjoint_workload(&mut hub, &clock);
+        // Rename traffic keeps version-less (namespace-only) groups in
+        // play on both writers while duplicates are being deferred.
+        hub.fs_mut(0).rename("/a.txt", "/a-renamed.txt").unwrap();
+        hub.fs_mut(1).rename("/b.txt", "/b-renamed.txt").unwrap();
+        pump_round(&mut hub, &clock);
+        let drained = hub.settle(SETTLE_MS);
+        assert!(drained, "seed {seed}: a courier gave up or never drained");
+        // Every held-back duplicate was redelivered before settle returned.
+        assert_eq!(hub.deferred_len(), 0, "seed {seed}: deferred queue leaked");
+        assert_converged(&hub, seed);
+        // Causal order per writer, independent of the other writer's
+        // interleaved retries.
+        for idx in 0..hub.client_count() {
+            let counters: Vec<u64> = hub
+                .acked()
+                .iter()
+                .filter(|(c, _, _)| *c == idx)
+                .map(|(_, _, v)| v.counter)
+                .collect();
+            for pair in counters.windows(2) {
+                assert!(
+                    pair[1] > pair[0],
+                    "seed {seed}: client {idx} acked v{} after v{}",
+                    pair[1],
+                    pair[0]
+                );
+            }
+        }
+        // Nothing the server acked was lost, crash or no crash. A rename
+        // carries a file's history to its new path, so search every
+        // current path's history, not just the path the ack named.
+        for (client, path, version) in hub.acked() {
+            let survives = hub
+                .server()
+                .paths()
+                .iter()
+                .any(|p| hub.server().version_history(p).contains(version));
+            assert!(
+                survives,
+                "seed {seed}: acked version {version:?} from client {client} lost on {path}"
+            );
+        }
+    }
+}
+
+#[test]
+fn late_rename_replay_after_recreate_is_deduped() {
+    // Regression for the version-less dedup hole: a pure rename group
+    // carries no file version, so the `<CliID, VerCnt>` index never saw
+    // it — a duplicated copy deferred past the path's re-creation used
+    // to re-execute the rename and clobber the fresh file. The
+    // `<CliID, GroupSeq>` replay index recognizes the late copy instead.
+    let seed = 5u64;
+    let (mut hub, clock) = two_client_hub();
+    hub.fs_mut(0).create("/old").unwrap();
+    hub.fs_mut(0).write("/old", 0, b"payload").unwrap();
+    pump_round(&mut hub, &clock);
+    assert_eq!(hub.server().file("/old"), Some(&b"payload"[..]));
+
+    // Every delivery duplicated, every duplicate redelivered late.
+    hub.enable_faults(
+        FaultSpec::clean(seed)
+            .with_rates(0.0, 0.0, 1.0)
+            .with_reorder(1.0),
+    );
+    hub.fs_mut(0).rename("/old", "/new").unwrap();
+    hub.fs_mut(0).create("/old").unwrap();
+    hub.fs_mut(0).write("/old", 0, b"fresh").unwrap();
+    pump_round(&mut hub, &clock);
+    let drained = hub.settle(SETTLE_MS);
+    assert!(drained, "seed {seed}: courier never drained");
+    assert_eq!(hub.deferred_len(), 0, "seed {seed}: deferred queue leaked");
+    assert!(
+        hub.server().duplicates_ignored() > 0,
+        "seed {seed}: dedup never engaged"
+    );
+    assert_eq!(
+        hub.server().file("/new"),
+        Some(&b"payload"[..]),
+        "seed {seed}: late rename replay clobbered /new"
+    );
+    assert_eq!(
+        hub.server().file("/old"),
+        Some(&b"fresh"[..]),
+        "seed {seed}: late rename replay removed the recreated /old"
+    );
+    assert_converged(&hub, seed);
+}
+
+#[test]
 fn disconnect_window_defers_and_heals() {
     let seed = 3u64;
     let (mut hub, clock) = two_client_hub();

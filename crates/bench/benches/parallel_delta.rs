@@ -1,0 +1,276 @@
+//! Perf trajectory of the parallel delta engine (BENCH_3).
+//!
+//! Sweeps the delta worker-thread count over transactional-update files
+//! (scattered in-place page edits plus a small insert, the paper's §III-A
+//! motivating workload) and records:
+//!
+//! * `local::diff_parallel` wall-clock per (file size, threads), with the
+//!   speedup over the single-threaded run of the same size;
+//! * `rsync::diff_parallel` at the largest size, same sweep;
+//! * the word-at-a-time vs byte-at-a-time compare primitive (the
+//!   single-threaded win: every block confirm runs through it);
+//! * checksum-store commit: `reindex_file` as one `write_batch` group
+//!   commit vs a per-block `put_block` loop over the same `KvStore`.
+//!
+//! Every parallel run is checked byte-identical to its sequential twin
+//! before being timed — a benchmark of a wrong answer is worthless.
+//!
+//! Full mode writes `BENCH_3.json` at the repository root. Smoke mode
+//! (`cargo bench -p deltacfs-bench --bench parallel_delta -- --test`, or
+//! `DELTACFS_BENCH_SMOKE=1`) shrinks sizes/samples for CI and writes
+//! `BENCH_3.smoke.json` instead, leaving the committed numbers alone.
+
+use std::time::Instant;
+
+use deltacfs_core::ChecksumStore;
+use deltacfs_delta::{local, rsync, Cost, DeltaParams};
+use deltacfs_kvstore::KvStore;
+
+const MIB: usize = 1024 * 1024;
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var("DELTACFS_BENCH_SMOKE").is_ok()
+}
+
+/// Deterministic pseudo-random fill (xorshift-multiply LCG).
+fn fill_random(buf: &mut [u8], mut state: u64) {
+    for b in buf.iter_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *b = (state >> 33) as u8;
+    }
+}
+
+/// A transactional update: 16 scattered 4 KiB page rewrites plus a 64 B
+/// insert near the front (log growth shifting everything after it).
+fn make_input(size: usize) -> (Vec<u8>, Vec<u8>) {
+    let mut old = vec![0u8; size];
+    fill_random(&mut old, 0x2545F4914F6CDD1D);
+    let mut new = old.clone();
+    let page = 4096.min(size / 4).max(1);
+    for i in 0..16usize {
+        let at = (i * 2 + 1) * size / 33;
+        let end = (at + page).min(size);
+        let mut patch = vec![0u8; end - at];
+        fill_random(&mut patch, 0xDEADBEEF ^ i as u64);
+        new[at..end].copy_from_slice(&patch);
+    }
+    let insert_at = (size / 64).min(1000);
+    new.splice(insert_at..insert_at, [0xAB; 64]);
+    (old, new)
+}
+
+/// Best-of-`samples` wall-clock milliseconds for `f` (after one warmup).
+fn time_best_ms<R, F: FnMut() -> R>(samples: usize, mut f: F) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Byte-at-a-time equality — the pre-optimization compare the word-wise
+/// `bitwise_eq` replaced. Early-exit indexed loop, the shape the old code
+/// compiled to.
+fn byte_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for i in 0..a.len() {
+        if a[i] != b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Word-at-a-time equality, mirroring the delta crate's `bitwise_eq` fast
+/// path (8-byte little-endian words, scalar tail).
+fn word_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let ca = a.chunks_exact(8);
+    let cb = b.chunks_exact(8);
+    let (ta, tb) = (ca.remainder(), cb.remainder());
+    for (x, y) in ca.zip(cb) {
+        let x = u64::from_le_bytes(x.try_into().expect("8-byte chunk"));
+        let y = u64::from_le_bytes(y.try_into().expect("8-byte chunk"));
+        if x != y {
+            return false;
+        }
+    }
+    ta == tb
+}
+
+fn json_num(v: f64) -> serde_json::Value {
+    serde_json::to_value(&v).expect("finite float")
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let samples = if smoke { 1 } else { 3 };
+    let sizes: &[usize] = if smoke {
+        &[256 * 1024]
+    } else {
+        &[4 * MIB, 16 * MIB, 64 * MIB]
+    };
+    let threads: Vec<usize> = (1..=4).collect();
+    let params = DeltaParams::new();
+
+    println!("# parallel_delta (smoke={smoke}, host cores={cores}, samples={samples})\n");
+
+    // --- local::diff_parallel thread sweep -------------------------------
+    let mut local_rows = Vec::new();
+    for &size in sizes {
+        let (old, new) = make_input(size);
+        let reference = local::diff(&old, &new, &params, &mut Cost::new());
+        let mut base_ms = 0.0f64;
+        for &t in &threads {
+            let got = local::diff_parallel(&old, &new, &params, t, &mut Cost::new());
+            assert_eq!(got, reference, "parallel output diverged at {t} threads");
+            let ms = time_best_ms(samples, || {
+                local::diff_parallel(&old, &new, &params, t, &mut Cost::new())
+            });
+            if t == 1 {
+                base_ms = ms;
+            }
+            let mib_s = size as f64 / MIB as f64 / (ms / 1e3);
+            let speedup = base_ms / ms;
+            println!(
+                "local_diff  {:>3} MiB  {t} threads  {ms:8.2} ms  {mib_s:8.1} MiB/s  {speedup:.2}x vs 1t",
+                size / MIB
+            );
+            local_rows.push(serde_json::json!({
+                "size_bytes": size,
+                "threads": t,
+                "ms": json_num(ms),
+                "mib_per_s": json_num(mib_s),
+                "speedup_vs_1t": json_num(speedup),
+            }));
+        }
+    }
+    println!();
+
+    // --- rsync::diff_parallel at the largest size ------------------------
+    let mut rsync_rows = Vec::new();
+    {
+        let size = *sizes.last().expect("non-empty sizes");
+        let (old, new) = make_input(size);
+        let sig = rsync::signature(&old, &params, &mut Cost::new());
+        let reference = rsync::diff(&sig, &new, &params, &mut Cost::new());
+        let mut base_ms = 0.0f64;
+        for &t in &threads {
+            let got = rsync::diff_parallel(&sig, &new, &params, t, &mut Cost::new());
+            assert_eq!(got, reference, "parallel rsync diverged at {t} threads");
+            let ms = time_best_ms(samples, || {
+                rsync::diff_parallel(&sig, &new, &params, t, &mut Cost::new())
+            });
+            if t == 1 {
+                base_ms = ms;
+            }
+            let speedup = base_ms / ms;
+            println!(
+                "rsync_diff  {:>3} MiB  {t} threads  {ms:8.2} ms  {speedup:.2}x vs 1t",
+                size / MIB
+            );
+            rsync_rows.push(serde_json::json!({
+                "size_bytes": size,
+                "threads": t,
+                "ms": json_num(ms),
+                "speedup_vs_1t": json_num(speedup),
+            }));
+        }
+    }
+    println!();
+
+    // --- word-wise vs byte-wise compare primitive ------------------------
+    let compare_json = {
+        let size = if smoke { MIB } else { 64 * MIB };
+        let mut a = vec![0u8; size];
+        fill_random(&mut a, 0xC0FFEE);
+        let b = a.clone();
+        // Equal 4 KiB blocks: the block-confirm fast path, where the whole
+        // block is walked.
+        let byte_ms = time_best_ms(samples, || {
+            a.chunks(4096).zip(b.chunks(4096)).all(|(x, y)| byte_eq(x, y))
+        });
+        let word_ms = time_best_ms(samples, || {
+            a.chunks(4096).zip(b.chunks(4096)).all(|(x, y)| word_eq(x, y))
+        });
+        let speedup = byte_ms / word_ms;
+        println!(
+            "compare     {:>3} MiB  byte-wise {byte_ms:7.2} ms  word-wise {word_ms:7.2} ms  {speedup:.2}x",
+            size / MIB
+        );
+        serde_json::json!({
+            "bytes": size,
+            "byte_wise_ms": json_num(byte_ms),
+            "word_wise_ms": json_num(word_ms),
+            "speedup": json_num(speedup),
+        })
+    };
+    println!();
+
+    // --- checksum commit: batched vs per-put -----------------------------
+    let checksum_json = {
+        let nblocks = if smoke { 64 } else { 1024 };
+        let mut content = vec![0u8; nblocks * 4096];
+        fill_random(&mut content, 0xBADC0DE);
+        let dir = std::env::temp_dir().join(format!("bench3-kv-{}", std::process::id()));
+        let run = |batched: bool, dir: &std::path::Path| -> f64 {
+            time_best_ms(samples, || {
+                std::fs::remove_dir_all(dir).ok();
+                let kv = KvStore::open(dir).expect("open kvstore");
+                let mut cs = ChecksumStore::new(kv, 4096);
+                let mut cost = Cost::new();
+                if batched {
+                    cs.reindex_file("/f", &content, &mut cost).expect("reindex");
+                } else {
+                    for (i, block) in content.chunks(4096).enumerate() {
+                        cs.put_block("/f", i as u64, block, &mut cost)
+                            .expect("put_block");
+                    }
+                }
+            })
+        };
+        let per_put_ms = run(false, &dir);
+        let batched_ms = run(true, &dir);
+        std::fs::remove_dir_all(&dir).ok();
+        let speedup = per_put_ms / batched_ms;
+        println!(
+            "checksum    {nblocks} blocks  per-put {per_put_ms:7.2} ms  batched {batched_ms:7.2} ms  {speedup:.2}x"
+        );
+        serde_json::json!({
+            "blocks": nblocks,
+            "per_put_ms": json_num(per_put_ms),
+            "batched_ms": json_num(batched_ms),
+            "speedup": json_num(speedup),
+        })
+    };
+
+    let out = serde_json::json!({
+        "bench": "parallel_delta",
+        "smoke": smoke,
+        "host_cores": cores,
+        "samples": samples,
+        "local_diff": local_rows,
+        "rsync_diff": rsync_rows,
+        "bitwise_compare": compare_json,
+        "checksum_commit": checksum_json,
+        "notes": "best-of-N wall clock; parallel outputs asserted byte-identical to sequential before timing; thread speedups are bounded by host_cores",
+    });
+    let name = if smoke {
+        "BENCH_3.smoke.json"
+    } else {
+        "BENCH_3.json"
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../");
+    let path = format!("{path}{name}");
+    std::fs::write(&path, serde_json::to_string_pretty(&out).expect("serialize") + "\n")
+        .expect("write bench json");
+    println!("\nwrote {path}");
+}

@@ -16,7 +16,7 @@
 //!   while the corresponding interception-layer state did not).
 
 use deltacfs_delta::{Cost, RollingChecksum};
-use deltacfs_kvstore::{KeyValue, KvError};
+use deltacfs_kvstore::{BatchOp, KeyValue, KvError};
 
 /// Key layout: `b"cs\0" + path + b"\0" + block index (BE)`.
 fn block_key(path: &str, idx: u64) -> Vec<u8> {
@@ -113,6 +113,11 @@ impl<K: KeyValue> ChecksumStore<K> {
     /// Re-checksums every block of `content` and records it for `path`,
     /// dropping stale trailing blocks.
     ///
+    /// All mutations — stale-tail deletes plus one put per block — are
+    /// committed as a single [`KeyValue::write_batch`] group commit: one
+    /// WAL append and one flush point instead of N, and a crash leaves
+    /// either the old checksum set or the new one, never a mix.
+    ///
     /// # Errors
     ///
     /// Propagates backend errors.
@@ -123,17 +128,22 @@ impl<K: KeyValue> ChecksumStore<K> {
         cost: &mut Cost,
     ) -> Result<(), KvError> {
         let nblocks = content.len().div_ceil(self.block_size) as u64;
+        let mut batch = Vec::new();
         // Remove checksums past the new end.
         for (key, _) in self.kv.scan_prefix(&file_prefix(path))? {
             let idx_bytes: [u8; 8] = key[key.len() - 8..].try_into().expect("8-byte suffix");
             if u64::from_be_bytes(idx_bytes) >= nblocks {
-                self.kv.delete(&key)?;
+                batch.push(BatchOp::Delete { key });
             }
         }
         for (i, block) in content.chunks(self.block_size).enumerate() {
-            self.put_block(path, i as u64, block, cost)?;
+            let sum = self.checksum(block, cost);
+            batch.push(BatchOp::Put {
+                key: block_key(path, i as u64),
+                value: sum.to_le_bytes().to_vec(),
+            });
         }
-        Ok(())
+        self.kv.write_batch(&batch)
     }
 
     /// Updates checksums for the blocks touched by a write of `data_len`
@@ -156,12 +166,17 @@ impl<K: KeyValue> ChecksumStore<K> {
         }
         let first = offset / self.block_size as u64;
         let last = (offset + data_len - 1) / self.block_size as u64;
+        let mut batch = Vec::with_capacity((last - first + 1) as usize);
         for idx in first..=last {
             if let Some(block) = read_block(idx) {
-                self.put_block(path, idx, &block, cost)?;
+                let sum = self.checksum(&block, cost);
+                batch.push(BatchOp::Put {
+                    key: block_key(path, idx),
+                    value: sum.to_le_bytes().to_vec(),
+                });
             }
         }
-        Ok(())
+        self.kv.write_batch(&batch)
     }
 
     /// Adjusts checksums after a truncate to `new_size`; `last_block` is
@@ -178,34 +193,49 @@ impl<K: KeyValue> ChecksumStore<K> {
         cost: &mut Cost,
     ) -> Result<(), KvError> {
         let nblocks = new_size.div_ceil(self.block_size as u64);
+        let mut batch = Vec::new();
         for (key, _) in self.kv.scan_prefix(&file_prefix(path))? {
             let idx_bytes: [u8; 8] = key[key.len() - 8..].try_into().expect("8-byte suffix");
             if u64::from_be_bytes(idx_bytes) >= nblocks {
-                self.kv.delete(&key)?;
+                batch.push(BatchOp::Delete { key });
             }
         }
         if let (Some(block), true) = (last_block, new_size > 0) {
-            self.put_block(path, nblocks - 1, block, cost)?;
+            let sum = self.checksum(block, cost);
+            batch.push(BatchOp::Put {
+                key: block_key(path, nblocks - 1),
+                value: sum.to_le_bytes().to_vec(),
+            });
         }
-        Ok(())
+        self.kv.write_batch(&batch)
     }
 
     /// Moves all checksums of `from` to `to` (rename).
+    ///
+    /// Destination-residue deletes, the new puts and the source deletes
+    /// all go into one group commit, so a crash can never leave the file
+    /// half-renamed in the store.
     ///
     /// # Errors
     ///
     /// Propagates backend errors.
     pub fn rename(&mut self, from: &str, to: &str) -> Result<(), KvError> {
         let entries = self.kv.scan_prefix(&file_prefix(from))?;
+        let mut batch = Vec::with_capacity(2 * entries.len());
         // Remove any stale checksums for the destination first.
-        self.remove(to)?;
+        for (key, _) in self.kv.scan_prefix(&file_prefix(to))? {
+            batch.push(BatchOp::Delete { key });
+        }
         for (key, value) in entries {
             let idx_bytes: [u8; 8] = key[key.len() - 8..].try_into().expect("8-byte suffix");
             let idx = u64::from_be_bytes(idx_bytes);
-            self.kv.put(&block_key(to, idx), &value)?;
-            self.kv.delete(&key)?;
+            batch.push(BatchOp::Put {
+                key: block_key(to, idx),
+                value,
+            });
+            batch.push(BatchOp::Delete { key });
         }
-        Ok(())
+        self.kv.write_batch(&batch)
     }
 
     /// Removes all checksums for `path`.
@@ -214,10 +244,13 @@ impl<K: KeyValue> ChecksumStore<K> {
     ///
     /// Propagates backend errors.
     pub fn remove(&mut self, path: &str) -> Result<(), KvError> {
-        for (key, _) in self.kv.scan_prefix(&file_prefix(path))? {
-            self.kv.delete(&key)?;
-        }
-        Ok(())
+        let batch: Vec<BatchOp> = self
+            .kv
+            .scan_prefix(&file_prefix(path))?
+            .into_iter()
+            .map(|(key, _)| BatchOp::Delete { key })
+            .collect();
+        self.kv.write_batch(&batch)
     }
 
     /// Verifies every block of `content` against the stored checksums and

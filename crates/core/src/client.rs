@@ -632,7 +632,13 @@ impl<K: KeyValue> DeltaCfsClient<K> {
         }
 
         let params = DeltaParams::with_block_size(self.cfg.block_size);
-        let delta = local::diff(&old_content, &new_content, &params, &mut self.cost);
+        let delta = local::diff_parallel(
+            &old_content,
+            &new_content,
+            &params,
+            self.cfg.parallelism,
+            &mut self.cost,
+        );
         let version = self.next_version();
         let node_id = if delta.wire_size() < new_content.len() as u64 {
             self.queue.push(
@@ -802,7 +808,8 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             let old = undo.reconstruct(&current);
             self.cost.bytes_copied += old.len() as u64;
             let params = DeltaParams::with_block_size(self.cfg.block_size);
-            let delta = local::diff(&old, &current, &params, &mut self.cost);
+            let delta =
+                local::diff_parallel(&old, &current, &params, self.cfg.parallelism, &mut self.cost);
             self.clear_undo(path);
             if delta.wire_size() < raw_size {
                 return UpdatePayload::Delta {
@@ -1081,7 +1088,13 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                 let old = self.undo[&path].reconstruct(&current);
                 self.cost.bytes_copied += old.len() as u64;
                 let params = DeltaParams::with_block_size(self.cfg.block_size);
-                let delta = local::diff(&old, &current, &params, &mut self.cost);
+                let delta = local::diff_parallel(
+                    &old,
+                    &current,
+                    &params,
+                    self.cfg.parallelism,
+                    &mut self.cost,
+                );
                 if delta.wire_size() < current.len() as u64 {
                     self.queue.push(
                         NodeKind::Delta {

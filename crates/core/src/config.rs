@@ -44,6 +44,14 @@ pub struct DeltaCfsConfig {
     pub checksums: bool,
     /// Causal-consistency strategy (see [`CausalMode`]).
     pub causal_mode: CausalMode,
+    /// Worker threads for delta encoding. Defaults to the number of
+    /// available cores; `1` selects the sequential path. The parallel
+    /// path produces byte-identical deltas and identical [`Cost`]
+    /// totals regardless of the thread count, so this knob trades only
+    /// wall-clock time, never output.
+    ///
+    /// [`Cost`]: deltacfs_delta::Cost
+    pub parallelism: usize,
 }
 
 impl DeltaCfsConfig {
@@ -57,6 +65,7 @@ impl DeltaCfsConfig {
             preserve_limit: 256 * 1024 * 1024,
             checksums: true,
             causal_mode: CausalMode::Backindex,
+            parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 
@@ -71,6 +80,17 @@ impl DeltaCfsConfig {
     /// the paper's backindex design).
     pub fn with_causal_mode(mut self, mode: CausalMode) -> Self {
         self.causal_mode = mode;
+        self
+    }
+
+    /// Sets the delta-encoding worker-thread count (`1` = sequential).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "parallelism must be at least 1");
+        self.parallelism = workers;
         self
     }
 }
@@ -93,5 +113,17 @@ mod tests {
         assert_eq!(c.block_size, 4096);
         assert!(c.checksums);
         assert!(!c.without_checksums().checksums);
+        assert!(c.parallelism >= 1, "defaults to available cores, >= 1");
+    }
+
+    #[test]
+    fn parallelism_builder() {
+        assert_eq!(DeltaCfsConfig::new().with_parallelism(4).parallelism, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_parallelism_rejected() {
+        let _ = DeltaCfsConfig::new().with_parallelism(0);
     }
 }

@@ -250,10 +250,19 @@ impl SyncQueue {
     /// Packs `path`'s open write node (close/rename/unlink), making it
     /// immutable. Subsequent writes to the same name start a new node.
     /// Returns the packed node's id, if there was one.
+    ///
+    /// Packing also coalesces runs of strictly adjacent `Write` ops (each
+    /// starting exactly where the previous one ended) into single ops.
+    /// Sequential writers — editors flushing a buffer, databases appending
+    /// a log — produce long such runs, and every op costs a fixed protocol
+    /// header on the wire, so coalescing at pack time (once, when the node
+    /// can no longer grow) cuts per-node upload overhead without touching
+    /// batching or backindex semantics.
     pub fn pack(&mut self, path: &str) -> Option<u64> {
         let id = self.write_index.remove(path)?;
         let pos = self.position(id).expect("indexed node is queued");
-        if let NodeKind::Write { packed, .. } = &mut self.nodes[pos].kind {
+        if let NodeKind::Write { ops, packed, .. } = &mut self.nodes[pos].kind {
+            coalesce_adjacent_writes(ops);
             *packed = true;
         }
         Some(id)
@@ -378,6 +387,34 @@ impl SyncQueue {
     }
 }
 
+/// Merges each run of strictly adjacent `Write` ops — `next.offset ==
+/// prev.offset + prev.data.len()` — into one op carrying the concatenated
+/// data. Non-write ops and non-adjacent writes break a run; op order is
+/// preserved, and the byte image the sequence produces is unchanged.
+fn coalesce_adjacent_writes(ops: &mut Vec<FileOpItem>) {
+    let mut out: Vec<FileOpItem> = Vec::with_capacity(ops.len());
+    for op in ops.drain(..) {
+        if let (
+            Some(FileOpItem::Write {
+                offset: prev_offset,
+                data: prev_data,
+            }),
+            FileOpItem::Write { offset, data },
+        ) = (out.last_mut(), &op)
+        {
+            if *prev_offset + prev_data.len() as u64 == *offset {
+                let mut merged = Vec::with_capacity(prev_data.len() + data.len());
+                merged.extend_from_slice(prev_data);
+                merged.extend_from_slice(data);
+                *prev_data = Bytes::from(merged);
+                continue;
+            }
+        }
+        out.push(op);
+    }
+    *ops = out;
+}
+
 /// Maximal runs of nodes connected by (merged) backindex spans: each node
 /// at position `p` contributes the interval `[p, pos(backindex)]`;
 /// overlapping intervals merge. Returns inclusive `(start, end)` position
@@ -455,6 +492,63 @@ mod tests {
         let id2 = push_write(&mut q, "/f", w(0, b"bb"), SimTime(10));
         assert_eq!(q.len(), 2);
         assert!(q.iter().any(|n| n.id == id2));
+    }
+
+    #[test]
+    fn pack_coalesces_adjacent_writes() {
+        let mut q = SyncQueue::new(3000);
+        // Sequential writer: 0..2, 2..4, 4..6 — then a gap, then 10..12.
+        push_write(&mut q, "/f", w(0, b"aa"), SimTime(0));
+        push_write(&mut q, "/f", w(2, b"bb"), SimTime(1));
+        push_write(&mut q, "/f", w(4, b"cc"), SimTime(2));
+        push_write(&mut q, "/f", w(10, b"dd"), SimTime(3));
+        q.pack("/f");
+        let node = q.iter().next().unwrap();
+        match &node.kind {
+            NodeKind::Write { ops, packed, .. } => {
+                assert!(*packed);
+                assert_eq!(
+                    ops,
+                    &vec![w(0, b"aabbcc"), w(10, b"dd")],
+                    "adjacent run merged, gapped write kept separate"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coalescing_stops_at_non_write_ops() {
+        let mut q = SyncQueue::new(3000);
+        push_write(&mut q, "/f", w(0, b"aa"), SimTime(0));
+        q.append_write("/f", FileOpItem::Truncate { size: 2 }, SimTime(1));
+        push_write(&mut q, "/f", w(2, b"bb"), SimTime(2));
+        q.pack("/f");
+        let node = q.iter().next().unwrap();
+        match &node.kind {
+            NodeKind::Write { ops, .. } => {
+                assert_eq!(ops.len(), 3, "truncate must break the run");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coalescing_only_merges_exact_adjacency() {
+        // Overlapping writes (offset < prev end) must NOT merge: the later
+        // write overwrites part of the earlier one, and concatenation
+        // would corrupt the replayed image.
+        let mut q = SyncQueue::new(3000);
+        push_write(&mut q, "/f", w(0, b"aaaa"), SimTime(0));
+        push_write(&mut q, "/f", w(2, b"bb"), SimTime(1));
+        q.pack("/f");
+        let node = q.iter().next().unwrap();
+        match &node.kind {
+            NodeKind::Write { ops, .. } => {
+                assert_eq!(ops, &vec![w(0, b"aaaa"), w(2, b"bb")]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -11,7 +11,13 @@
 //! * [`local`] — the paper's optimisation (§III-A): when *both* versions of
 //!   a file are on the same machine, strong checksums are unnecessary —
 //!   candidate blocks found by the rolling hash are verified by **bitwise
-//!   comparison**, eliminating the dominant MD5 cost.
+//!   comparison** (word-at-a-time with exact first-difference accounting),
+//!   eliminating the dominant MD5 cost.
+//! * both block-based diffs also come in a parallel flavour
+//!   ([`local::diff_parallel`], [`rsync::diff_parallel`]): window probing
+//!   runs across a scoped worker pool, then a cheap sequential replay
+//!   re-walks the greedy traversal — output and [`Cost`] totals are
+//!   byte-identical to the sequential functions for any thread count.
 //! * [`cdc`] — content-defined chunking with a gear hash, as used by
 //!   Seafile/LBFS (1 MB average chunks by default).
 //! * [`dedup`] — fixed-size super-block deduplication (Dropbox's 4 MB
@@ -56,8 +62,10 @@ pub mod dedup;
 mod delta_ops;
 pub mod local;
 mod md5_impl;
+mod parallel;
 mod rolling;
 pub mod rsync;
+mod weak_index;
 
 pub use cost::Cost;
 pub use delta_ops::{ApplyError, Delta, DeltaOp, OP_HEADER_BYTES};

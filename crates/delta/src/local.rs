@@ -11,14 +11,18 @@
 //!
 //! The emitted [`Delta`] is bit-for-bit compatible with
 //! [`rsync::diff`](crate::rsync::diff)'s output format, so the cloud-side
-//! apply path is shared.
+//! apply path is shared. [`diff_parallel`] runs the same search across a
+//! scoped worker pool and is guaranteed to produce byte-identical output
+//! (and identical [`Cost`] totals) to [`diff`].
 
 use std::collections::HashMap;
 
 use crate::cost::Cost;
 use crate::delta_ops::Delta;
+use crate::parallel::{replay_matches, scan_matches, ProbeOutcome};
 use crate::rolling::RollingChecksum;
 use crate::rsync::diff_with;
+use crate::weak_index::{insert_candidate, CandidateSet, WeakIndex};
 use crate::DeltaParams;
 
 /// Computes a [`Delta`] from `old` to `new` using rolling-checksum search
@@ -31,46 +35,149 @@ pub fn diff(old: &[u8], new: &[u8], params: &DeltaParams, cost: &mut Cost) -> De
     let bs = params.block_size;
     // Index old-file blocks by weak checksum only.
     let nblocks = old.len().div_ceil(bs);
-    let mut weak_map: HashMap<u32, Vec<u32>> = HashMap::with_capacity(nblocks);
+    let mut weak_map: HashMap<u32, CandidateSet> = HashMap::with_capacity(nblocks);
     for (i, block) in old.chunks(bs).enumerate() {
         let weak = RollingChecksum::new(block).digest();
         cost.bytes_rolled += block.len() as u64;
         cost.ops += 1;
-        weak_map.entry(weak).or_default().push(i as u32);
+        insert_candidate(&mut weak_map, weak, i as u32);
     }
     diff_with(
         new,
         bs,
         cost,
-        |weak| weak_map.get(&weak).map(|v| v.as_slice()),
+        |weak| weak_map.get(&weak),
         |window, candidates, cost| {
-            candidates.iter().copied().find(|&b| {
-                let start = b as usize * bs;
-                let block = &old[start..(start + bs).min(old.len())];
-                let (equal, compared) = bitwise_eq(block, window);
-                cost.bytes_compared += compared;
-                cost.ops += 1;
-                equal
+            confirm_bitwise(old, bs, window, candidates, |bytes, ops| {
+                cost.bytes_compared += bytes;
+                cost.ops += ops;
             })
         },
-        |block_idx| {
-            let start = block_idx as u64 * bs as u64;
-            let len = (old.len() as u64 - start).min(bs as u64);
-            (start, len)
+        |block_idx| block_range(old.len(), bs, block_idx),
+    )
+}
+
+/// Like [`diff`], but probes window positions across `workers` scoped
+/// threads (old-file indexing is parallelized too, sharded by
+/// `weak % workers`).
+///
+/// The output `Delta` is **byte-identical** to [`diff`]'s for any thread
+/// count — candidate selection stays ordered by block index and the greedy
+/// walk is replayed sequentially over the precomputed match table — and the
+/// `Cost` totals are identical as well: speculative probing at positions
+/// the greedy walk skips is wall-clock overhead of the parallel pipeline,
+/// not algorithmic work, and is never charged.
+///
+/// `workers <= 1` falls through to the sequential implementation.
+pub fn diff_parallel(
+    old: &[u8],
+    new: &[u8],
+    params: &DeltaParams,
+    workers: usize,
+    cost: &mut Cost,
+) -> Delta {
+    if workers <= 1 {
+        return diff(old, new, params, cost);
+    }
+    let bs = params.block_size;
+    let index = WeakIndex::build_parallel(old, bs, workers);
+    // Canonical indexing cost: one weak pass over every old block, same as
+    // the sequential loop charges.
+    cost.bytes_rolled += old.len() as u64;
+    cost.ops += old.len().div_ceil(bs) as u64;
+    let probe = |weak: u32, window: &[u8]| -> Option<ProbeOutcome> {
+        index.lookup(weak).map(|candidates| {
+            let mut bytes = 0u64;
+            let mut ops = 0u64;
+            let matched = confirm_bitwise(old, bs, window, candidates, |b, o| {
+                bytes += b;
+                ops += o;
+            });
+            (matched, bytes, ops)
+        })
+    };
+    let table = scan_matches(new, bs, workers, &probe);
+    replay_matches(
+        new,
+        bs,
+        &table,
+        cost,
+        |cost, bytes, ops| {
+            cost.bytes_compared += bytes;
+            cost.ops += ops;
+        },
+        |block_idx| block_range(old.len(), bs, block_idx),
+        |pos| {
+            let window = &new[pos..pos + bs];
+            probe(RollingChecksum::new(window).digest(), window)
         },
     )
 }
 
-/// Compares two slices, returning whether they are equal and how many bytes
-/// were examined before the answer was known (mismatches short-circuit).
+/// `(offset, len)` of block `block_idx` in an old file of `old_len` bytes.
+fn block_range(old_len: usize, block_size: usize, block_idx: u32) -> (u64, u64) {
+    let start = block_idx as u64 * block_size as u64;
+    let len = (old_len as u64 - start).min(block_size as u64);
+    (start, len)
+}
+
+/// Tries `candidates` in block-index order until one bitwise-matches
+/// `window`, reporting each compare's exact cost through `charge(bytes,
+/// ops)`. Shared by the sequential and parallel paths so they cannot
+/// drift.
+fn confirm_bitwise(
+    old: &[u8],
+    block_size: usize,
+    window: &[u8],
+    candidates: &CandidateSet,
+    mut charge: impl FnMut(u64, u64),
+) -> Option<u32> {
+    for b in candidates.iter() {
+        let start = b as usize * block_size;
+        let block = &old[start..(start + block_size).min(old.len())];
+        let (equal, compared) = bitwise_eq(block, window);
+        charge(compared, 1);
+        if equal {
+            return Some(b);
+        }
+    }
+    None
+}
+
+/// Compares two slices word-at-a-time (8-byte chunks), returning whether
+/// they are equal and how many bytes were examined before the answer was
+/// known.
+///
+/// The byte count is *exact*: on a mismatch inside a word, the XOR of the
+/// two words locates the first differing byte, so the charge is the
+/// position of that byte plus one — precisely what a byte-at-a-time
+/// short-circuiting scan would report. `Cost::bytes_compared` accounting
+/// is therefore unchanged by the word-wise fast path.
 fn bitwise_eq(a: &[u8], b: &[u8]) -> (bool, u64) {
     if a.len() != b.len() {
         return (false, 0);
     }
-    match a.iter().zip(b.iter()).position(|(x, y)| x != y) {
-        Some(idx) => (false, idx as u64 + 1),
-        None => (true, a.len() as u64),
+    let mut a_words = a.chunks_exact(8);
+    let mut b_words = b.chunks_exact(8);
+    let mut i = 0usize;
+    for (aw, bw) in a_words.by_ref().zip(b_words.by_ref()) {
+        let x = u64::from_le_bytes(aw.try_into().expect("8-byte chunk"));
+        let y = u64::from_le_bytes(bw.try_into().expect("8-byte chunk"));
+        if x != y {
+            // Little-endian: the lowest differing byte in memory is the
+            // lowest non-zero byte of the XOR.
+            let first = (x ^ y).trailing_zeros() as usize / 8;
+            return (false, (i + first) as u64 + 1);
+        }
+        i += 8;
     }
+    for (&x, &y) in a_words.remainder().iter().zip(b_words.remainder()) {
+        if x != y {
+            return (false, i as u64 + 1);
+        }
+        i += 1;
+    }
+    (true, a.len() as u64)
 }
 
 #[cfg(test)]
@@ -82,6 +189,17 @@ mod tests {
         let delta = diff(old, new, &DeltaParams::with_block_size(bs), &mut cost);
         assert_eq!(delta.apply(old).unwrap(), new);
         (delta, cost)
+    }
+
+    /// Reference byte-at-a-time comparison with the same contract.
+    fn bitwise_eq_reference(a: &[u8], b: &[u8]) -> (bool, u64) {
+        if a.len() != b.len() {
+            return (false, 0);
+        }
+        match a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+            Some(idx) => (false, idx as u64 + 1),
+            None => (true, a.len() as u64),
+        }
     }
 
     #[test]
@@ -162,5 +280,77 @@ mod tests {
         assert_eq!(d_local.apply(&old).unwrap(), d_rsync.apply(&old).unwrap());
         assert_eq!(c_local.bytes_strong_hashed, 0);
         assert!(c_rsync.bytes_strong_hashed >= old.len() as u64);
+    }
+
+    #[test]
+    fn bitwise_eq_matches_reference_at_all_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 4095, 4096] {
+            let a: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            // Equal slices: full length charged.
+            assert_eq!(bitwise_eq(&a, &a), (true, len as u64), "equal len {len}");
+            assert_eq!(bitwise_eq(&a, &a), bitwise_eq_reference(&a, &a));
+            // Mismatch at every position: exact first-diff accounting.
+            for at in 0..len {
+                let mut b = a.clone();
+                b[at] ^= 0x80;
+                let got = bitwise_eq(&a, &b);
+                assert_eq!(got, (false, at as u64 + 1), "len {len} mismatch at {at}");
+                assert_eq!(got, bitwise_eq_reference(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn bitwise_eq_mismatch_at_word_boundaries() {
+        // The boundary cases the word-wise fast path must not miscount:
+        // last byte of a word, first byte of the next, and the scalar tail.
+        let len = 4096;
+        let a = vec![0xA5u8; len];
+        for at in [0usize, 6, 7, 8, 9, 4087, 4088, 4089, 4095] {
+            let mut b = a.clone();
+            b[at] = !b[at];
+            assert_eq!(bitwise_eq(&a, &b), (false, at as u64 + 1), "boundary {at}");
+        }
+    }
+
+    #[test]
+    fn bitwise_eq_length_mismatch_is_free() {
+        assert_eq!(bitwise_eq(b"abc", b"abcd"), (false, 0));
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical() {
+        let old: Vec<u8> = (0..30_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut new = old.clone();
+        new.splice(5_000..5_000, [0xEE; 37]);
+        new[70_000] ^= 0xFF;
+        let params = DeltaParams::with_block_size(512);
+        let mut c_seq = Cost::new();
+        let d_seq = diff(&old, &new, &params, &mut c_seq);
+        for workers in [2, 3, 4, 7] {
+            let mut c_par = Cost::new();
+            let d_par = diff_parallel(&old, &new, &params, workers, &mut c_par);
+            assert_eq!(d_par, d_seq, "delta differs with {workers} workers");
+            assert_eq!(c_par, c_seq, "cost differs with {workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_edge_inputs() {
+        let params = DeltaParams::with_block_size(16);
+        for (old, new) in [
+            (&b""[..], &b""[..]),
+            (&b""[..], &b"short"[..]),
+            (&b"short"[..], &b""[..]),
+            (&b"tiny"[..], &b"tin"[..]),
+        ] {
+            let mut c_seq = Cost::new();
+            let d_seq = diff(old, new, &params, &mut c_seq);
+            let mut c_par = Cost::new();
+            let d_par = diff_parallel(old, new, &params, 4, &mut c_par);
+            assert_eq!(d_par, d_seq);
+            assert_eq!(c_par, c_seq);
+            assert_eq!(d_par.apply(old).unwrap(), new);
+        }
     }
 }

@@ -18,7 +18,9 @@ use bytes::Bytes;
 use crate::cost::Cost;
 use crate::delta_ops::{Delta, DeltaOp};
 use crate::md5_impl::md5;
+use crate::parallel::{replay_matches, scan_matches, ProbeOutcome};
 use crate::rolling::RollingChecksum;
+use crate::weak_index::{insert_candidate, CandidateSet};
 use crate::DeltaParams;
 
 /// Per-block wire overhead of a transmitted signature entry:
@@ -31,8 +33,9 @@ pub struct Signature {
     block_size: usize,
     /// Strong checksum of each block, indexed by block number.
     strong: Vec<[u8; 16]>,
-    /// Weak checksum -> block numbers with that weak checksum.
-    weak_map: HashMap<u32, Vec<u32>>,
+    /// Weak checksum -> block numbers with that weak checksum (first
+    /// candidate inline, overflow allocated only on collision).
+    weak_map: HashMap<u32, CandidateSet>,
     old_len: u64,
 }
 
@@ -57,6 +60,13 @@ impl Signature {
     pub fn wire_size(&self) -> u64 {
         self.block_count() as u64 * SIGNATURE_ENTRY_BYTES
     }
+
+    /// `(offset, len)` of block `block_idx` in the old file.
+    fn block_range(&self, block_idx: u32) -> (u64, u64) {
+        let start = block_idx as u64 * self.block_size as u64;
+        let len = (self.old_len - start).min(self.block_size as u64);
+        (start, len)
+    }
 }
 
 /// Computes the block [`Signature`] of `old`.
@@ -67,7 +77,7 @@ pub fn signature(old: &[u8], params: &DeltaParams, cost: &mut Cost) -> Signature
     let bs = params.block_size;
     let nblocks = old.len().div_ceil(bs);
     let mut strong = Vec::with_capacity(nblocks);
-    let mut weak_map: HashMap<u32, Vec<u32>> = HashMap::with_capacity(nblocks);
+    let mut weak_map: HashMap<u32, CandidateSet> = HashMap::with_capacity(nblocks);
     for (i, block) in old.chunks(bs).enumerate() {
         let weak = RollingChecksum::new(block).digest();
         cost.bytes_rolled += block.len() as u64;
@@ -75,7 +85,7 @@ pub fn signature(old: &[u8], params: &DeltaParams, cost: &mut Cost) -> Signature
         cost.bytes_strong_hashed += block.len() as u64;
         cost.ops += 2;
         strong.push(digest);
-        weak_map.entry(weak).or_default().push(i as u32);
+        insert_candidate(&mut weak_map, weak, i as u32);
     }
     Signature {
         block_size: bs,
@@ -95,20 +105,58 @@ pub fn diff(sig: &Signature, new: &[u8], params: &DeltaParams, cost: &mut Cost) 
         new,
         params.block_size,
         cost,
-        |weak| sig.weak_map.get(&weak).map(|v| v.as_slice()),
+        |weak| sig.weak_map.get(&weak),
         |window, candidates, cost| {
             let digest = md5(window);
             cost.bytes_strong_hashed += window.len() as u64;
             cost.ops += 1;
-            candidates
-                .iter()
-                .copied()
-                .find(|&b| sig.strong[b as usize] == digest)
+            candidates.iter().find(|&b| sig.strong[b as usize] == digest)
         },
-        |block_idx| {
-            let start = block_idx as u64 * sig.block_size as u64;
-            let len = (sig.old_len - start).min(sig.block_size as u64);
-            (start, len)
+        |block_idx| sig.block_range(block_idx),
+    )
+}
+
+/// Like [`diff`], but probes window positions across `workers` scoped
+/// threads, sharing `sig` read-only.
+///
+/// The output `Delta` — and the `Cost` totals — are **byte-identical** to
+/// [`diff`]'s for any thread count: candidate selection stays ordered by
+/// block index and the greedy walk is replayed sequentially over the
+/// precomputed match table. `workers <= 1` falls through to the sequential
+/// implementation.
+pub fn diff_parallel(
+    sig: &Signature,
+    new: &[u8],
+    params: &DeltaParams,
+    workers: usize,
+    cost: &mut Cost,
+) -> Delta {
+    debug_assert_eq!(sig.block_size, params.block_size);
+    if workers <= 1 {
+        return diff(sig, new, params, cost);
+    }
+    let bs = sig.block_size;
+    let probe = |weak: u32, window: &[u8]| -> Option<ProbeOutcome> {
+        sig.weak_map.get(&weak).map(|candidates| {
+            let digest = md5(window);
+            let matched = candidates.iter().find(|&b| sig.strong[b as usize] == digest);
+            (matched, window.len() as u64, 1u64)
+        })
+    };
+    let table = scan_matches(new, bs, workers, &probe);
+    replay_matches(
+        new,
+        bs,
+        &table,
+        cost,
+        |cost, bytes, ops| {
+            cost.bytes_strong_hashed += bytes;
+            cost.ops += ops;
+        },
+        |block_idx| sig.block_range(block_idx),
+        |pos| {
+            let window = &new[pos..pos + bs];
+            probe(RollingChecksum::new(window).digest(), window)
         },
     )
 }
@@ -116,15 +164,15 @@ pub fn diff(sig: &Signature, new: &[u8], params: &DeltaParams, cost: &mut Cost) 
 /// Shared rolling-window matcher used by both the remote ([`diff`]) and the
 /// local bitwise variant (`local::diff`).
 ///
-/// `lookup` maps a weak digest to candidate block indices; `confirm`
-/// verifies a candidate (MD5 or bitwise compare); `block_range` maps a
-/// confirmed block index to its (offset, len) in the old file.
+/// `lookup` maps a weak digest to its candidate set; `confirm` verifies a
+/// candidate (MD5 or bitwise compare); `block_range` maps a confirmed
+/// block index to its (offset, len) in the old file.
 pub(crate) fn diff_with<'a>(
     new: &[u8],
     block_size: usize,
     cost: &mut Cost,
-    lookup: impl Fn(u32) -> Option<&'a [u32]>,
-    mut confirm: impl FnMut(&[u8], &[u32], &mut Cost) -> Option<u32>,
+    lookup: impl Fn(u32) -> Option<&'a CandidateSet>,
+    mut confirm: impl FnMut(&[u8], &CandidateSet, &mut Cost) -> Option<u32>,
     block_range: impl Fn(u32) -> (u64, u64),
 ) -> Delta {
     let mut ops: Vec<DeltaOp> = Vec::new();
@@ -278,5 +326,24 @@ mod tests {
         let old: Vec<u8> = (0..10_000).map(|_| next()).collect();
         let new: Vec<u8> = (0..10_000).map(|_| next()).collect();
         roundtrip(&old, &new, 32);
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical() {
+        let old: Vec<u8> = (0..20_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut new = old.clone();
+        new.splice(3_000..3_000, b"SHIFTED".iter().copied());
+        new[60_000] ^= 0x55;
+        let params = DeltaParams::with_block_size(256);
+        let mut c_sig = Cost::new();
+        let sig = signature(&old, &params, &mut c_sig);
+        let mut c_seq = Cost::new();
+        let d_seq = diff(&sig, &new, &params, &mut c_seq);
+        for workers in [2, 3, 4, 6] {
+            let mut c_par = Cost::new();
+            let d_par = diff_parallel(&sig, &new, &params, workers, &mut c_par);
+            assert_eq!(d_par, d_seq, "delta differs with {workers} workers");
+            assert_eq!(c_par, c_seq, "cost differs with {workers} workers");
+        }
     }
 }

@@ -1,0 +1,187 @@
+//! Weak-checksum candidate maps shared by the block-matching diffs.
+//!
+//! Two pieces live here:
+//!
+//! * [`CandidateSet`] — the value type of every weak map. Almost all weak
+//!   checksums identify exactly one block, so the first candidate is stored
+//!   inline and the overflow `Vec` is only allocated on a real collision.
+//!   This removes one heap allocation per *block* of the old file compared
+//!   to the previous `Vec<u32>`-per-entry representation.
+//! * [`WeakIndex`] — a sharded weak map (shard = `weak % nshards`) built by
+//!   a two-phase scoped worker pool, used by the parallel diff pipeline.
+//!   Candidates are inserted in increasing block-index order globally, so
+//!   candidate iteration order — and therefore match selection — is
+//!   identical to the sequential single-map build.
+
+use std::collections::HashMap;
+
+use crate::rolling::RollingChecksum;
+
+/// Block indices sharing one weak checksum, first candidate inline.
+///
+/// Iteration yields candidates in insertion order, which every builder in
+/// this crate keeps equal to increasing block-index order — the order the
+/// determinism contract of the parallel pipeline relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CandidateSet {
+    first: u32,
+    overflow: Vec<u32>,
+}
+
+impl CandidateSet {
+    /// A set holding a single candidate, allocation-free.
+    pub(crate) fn new(first: u32) -> Self {
+        CandidateSet {
+            first,
+            overflow: Vec::new(),
+        }
+    }
+
+    /// Appends a colliding candidate (allocates only now).
+    pub(crate) fn push(&mut self, idx: u32) {
+        self.overflow.push(idx);
+    }
+
+    /// Candidates in insertion (block-index) order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        std::iter::once(self.first).chain(self.overflow.iter().copied())
+    }
+
+    /// Number of candidates in the set.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        1 + self.overflow.len()
+    }
+}
+
+/// Inserts `idx` under `weak`, preserving block-index insertion order.
+pub(crate) fn insert_candidate(map: &mut HashMap<u32, CandidateSet>, weak: u32, idx: u32) {
+    map.entry(weak)
+        .and_modify(|set| set.push(idx))
+        .or_insert_with(|| CandidateSet::new(idx));
+}
+
+/// A weak map sharded by `weak % nshards`, safe to share read-only across
+/// the diff worker pool.
+#[derive(Debug)]
+pub(crate) struct WeakIndex {
+    shards: Vec<HashMap<u32, CandidateSet>>,
+}
+
+impl WeakIndex {
+    /// Looks up the candidate set for `weak`, if any.
+    #[inline]
+    pub(crate) fn lookup(&self, weak: u32) -> Option<&CandidateSet> {
+        self.shards[weak as usize % self.shards.len()].get(&weak)
+    }
+
+    /// Indexes the blocks of `old` across `workers` threads.
+    ///
+    /// Phase 1 splits the blocks into contiguous ranges and computes
+    /// `(weak, block index)` pairs per range; phase 2 has each shard owner
+    /// walk the ranges *in order* and keep the pairs landing in its shard,
+    /// so per-weak candidate order is increasing block index — exactly
+    /// what the sequential single-map build produces.
+    pub(crate) fn build_parallel(old: &[u8], block_size: usize, workers: usize) -> Self {
+        let nblocks = old.len().div_ceil(block_size);
+        let workers = workers.clamp(1, nblocks.max(1));
+        let per_range = nblocks.div_ceil(workers).max(1);
+        let mut pairs: Vec<Vec<(u32, u32)>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = (w * per_range).min(nblocks);
+                    let hi = ((w + 1) * per_range).min(nblocks);
+                    s.spawn(move || {
+                        (lo..hi)
+                            .map(|i| {
+                                let start = i * block_size;
+                                let end = (start + block_size).min(old.len());
+                                let weak = RollingChecksum::new(&old[start..end]).digest();
+                                (weak, i as u32)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            pairs = handles
+                .into_iter()
+                .map(|h| h.join().expect("index worker panicked"))
+                .collect();
+        });
+        let nshards = workers;
+        let mut shards: Vec<HashMap<u32, CandidateSet>> = Vec::new();
+        std::thread::scope(|s| {
+            let pairs = &pairs;
+            let handles: Vec<_> = (0..nshards)
+                .map(|shard| {
+                    s.spawn(move || {
+                        let mut map = HashMap::new();
+                        for range in pairs {
+                            for &(weak, idx) in range {
+                                if weak as usize % nshards == shard {
+                                    insert_candidate(&mut map, weak, idx);
+                                }
+                            }
+                        }
+                        map
+                    })
+                })
+                .collect();
+            shards = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect();
+        });
+        WeakIndex { shards }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_set_keeps_insertion_order() {
+        let mut set = CandidateSet::new(3);
+        set.push(7);
+        set.push(11);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![3, 7, 11]);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn first_candidate_is_allocation_free() {
+        let set = CandidateSet::new(5);
+        assert_eq!(set.overflow.capacity(), 0);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn sharded_index_matches_sequential_map() {
+        // Repetitive content forces weak collisions across ranges.
+        let old: Vec<u8> = b"abcdabcdXYabcdabcd".repeat(57);
+        let bs = 4;
+        let mut seq: HashMap<u32, CandidateSet> = HashMap::new();
+        for (i, block) in old.chunks(bs).enumerate() {
+            insert_candidate(&mut seq, RollingChecksum::new(block).digest(), i as u32);
+        }
+        for workers in [1, 2, 3, 5, 8] {
+            let index = WeakIndex::build_parallel(&old, bs, workers);
+            for (weak, set) in &seq {
+                let got = index.lookup(*weak).expect("weak value present");
+                assert_eq!(
+                    got.iter().collect::<Vec<_>>(),
+                    set.iter().collect::<Vec<_>>(),
+                    "candidate order differs at weak {weak:#x} with {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_old_builds_empty_index() {
+        let index = WeakIndex::build_parallel(&[], 16, 4);
+        assert_eq!(index.lookup(0), None);
+    }
+}

@@ -54,6 +54,38 @@ pub use store::KvStore;
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, KvError>;
 
+/// One operation inside an atomic [`KeyValue::write_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Store `value` under `key`.
+    Put {
+        /// The key to insert.
+        key: Vec<u8>,
+        /// The value to store.
+        value: Vec<u8>,
+    },
+    /// Remove `key` (absent keys are not an error).
+    Delete {
+        /// The key to remove.
+        key: Vec<u8>,
+    },
+}
+
+impl BatchOp {
+    /// Convenience constructor for a put.
+    pub fn put(key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> Self {
+        BatchOp::Put {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for a delete.
+    pub fn delete(key: impl Into<Vec<u8>>) -> Self {
+        BatchOp::Delete { key: key.into() }
+    }
+}
+
 /// The key-value operations the DeltaCFS checksum store needs.
 ///
 /// Implemented by the persistent [`KvStore`] and the volatile
@@ -87,4 +119,26 @@ pub trait KeyValue {
     ///
     /// Returns [`KvError::Io`] if reading fails.
     fn scan_prefix(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
+
+    /// Applies `batch` as one group commit.
+    ///
+    /// [`KvStore`] overrides this with a single WAL append (one CRC over
+    /// the whole batch record, one flush point) whose replay is
+    /// all-or-nothing after a crash. The default implementation applies
+    /// the operations one by one and makes no atomicity promise — volatile
+    /// backends that cannot crash mid-batch (e.g. [`MemStore`]) are
+    /// trivially atomic anyway.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::Io`] if persisting the batch fails.
+    fn write_batch(&mut self, batch: &[BatchOp]) -> Result<()> {
+        for op in batch {
+            match op {
+                BatchOp::Put { key, value } => self.put(key, value)?,
+                BatchOp::Delete { key } => self.delete(key)?,
+            }
+        }
+        Ok(())
+    }
 }

@@ -1,6 +1,6 @@
 use std::collections::BTreeMap;
 
-use crate::{KeyValue, Result};
+use crate::{BatchOp, KeyValue, Result};
 
 /// A volatile, in-memory [`KeyValue`] implementation.
 ///
@@ -52,6 +52,22 @@ impl KeyValue for MemStore {
 
     fn delete(&mut self, key: &[u8]) -> Result<()> {
         self.map.remove(key);
+        Ok(())
+    }
+
+    // Volatile stores cannot crash mid-batch, so applying in order is
+    // already atomic; overriding skips the per-op `Result` plumbing.
+    fn write_batch(&mut self, batch: &[BatchOp]) -> Result<()> {
+        for op in batch {
+            match op {
+                BatchOp::Put { key, value } => {
+                    self.map.insert(key.clone(), value.clone());
+                }
+                BatchOp::Delete { key } => {
+                    self.map.remove(key);
+                }
+            }
+        }
         Ok(())
     }
 

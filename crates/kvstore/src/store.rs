@@ -3,7 +3,7 @@ use std::path::{Path, PathBuf};
 
 use crate::segment::Segment;
 use crate::wal::{replay, WalRecord, WalWriter};
-use crate::{KeyValue, KvError, Result};
+use crate::{BatchOp, KeyValue, KvError, Result};
 
 /// Default memtable flush threshold, in entries.
 const DEFAULT_FLUSH_THRESHOLD: usize = 16 * 1024;
@@ -203,6 +203,27 @@ impl KeyValue for KvStore {
             .filter_map(|(k, v)| v.map(|v| (k, v)))
             .collect())
     }
+
+    /// Group commit: the whole batch goes to the WAL as one record (one
+    /// CRC, one flush point) before any of it touches the memtable, so a
+    /// crash anywhere in between replays all of the batch or none of it.
+    fn write_batch(&mut self, batch: &[BatchOp]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.wal.append_batch(batch)?;
+        for op in batch {
+            match op {
+                BatchOp::Put { key, value } => {
+                    self.memtable.insert(key.clone(), Some(value.clone()));
+                }
+                BatchOp::Delete { key } => {
+                    self.memtable.insert(key.clone(), None);
+                }
+            }
+        }
+        self.maybe_flush()
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +352,77 @@ mod tests {
         }
         let mut s = KvStore::open(&dir.0).unwrap();
         assert_eq!(s.get(b"durable").unwrap(), Some(b"yes".to_vec()));
+    }
+
+    #[test]
+    fn write_batch_is_one_group_commit() {
+        let dir = TempDir::new("batch");
+        {
+            let mut s = KvStore::open(&dir.0).unwrap();
+            s.put(b"seed", b"v").unwrap();
+            s.write_batch(&[
+                BatchOp::put(b"a".to_vec(), b"1".to_vec()),
+                BatchOp::put(b"b".to_vec(), b"2".to_vec()),
+                BatchOp::delete(b"seed".to_vec()),
+            ])
+            .unwrap();
+        }
+        let mut s = KvStore::open(&dir.0).unwrap();
+        assert_eq!(s.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(s.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(s.get(b"seed").unwrap(), None);
+    }
+
+    #[test]
+    fn crashed_batch_replays_all_or_nothing() {
+        let dir = TempDir::new("batch-crash");
+        {
+            let mut s = KvStore::open(&dir.0).unwrap();
+            s.put(b"durable", b"yes").unwrap();
+            s.write_batch(&[
+                BatchOp::put(b"blk:0".to_vec(), b"c0".to_vec()),
+                BatchOp::put(b"blk:1".to_vec(), b"c1".to_vec()),
+                BatchOp::put(b"blk:2".to_vec(), b"c2".to_vec()),
+            ])
+            .unwrap();
+        }
+        // Simulate a crash that tore the batch record: chop bytes off the
+        // WAL tail. However deep the cut lands inside the batch, recovery
+        // must never surface a strict subset of its keys.
+        let wal_path = dir.0.join("wal");
+        let full = std::fs::read(&wal_path).unwrap();
+        for cut in 1..30 {
+            std::fs::write(&wal_path, &full[..full.len() - cut]).unwrap();
+            let mut s = KvStore::open(&dir.0).unwrap();
+            let present = (0..3u8)
+                .filter(|i| {
+                    s.get(format!("blk:{i}").as_bytes())
+                        .unwrap()
+                        .is_some()
+                })
+                .count();
+            assert_eq!(present, 0, "cut {cut}: partial batch visible after crash");
+            assert_eq!(s.get(b"durable").unwrap(), Some(b"yes".to_vec()));
+        }
+        // An untouched WAL replays the whole batch.
+        std::fs::write(&wal_path, &full).unwrap();
+        let mut s = KvStore::open(&dir.0).unwrap();
+        for i in 0..3u8 {
+            assert!(s.get(format!("blk:{i}").as_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn write_batch_respects_flush_threshold() {
+        let dir = TempDir::new("batch-flush");
+        let mut s = KvStore::open_with_threshold(&dir.0, 4).unwrap();
+        let batch: Vec<BatchOp> =
+            (0..10u8).map(|i| BatchOp::put(vec![i], vec![i * 3])).collect();
+        s.write_batch(&batch).unwrap();
+        assert!(s.segment_count() >= 1);
+        for i in 0..10u8 {
+            assert_eq!(s.get(&[i]).unwrap(), Some(vec![i * 3]));
+        }
     }
 
     #[test]

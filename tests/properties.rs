@@ -39,6 +39,38 @@ proptest! {
         prop_assert_eq!(cost.bytes_strong_hashed, 0);
     }
 
+    /// The parallel delta paths are byte-identical to the sequential ones
+    /// — same `Delta`, same `Cost` totals — for any worker count. This is
+    /// the determinism contract of DESIGN.md §10: parallelism may only
+    /// change wall-clock time, never output or accounting.
+    #[test]
+    fn parallel_diff_is_byte_identical(
+        old in buffer(8192),
+        new in buffer(8192),
+        bs in 1usize..256,
+        workers in 1usize..8,
+    ) {
+        let params = DeltaParams::with_block_size(bs);
+
+        let mut seq_cost = Cost::new();
+        let seq = local::diff(&old, &new, &params, &mut seq_cost);
+        let mut par_cost = Cost::new();
+        let par = local::diff_parallel(&old, &new, &params, workers, &mut par_cost);
+        prop_assert_eq!(&par, &seq);
+        prop_assert_eq!(par_cost, seq_cost);
+
+        let mut seq_cost = Cost::new();
+        let sig = rsync::signature(&old, &params, &mut seq_cost);
+        let seq = rsync::diff(&sig, &new, &params, &mut seq_cost);
+        let mut par_cost = Cost::new();
+        let sig_p = rsync::signature(&old, &params, &mut par_cost);
+        let par = rsync::diff_parallel(&sig_p, &new, &params, workers, &mut par_cost);
+        prop_assert_eq!(&par, &seq);
+        prop_assert_eq!(par_cost, seq_cost);
+
+        prop_assert_eq!(par.apply(&old).unwrap(), new);
+    }
+
     /// Local and remote rsync produce deltas of identical output length
     /// (they may differ in matching choices but must rebuild the same file).
     #[test]

@@ -18,6 +18,7 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut scale = 0.25f64;
     let mut json_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,6 +35,14 @@ fn main() {
                     args.get(i)
                         .cloned()
                         .unwrap_or_else(|| die("--json expects a path")),
+                );
+            }
+            "--metrics" => {
+                i += 1;
+                metrics_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--metrics expects a path")),
                 );
             }
             other if !other.starts_with('-') => which.push(other.to_string()),
@@ -100,6 +109,19 @@ fn main() {
         println!("{}", table::render_table5(&rows));
         json.insert("table5".into(), serde_json::to_value(&rows).unwrap());
     }
+    if wants("metrics") || metrics_path.is_some() {
+        let snap = experiments::metrics_snapshot();
+        println!("## Observability snapshot (pinned-seed faulty two-writer run)\n");
+        println!("{}", snap.to_prometheus());
+        let value: serde_json::Value = serde_json::from_str(&snap.to_json())
+            .unwrap_or_else(|e| die(&format!("metrics snapshot is not valid JSON: {e}")));
+        json.insert("metrics".into(), value);
+        if let Some(path) = &metrics_path {
+            std::fs::write(path, snap.to_prometheus())
+                .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+            println!("(prometheus metrics written to {path})");
+        }
+    }
 
     if let Some(path) = json_path {
         std::fs::write(
@@ -114,7 +136,8 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [all|fig1|fig2|table2|fig8|fig9|table3|table4|table5]... [--scale F] [--json PATH]"
+        "usage: repro [all|fig1|fig2|table2|fig8|fig9|table3|table4|table5|metrics]... \
+         [--scale F] [--json PATH] [--metrics PATH]"
     );
     std::process::exit(2);
 }

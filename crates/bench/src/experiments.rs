@@ -635,6 +635,58 @@ pub fn table5(seeds: &[u64]) -> Vec<FaultCellResult> {
     rows
 }
 
+/// Runs a pinned-seed faulty two-writer workload with the full
+/// observability stack armed (tracing enabled, couriers feeding the
+/// backoff histogram) and returns the unified metrics snapshot —
+/// the `repro -- metrics` section, and a quick way to eyeball what the
+/// registry exports.
+///
+/// Deterministic: same snapshot (byte-identical JSON and Prometheus
+/// renderings) on every run.
+pub fn metrics_snapshot() -> deltacfs_obs::Snapshot {
+    let seed = 7u64;
+    let clock = SimClock::new();
+    let mut hub = SyncHub::new(clock.clone());
+    hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
+    hub.add_client(DeltaCfsConfig::new(), LinkSpec::mobile());
+    hub.enable_observability(deltacfs_obs::Obs::with_tracing(8192));
+    hub.enable_fault_topology(vec![
+        FaultSpec::clean(seed)
+            .with_rates(0.25, 0.15, 0.25)
+            .with_reorder(0.5),
+        FaultSpec::clean(seed ^ 0xBEEF).with_rates(0.2, 0.2, 0.2),
+    ]);
+
+    hub.fs_mut(0).create("/a.txt").unwrap();
+    hub.fs_mut(0).write("/a.txt", 0, b"alpha round one").unwrap();
+    hub.fs_mut(1).create("/b.txt").unwrap();
+    hub.fs_mut(1).write("/b.txt", 0, &vec![7u8; 20_000]).unwrap();
+    hub.pump();
+    clock.advance(4_000);
+    hub.pump();
+
+    // A Word-style transactional save so the relation table triggers and
+    // the parallel delta encoder runs.
+    let mut doc = hub.fs(1).peek_all("/b.txt").unwrap();
+    doc[10_000] = 9;
+    hub.fs_mut(1).rename("/b.txt", "/b.bak").unwrap();
+    hub.pump();
+    hub.fs_mut(1).create("/b.tmp").unwrap();
+    hub.pump();
+    hub.fs_mut(1).write("/b.tmp", 0, &doc).unwrap();
+    hub.pump();
+    hub.fs_mut(1).close_path("/b.tmp").unwrap();
+    hub.pump();
+    hub.fs_mut(1).rename("/b.tmp", "/b.txt").unwrap();
+    hub.pump();
+    hub.fs_mut(1).unlink("/b.bak").unwrap();
+    hub.pump();
+    clock.advance(4_000);
+    hub.pump();
+    hub.settle(600_000);
+    hub.export_metrics()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,9 +20,10 @@
 use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
-use deltacfs_delta::{local, Cost, DeltaParams};
+use deltacfs_delta::{local, segment_bounds, Cost, DeltaParams};
 use deltacfs_kvstore::{KeyValue, MemStore};
 use deltacfs_net::{SimClock, SimTime};
+use deltacfs_obs::Obs;
 use deltacfs_vfs::{OpEvent, Vfs};
 
 use crate::checksum_store::ChecksumStore;
@@ -95,6 +96,12 @@ pub struct DeltaCfsClient<K: KeyValue = MemStore> {
     next_txn: u64,
     last_snapshot: SimTime,
     cost: Cost,
+    /// Observability bundle; default-disabled tracer, so every trace call
+    /// below costs one relaxed atomic load until [`DeltaCfsClient::set_obs`]
+    /// installs a live one.
+    obs: Obs,
+    /// Actor name under which this client's trace events are recorded.
+    actor: String,
 }
 
 impl DeltaCfsClient<MemStore> {
@@ -130,7 +137,15 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             last_snapshot: SimTime::ZERO,
             clock,
             cost: Cost::new(),
+            obs: Obs::new(),
+            actor: format!("client-{}", id.0),
         }
+    }
+
+    /// Installs a shared observability bundle: trace events from this
+    /// client flow into `obs.tracer` under the actor name `client-<id>`.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// This client's identifier.
@@ -233,6 +248,11 @@ impl<K: KeyValue> DeltaCfsClient<K> {
     /// is no longer readable when the trigger fires.
     pub fn handle_event(&mut self, event: &OpEvent, fs: &Vfs) {
         let now = self.clock.now();
+        self.obs
+            .tracer
+            .event(now.as_millis(), &self.actor, "vfs.op", || {
+                op_summary(event)
+            });
         match event {
             OpEvent::Create { path } => self.on_create(path.as_str(), now),
             OpEvent::Write {
@@ -283,6 +303,11 @@ impl<K: KeyValue> DeltaCfsClient<K> {
         {
             // Delete-then-rewrite (or similar) pattern: remember the old
             // version; the delta runs when the new content is complete.
+            self.obs
+                .tracer
+                .event(now.as_millis(), &self.actor, "relation.trigger", || {
+                    format!("delete-then-rewrite matched on {path}; delta deferred to close")
+                });
             self.pending_delta.insert(path.to_string(), pre);
         }
         self.sizes.insert(path.to_string(), 0);
@@ -499,8 +524,18 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                 now,
             );
         } else if let Some(pre) = self.relation.take_match(dst, now) {
+            self.obs
+                .tracer
+                .event(now.as_millis(), &self.actor, "relation.trigger", || {
+                    format!("rename-recreate (word pattern) matched on {dst}")
+                });
             self.execute_delta(dst, pre, Some(src), fs, now);
         } else if let Some(old_content) = replaced {
+            self.obs
+                .tracer
+                .event(now.as_millis(), &self.actor, "relation.trigger", || {
+                    format!("rename-over-existing (gedit pattern) matched on {dst}")
+                });
             let pre = Preserved {
                 old: OldVersion::Content(old_content),
                 base_version: replaced_version,
@@ -580,6 +615,11 @@ impl<K: KeyValue> DeltaCfsClient<K> {
     fn on_close(&mut self, path: &str, fs: &Vfs, now: SimTime) {
         self.queue.pack(path);
         if let Some(pre) = self.pending_delta.remove(path) {
+            self.obs
+                .tracer
+                .event(now.as_millis(), &self.actor, "relation.trigger", || {
+                    format!("close fired deferred delta on {path}")
+                });
             self.execute_delta(path, pre, None, fs, now);
         }
     }
@@ -632,6 +672,29 @@ impl<K: KeyValue> DeltaCfsClient<K> {
         }
 
         let params = DeltaParams::with_block_size(self.cfg.block_size);
+        self.obs
+            .tracer
+            .enter(now.as_millis(), &self.actor, "delta.encode", || {
+                format!(
+                    "{path}: {} -> {} bytes, base {base_path}",
+                    old_content.len(),
+                    new_content.len()
+                )
+            });
+        // Per-worker-segment events come from the *same* split the scan
+        // phase uses; emitted here on the engine thread so the trace stays
+        // deterministic regardless of worker scheduling.
+        for (i, (start, end)) in
+            segment_bounds(new_content.len(), self.cfg.block_size, self.cfg.parallelism)
+                .into_iter()
+                .enumerate()
+        {
+            self.obs
+                .tracer
+                .event(now.as_millis(), &self.actor, "delta.segment", || {
+                    format!("worker {i}: window positions {start}..{end}")
+                });
+        }
         let delta = local::diff_parallel(
             &old_content,
             &new_content,
@@ -639,8 +702,22 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             self.cfg.parallelism,
             &mut self.cost,
         );
+        let chose_delta = delta.wire_size() < new_content.len() as u64;
+        self.obs
+            .tracer
+            .exit(now.as_millis(), &self.actor, "delta.encode", || {
+                if chose_delta {
+                    format!("delta wins: {} wire bytes", delta.wire_size())
+                } else {
+                    format!(
+                        "full-content fallback: delta {} >= file {}",
+                        delta.wire_size(),
+                        new_content.len()
+                    )
+                }
+            });
         let version = self.next_version();
-        let node_id = if delta.wire_size() < new_content.len() as u64 {
+        let node_id = if chose_delta {
             self.queue.push(
                 NodeKind::Delta {
                     path: path.to_string(),
@@ -740,6 +817,18 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                 for m in &mut msgs {
                     m.group = Some(gid);
                 }
+                let now_ms = self.clock.now().as_millis();
+                self.obs
+                    .tracer
+                    .event(now_ms, &self.actor, "sync.group", || {
+                        let wire: u64 = msgs.iter().map(UpdateMsg::wire_size).sum();
+                        format!(
+                            "group seq {} packed: {} msgs, {} wire bytes",
+                            gid.seq,
+                            msgs.len(),
+                            wire
+                        )
+                    });
                 out.push(msgs);
             }
         }
@@ -1127,6 +1216,30 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             replayed.push(path);
         }
         replayed
+    }
+}
+
+/// Compact one-line rendering of an intercepted operation for the trace.
+fn op_summary(event: &OpEvent) -> String {
+    match event {
+        OpEvent::Create { path } => format!("create {path}"),
+        OpEvent::Write {
+            path, offset, data, ..
+        } => format!("write {path} @{offset} +{}B", data.len()),
+        OpEvent::Truncate { path, size, .. } => format!("truncate {path} to {size}B"),
+        OpEvent::Rename { src, dst, replaced } => {
+            if replaced.is_some() {
+                format!("rename {src} -> {dst} (replaces existing)")
+            } else {
+                format!("rename {src} -> {dst}")
+            }
+        }
+        OpEvent::Link { src, dst } => format!("link {src} -> {dst}"),
+        OpEvent::Unlink { path, .. } => format!("unlink {path}"),
+        OpEvent::Mkdir { path } => format!("mkdir {path}"),
+        OpEvent::Rmdir { path } => format!("rmdir {path}"),
+        OpEvent::Close { path } => format!("close {path}"),
+        OpEvent::Fsync { path } => format!("fsync {path}"),
     }
 }
 

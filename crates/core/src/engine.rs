@@ -90,6 +90,12 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
         }
     }
 
+    /// Installs a shared observability bundle on the client engine (see
+    /// [`DeltaCfsClient::set_obs`]).
+    pub fn enable_observability(&mut self, obs: deltacfs_obs::Obs) {
+        self.client.set_obs(obs);
+    }
+
     /// The client engine.
     pub fn client(&self) -> &DeltaCfsClient<K> {
         &self.client

@@ -80,7 +80,7 @@ pub use protocol::{
     MSG_HEADER_BYTES, OP_ITEM_HEADER_BYTES,
 };
 pub use relation_table::{OldVersion, Preserved, RelationTable};
-pub use retry::{Courier, Flight, RetryPolicy};
+pub use retry::{Courier, Flight, RetryPolicy, BACKOFF_BUCKETS_MS};
 pub use server::CloudServer;
 pub use sync_queue::{Node, NodeKind, SyncQueue};
 pub use threaded::{spawn_cloud, CloudGone, CloudHandle};

@@ -11,13 +11,14 @@ use deltacfs_kvstore::MemStore;
 use deltacfs_net::{
     FaultSpec, FaultStats, FaultTopology, Link, LinkSpec, SimClock, UploadVerdict,
 };
+use deltacfs_obs::{Obs, Snapshot};
 use deltacfs_vfs::Vfs;
 
 use crate::client::{DeltaCfsClient, RemoteConflict};
 use crate::config::DeltaCfsConfig;
 use crate::persist;
 use crate::protocol::{ApplyOutcome, ClientId, UpdateMsg, UpdatePayload, Version};
-use crate::retry::{Courier, RetryPolicy};
+use crate::retry::{Courier, RetryPolicy, BACKOFF_BUCKETS_MS};
 use crate::server::CloudServer;
 
 struct Slot {
@@ -68,6 +69,9 @@ pub struct SyncHub {
     /// Every `(client, path, version)` the server acknowledged as
     /// applied — the commit record fault tests check against.
     acked: Vec<(usize, String, Version)>,
+    /// Observability bundle shared with every client. Default-disabled
+    /// tracer; [`SyncHub::enable_observability`] installs a live one.
+    obs: Obs,
 }
 
 impl std::fmt::Debug for SyncHub {
@@ -91,20 +95,51 @@ impl SyncHub {
             store: MemStore::new(),
             deferred: Vec::new(),
             acked: Vec::new(),
+            obs: Obs::new(),
         }
+    }
+
+    /// Installs a shared observability bundle: every attached client's
+    /// trace events flow into `obs.tracer` (as do the hub's own wire,
+    /// retry, and server events under actor names `client-<n>` and
+    /// `server`), and courier backoff delays are recorded into the
+    /// `retry_backoff_ms` histogram of `obs.registry`. Clients attached
+    /// later inherit it.
+    pub fn enable_observability(&mut self, obs: Obs) {
+        self.obs = obs;
+        let hist = self
+            .obs
+            .registry
+            .histogram("retry_backoff_ms", BACKOFF_HELP, &BACKOFF_BUCKETS_MS);
+        for slot in &mut self.slots {
+            slot.client.set_obs(self.obs.clone());
+            slot.courier.set_backoff_histogram(hist.clone());
+        }
+    }
+
+    /// The hub's observability bundle (shared handles — cloning is cheap).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Attaches a new client and returns its index.
     pub fn add_client(&mut self, cfg: DeltaCfsConfig, link_spec: LinkSpec) -> usize {
         let idx = self.slots.len();
-        let client = DeltaCfsClient::new(ClientId(idx as u32 + 1), cfg, self.clock.clone());
+        let mut client = DeltaCfsClient::new(ClientId(idx as u32 + 1), cfg, self.clock.clone());
+        client.set_obs(self.obs.clone());
         let mut fs = Vfs::new();
         fs.enable_event_log();
+        let mut courier = Courier::new(RetryPolicy::default(), courier_seed(0, idx));
+        courier.set_backoff_histogram(self.obs.registry.histogram(
+            "retry_backoff_ms",
+            BACKOFF_HELP,
+            &BACKOFF_BUCKETS_MS,
+        ));
         self.slots.push(Slot {
             client,
             fs,
             link: Link::new(link_spec),
-            courier: Courier::new(RetryPolicy::default(), courier_seed(0, idx)),
+            courier,
         });
         idx
     }
@@ -118,8 +153,13 @@ impl SyncHub {
     /// one seed reproduces the entire run.
     pub fn enable_faults(&mut self, spec: FaultSpec) {
         let seed = spec.seed;
+        let hist = self
+            .obs
+            .registry
+            .histogram("retry_backoff_ms", BACKOFF_HELP, &BACKOFF_BUCKETS_MS);
         for (idx, slot) in self.slots.iter_mut().enumerate() {
             slot.courier = Courier::new(RetryPolicy::default(), courier_seed(seed, idx));
+            slot.courier.set_backoff_histogram(hist.clone());
         }
         self.fault = Some(FaultTopology::shared(spec));
         persist::save(&self.server, &mut self.store).expect("MemStore save cannot fail");
@@ -145,8 +185,13 @@ impl SyncHub {
             self.slots.len(),
             "one FaultSpec per attached client"
         );
+        let hist = self
+            .obs
+            .registry
+            .histogram("retry_backoff_ms", BACKOFF_HELP, &BACKOFF_BUCKETS_MS);
         for (idx, slot) in self.slots.iter_mut().enumerate() {
             slot.courier = Courier::new(RetryPolicy::default(), courier_seed(specs[idx].seed, idx));
+            slot.courier.set_backoff_histogram(hist.clone());
         }
         self.fault = Some(FaultTopology::per_client(specs));
         persist::save(&self.server, &mut self.store).expect("MemStore save cannot fail");
@@ -305,9 +350,23 @@ impl SyncHub {
             } else {
                 for group in groups {
                     let wire: u64 = group.iter().map(UpdateMsg::wire_size).sum();
+                    self.obs
+                        .tracer
+                        .event(now.as_millis(), &actor_name(idx), "wire.upload", || {
+                            format!("group of {} msgs, {wire} wire bytes", group.len())
+                        });
                     self.slots[idx].link.upload(wire, now);
                     let outcomes = self.server.apply_txn(&group);
                     let all_applied = outcomes.iter().all(|o| *o == ApplyOutcome::Applied);
+                    self.obs
+                        .tracer
+                        .event(now.as_millis(), "server", "server.apply", || {
+                            format!(
+                                "group from {}: {} msgs, all_applied={all_applied}",
+                                actor_name(idx),
+                                group.len()
+                            )
+                        });
                     self.server_outcomes.extend(outcomes);
                     self.slots[idx].link.download(32, now);
                     if all_applied {
@@ -321,6 +380,15 @@ impl SyncHub {
         // window that can straddle writers. The `<CliID, GroupSeq>`
         // replay index must absorb each copy, versioned or not.
         for group in std::mem::take(&mut self.deferred) {
+            self.obs
+                .tracer
+                .event(now.as_millis(), "server", "server.dedup", || {
+                    format!(
+                        "late duplicate redelivered: {} msgs on {}",
+                        group.len(),
+                        group.first().map(|m| m.path.as_str()).unwrap_or("?")
+                    )
+                });
             self.server.apply_txn_idempotent(&group);
         }
     }
@@ -335,8 +403,17 @@ impl SyncHub {
             let Some(flight) = self.slots[idx].courier.take_attempt(now) else {
                 break;
             };
+            let attempt = flight.attempts;
             let group = flight.group.clone();
             let wire: u64 = group.iter().map(UpdateMsg::wire_size).sum();
+            let actor = actor_name(idx);
+            let now_ms = now.as_millis();
+            self.obs.tracer.event(now_ms, &actor, "wire.upload", || {
+                format!(
+                    "group of {} msgs, {wire} wire bytes, attempt {attempt}",
+                    group.len()
+                )
+            });
             let (_, verdict) =
                 self.slots[idx]
                     .link
@@ -348,31 +425,58 @@ impl SyncHub {
                         .plan_for(idx)
                         .disconnect_until(idx, now)
                         .unwrap_or(now.plus_millis(1));
+                    self.obs.tracer.event(now_ms, &actor, "fault.inject", || {
+                        format!("disconnected; courier parked until {}ms", until.as_millis())
+                    });
                     self.slots[idx].courier.defer_until(until);
                     break;
                 }
                 UploadVerdict::Dropped => {
-                    self.slots[idx].courier.on_failure(now);
+                    self.obs.tracer.event(now_ms, &actor, "fault.inject", || {
+                        "upload dropped on the wire".to_string()
+                    });
+                    let delay = self.slots[idx].courier.on_failure(now);
+                    self.trace_backoff(idx, now_ms, delay);
                 }
                 UploadVerdict::CrashBeforeApply => {
                     // The group dies with the server's volatile state; the
                     // restarted server comes back from its last snapshot
                     // and the client retries into it.
+                    self.obs.tracer.event(now_ms, "server", "fault.inject", || {
+                        "server crash before apply; restored from snapshot".to_string()
+                    });
                     self.server = persist::load(&mut self.store).expect("snapshot loads");
-                    self.slots[idx].courier.on_failure(now);
+                    let delay = self.slots[idx].courier.on_failure(now);
+                    self.trace_backoff(idx, now_ms, delay);
                 }
                 UploadVerdict::Delivered {
                     duplicate,
                     crash_after_apply,
                 } => {
                     let (outcomes, was_dup) = self.server.apply_txn_idempotent(&group);
+                    let stage = if was_dup { "server.dedup" } else { "server.apply" };
+                    self.obs.tracer.event(now_ms, "server", stage, || {
+                        if was_dup {
+                            format!("replay of group from {actor} absorbed ({} msgs)", group.len())
+                        } else {
+                            format!("group from {actor} applied ({} msgs)", group.len())
+                        }
+                    });
                     persist::save(&self.server, &mut self.store).expect("MemStore save");
                     if duplicate {
                         // Every duplicated copy — versioned or namespace-
                         // only — may be held back and redelivered after
                         // newer groups: the `<CliID, GroupSeq>` replay
                         // index recognizes it whenever it shows up.
-                        if topo.plan_for(idx).defer_duplicate() {
+                        let deferred = topo.plan_for(idx).defer_duplicate();
+                        self.obs.tracer.event(now_ms, &actor, "fault.inject", || {
+                            if deferred {
+                                "upload duplicated; copy held for late redelivery".to_string()
+                            } else {
+                                "upload duplicated; copy redelivered immediately".to_string()
+                            }
+                        });
+                        if deferred {
                             self.deferred.push(group.clone());
                         } else {
                             self.server.apply_txn_idempotent(&group);
@@ -382,13 +486,20 @@ impl SyncHub {
                         // Applied and persisted, but the ack died with the
                         // server: the retry must hit the rebuilt
                         // idempotency index of the restarted server.
+                        self.obs.tracer.event(now_ms, "server", "fault.inject", || {
+                            "server crash after apply; ack lost with it".to_string()
+                        });
                         self.server = persist::load(&mut self.store).expect("snapshot loads");
-                        self.slots[idx].courier.on_failure(now);
+                        let delay = self.slots[idx].courier.on_failure(now);
+                        self.trace_backoff(idx, now_ms, delay);
                     } else if self.slots[idx]
                         .link
                         .download_faulty(32, now, idx, topo.plan_for(idx))
                         .is_some()
                     {
+                        self.obs.tracer.event(now_ms, &actor, "wire.ack", || {
+                            format!("group acknowledged after {} attempt(s)", attempt)
+                        });
                         self.slots[idx].courier.on_ack();
                         if !was_dup {
                             let all_applied =
@@ -408,12 +519,26 @@ impl SyncHub {
                     } else {
                         // Ack lost: the client cannot tell this from a
                         // dropped upload and retransmits.
-                        self.slots[idx].courier.on_failure(now);
+                        self.obs.tracer.event(now_ms, &actor, "fault.inject", || {
+                            "ack lost on the downlink".to_string()
+                        });
+                        let delay = self.slots[idx].courier.on_failure(now);
+                        self.trace_backoff(idx, now_ms, delay);
                     }
                 }
             }
         }
         self.fault = Some(topo);
+    }
+
+    /// Records the courier's retransmission decision in the trace.
+    fn trace_backoff(&self, idx: usize, now_ms: u64, delay: Option<u64>) {
+        self.obs
+            .tracer
+            .event(now_ms, &actor_name(idx), "retry.backoff", || match delay {
+                Some(d) => format!("retransmission armed in {d}ms"),
+                None => "retry budget exhausted: group parked".to_string(),
+            });
     }
 
     /// Sends `group` to every client except `from` — the same incremental
@@ -431,6 +556,16 @@ impl SyncHub {
             if idx == from {
                 continue;
             }
+            self.obs
+                .tracer
+                .event(now.as_millis(), "server", "wire.forward", || {
+                    format!(
+                        "forwarding group of {} msgs from {} to {}",
+                        group.len(),
+                        actor_name(from),
+                        actor_name(idx)
+                    )
+                });
             for msg in group {
                 // The paper's key multi-client property (§III-D): "the
                 // same incremental data can be directly sent to client B
@@ -564,6 +699,61 @@ impl SyncHub {
         drained
     }
 
+    /// Absorbs every component's counters into the registry and returns
+    /// a frozen, name-sorted snapshot (export via
+    /// [`Snapshot::to_json`] / [`Snapshot::to_prometheus`]):
+    ///
+    /// * per-client link traffic (`traffic_*`), VFS IO (`io_*`), and
+    ///   delta-engine cost (`delta_cost_*`), each labeled
+    ///   `client="<n>"`, plus courier retry counters;
+    /// * server-side apply cost (`server_cost_*`) and the idempotency
+    ///   index's `server_duplicates_ignored`;
+    /// * when fault injection is armed, the per-kind `fault_*` injection
+    ///   counters and their `fault_injections_fired` total;
+    /// * the `retry_backoff_ms` histogram and anything else components
+    ///   recorded into the shared registry along the way.
+    pub fn export_metrics(&self) -> Snapshot {
+        let reg = &self.obs.registry;
+        let mut queued = 0;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let id = format!("{}", idx + 1);
+            let label = Some(("client", id.as_str()));
+            slot.link.stats().export_counters(reg, "traffic", label);
+            slot.fs.stats().export_counters(reg, "io", label);
+            slot.client.cost().export_counters(reg, "delta_cost", label);
+            reg.counter_labeled(
+                "retry_retransmissions",
+                "retransmissions the courier performed",
+                label,
+            )
+            .set(slot.courier.retries());
+            reg.counter_labeled(
+                "retry_groups_given_up",
+                "groups parked after exhausting the retry budget",
+                label,
+            )
+            .set(slot.courier.given_up().len() as u64);
+            queued += slot.client.queued_nodes() as i64;
+        }
+        reg.gauge("sync_queue_depth", "nodes waiting in sync queues")
+            .set(queued);
+        self.server.cost().export_counters(reg, "server_cost", None);
+        reg.counter(
+            "server_duplicates_ignored",
+            "uploads the idempotency index absorbed",
+        )
+        .set(self.server.duplicates_ignored());
+        if let Some(stats) = self.fault_stats() {
+            stats.export_counters(reg, "fault", None);
+            reg.counter(
+                "fault_injections_fired",
+                "fault injections that actually fired",
+            )
+            .set(stats.total_fired());
+        }
+        reg.snapshot()
+    }
+
     /// Simulates a crash of client `idx`: the volatile sync queue and
     /// in-flight retransmissions are lost, then the client rebuilds its
     /// upload state from the durable undo log
@@ -590,6 +780,14 @@ impl SyncHub {
 fn courier_seed(fault_seed: u64, idx: usize) -> u64 {
     fault_seed ^ (idx as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
+
+/// Trace actor name of the client in slot `idx` — matches the engine's
+/// own `client-<CliID>` naming.
+fn actor_name(idx: usize) -> String {
+    format!("client-{}", idx + 1)
+}
+
+const BACKOFF_HELP: &str = "courier retransmission backoff delays (ms)";
 
 #[cfg(test)]
 mod tests {

@@ -1,32 +1,38 @@
-/// Work performed by delta-encoding primitives, in bytes touched.
-///
-/// The paper's Table II reports CPU ticks; since a tick on an EC2 Xeon and
-/// a tick on a Galaxy Note3 are incomparable (the paper says so itself),
-/// the reproducible quantity is *how much work of each kind* an algorithm
-/// performs on identical input. `Cost` counts exactly that, and the
-/// platform profiles in `deltacfs-net` convert the counts into ticks with
-/// per-platform weights.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Cost {
-    /// Bytes fed through the rolling checksum (one per window slide).
-    pub bytes_rolled: u64,
-    /// Bytes fed through a strong checksum (MD5).
-    pub bytes_strong_hashed: u64,
-    /// Bytes compared bitwise (the paper's replacement for MD5 in triggered
-    /// delta encoding).
-    pub bytes_compared: u64,
-    /// Bytes scanned by the content-defined chunker.
-    pub bytes_chunked: u64,
-    /// Bytes fed through the compressor.
-    pub bytes_compressed: u64,
-    /// Bytes memcpy'ed while assembling deltas/literals.
-    pub bytes_copied: u64,
-    /// Bytes read from the backing file system by the engine itself
-    /// (delta scans, signature computation — the IO-amplification the
-    /// paper measured at 700 MB for Dropbox on the WeChat test).
-    pub bytes_engine_read: u64,
-    /// Number of primitive invocations (block hashes, chunk boundaries...).
-    pub ops: u64,
+use deltacfs_obs::metric_struct;
+
+metric_struct! {
+    /// Work performed by delta-encoding primitives, in bytes touched.
+    ///
+    /// The paper's Table II reports CPU ticks; since a tick on an EC2 Xeon and
+    /// a tick on a Galaxy Note3 are incomparable (the paper says so itself),
+    /// the reproducible quantity is *how much work of each kind* an algorithm
+    /// performs on identical input. `Cost` counts exactly that, and the
+    /// platform profiles in `deltacfs-net` convert the counts into ticks with
+    /// per-platform weights. Defined through [`metric_struct!`] so aggregation
+    /// ([`Merge`](deltacfs_obs::Merge)) and registry export
+    /// ([`Cost::export_counters`]) always cover every field.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct Cost {
+        /// Bytes fed through the rolling checksum (one per window slide).
+        pub bytes_rolled: u64,
+        /// Bytes fed through a strong checksum (MD5).
+        pub bytes_strong_hashed: u64,
+        /// Bytes compared bitwise (the paper's replacement for MD5 in triggered
+        /// delta encoding).
+        pub bytes_compared: u64,
+        /// Bytes scanned by the content-defined chunker.
+        pub bytes_chunked: u64,
+        /// Bytes fed through the compressor.
+        pub bytes_compressed: u64,
+        /// Bytes memcpy'ed while assembling deltas/literals.
+        pub bytes_copied: u64,
+        /// Bytes read from the backing file system by the engine itself
+        /// (delta scans, signature computation — the IO-amplification the
+        /// paper measured at 700 MB for Dropbox on the WeChat test).
+        pub bytes_engine_read: u64,
+        /// Number of primitive invocations (block hashes, chunk boundaries...).
+        pub ops: u64,
+    }
 }
 
 impl Cost {
@@ -37,14 +43,7 @@ impl Cost {
 
     /// Adds another accumulator into this one.
     pub fn merge(&mut self, other: &Cost) {
-        self.bytes_rolled += other.bytes_rolled;
-        self.bytes_strong_hashed += other.bytes_strong_hashed;
-        self.bytes_compared += other.bytes_compared;
-        self.bytes_chunked += other.bytes_chunked;
-        self.bytes_compressed += other.bytes_compressed;
-        self.bytes_copied += other.bytes_copied;
-        self.bytes_engine_read += other.bytes_engine_read;
-        self.ops += other.ops;
+        deltacfs_obs::Merge::merge_from(self, other);
     }
 
     /// Total bytes touched by any primitive; a crude single-number summary.
@@ -81,5 +80,18 @@ mod tests {
         assert_eq!(acc.bytes_engine_read, 14);
         assert_eq!(acc.ops, 16);
         assert_eq!(acc.total_bytes(), 2 * (1 + 2 + 3 + 4 + 5 + 6));
+    }
+
+    #[test]
+    fn export_covers_every_field() {
+        let reg = deltacfs_obs::Registry::new();
+        let mut c = Cost::new();
+        c.bytes_rolled = 11;
+        c.ops = 13;
+        c.export_counters(&reg, "delta_cost", None);
+        let prom = reg.snapshot().to_prometheus();
+        assert!(prom.contains("delta_cost_bytes_rolled 11"), "{prom}");
+        assert!(prom.contains("delta_cost_ops 13"), "{prom}");
+        assert!(prom.contains("delta_cost_bytes_engine_read 0"), "{prom}");
     }
 }

@@ -68,6 +68,7 @@ pub mod rsync;
 mod weak_index;
 
 pub use cost::Cost;
+pub use parallel::segment_bounds;
 pub use delta_ops::{ApplyError, Delta, DeltaOp, OP_HEADER_BYTES};
 pub use md5_impl::{md5, md5_hex, Md5};
 pub use rolling::RollingChecksum;

@@ -65,6 +65,26 @@ pub(crate) struct ScanTable {
     pub unprobed: Vec<(usize, usize)>,
 }
 
+/// The contiguous window-position segments the parallel scan splits a
+/// `new_len`-byte file into for `workers` threads, as `(start, end)`
+/// pairs (empty when the file is shorter than one block).
+///
+/// This is the *exact* split [`scan_matches`] uses — exposed so call
+/// sites can trace or report per-worker-segment work without reaching
+/// into the scan, and without risk of drifting from the real layout.
+pub fn segment_bounds(new_len: usize, block_size: usize, workers: usize) -> Vec<(usize, usize)> {
+    if new_len < block_size {
+        return Vec::new();
+    }
+    let positions = new_len - block_size + 1;
+    let workers = workers.clamp(1, positions);
+    let per_seg = positions.div_ceil(workers);
+    (0..workers)
+        .map(|w| ((w * per_seg).min(positions), ((w + 1) * per_seg).min(positions)))
+        .filter(|(start, end)| start < end)
+        .collect()
+}
+
 /// Probes window positions of `new` across `workers` scoped threads, each
 /// walking its contiguous segment greedily (block jump on match, one-byte
 /// slide on miss).
@@ -80,21 +100,18 @@ pub(crate) fn scan_matches<P>(
 where
     P: Fn(u32, &[u8]) -> Option<ProbeOutcome> + Sync,
 {
-    if new.len() < block_size {
+    let bounds = segment_bounds(new.len(), block_size, workers);
+    if bounds.is_empty() {
         return ScanTable {
             records: Vec::new(),
             unprobed: Vec::new(),
         };
     }
-    let positions = new.len() - block_size + 1;
-    let workers = workers.clamp(1, positions);
-    let per_seg = positions.div_ceil(workers);
     let mut segments: Vec<ScanTable> = Vec::new();
     std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let start = (w * per_seg).min(positions);
-                let end = ((w + 1) * per_seg).min(positions);
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(start, end)| {
                 s.spawn(move || scan_segment(new, block_size, start, end, probe))
             })
             .collect();

@@ -1,6 +1,8 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use deltacfs_obs::{Counter, Registry};
+
 use crate::segment::Segment;
 use crate::wal::{replay, WalRecord, WalWriter};
 use crate::{BatchOp, KeyValue, KvError, Result};
@@ -27,6 +29,19 @@ pub struct KvStore {
     segments: Vec<(u64, Segment)>,
     next_segment: u64,
     flush_threshold: usize,
+    /// Records the WAL replayed into the memtable at open time —
+    /// exported when [`KvStore::attach_obs`] installs counters.
+    replayed: u64,
+    counters: Option<KvCounters>,
+}
+
+/// WAL/flush counters registered by [`KvStore::attach_obs`].
+#[derive(Debug, Clone)]
+struct KvCounters {
+    wal_records: Counter,
+    wal_batch_commits: Counter,
+    flushes: Counter,
+    compactions: Counter,
 }
 
 impl KvStore {
@@ -65,7 +80,9 @@ impl KvStore {
         segments.sort_by_key(|(id, _)| *id);
         let next_segment = segments.last().map(|(id, _)| id + 1).unwrap_or(1);
         let mut memtable = BTreeMap::new();
+        let mut replayed = 0u64;
         for rec in replay(&dir.join("wal"))? {
+            replayed += 1;
             match rec {
                 WalRecord::Put { key, value } => {
                     memtable.insert(key, Some(value));
@@ -83,7 +100,38 @@ impl KvStore {
             segments,
             next_segment,
             flush_threshold,
+            replayed,
+            counters: None,
         })
+    }
+
+    /// Registers this store's WAL and flush counters in `registry` and
+    /// starts recording into them: `kv_wal_records`,
+    /// `kv_wal_batch_commits`, `kv_memtable_flushes`, `kv_compactions`.
+    /// The records already replayed from the WAL at open time are added
+    /// to `kv_wal_replayed_records` immediately.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        registry
+            .counter(
+                "kv_wal_replayed_records",
+                "WAL records replayed into the memtable at open",
+            )
+            .add(self.replayed);
+        self.counters = Some(KvCounters {
+            wal_records: registry.counter(
+                "kv_wal_records",
+                "records appended to the write-ahead log",
+            ),
+            wal_batch_commits: registry.counter(
+                "kv_wal_batch_commits",
+                "group commits appended to the WAL as one record",
+            ),
+            flushes: registry.counter(
+                "kv_memtable_flushes",
+                "memtable flushes into on-disk segments",
+            ),
+            compactions: registry.counter("kv_compactions", "full segment compactions"),
+        });
     }
 
     /// Number of on-disk segments (diagnostics / tests).
@@ -106,6 +154,9 @@ impl KvStore {
         Segment::write(&path, &self.memtable)?;
         self.segments.push((id, Segment::load(&path)?));
         self.memtable.clear();
+        if let Some(c) = &self.counters {
+            c.flushes.inc();
+        }
         // Truncate the WAL: its contents are now durable in the segment.
         std::fs::write(self.dir.join("wal"), b"")?;
         self.wal = WalWriter::open(&self.dir.join("wal"))?;
@@ -142,6 +193,9 @@ impl KvStore {
         self.memtable.clear();
         std::fs::write(self.dir.join("wal"), b"")?;
         self.wal = WalWriter::open(&self.dir.join("wal"))?;
+        if let Some(c) = &self.counters {
+            c.compactions.inc();
+        }
         Ok(())
     }
 
@@ -159,6 +213,9 @@ impl KeyValue for KvStore {
             key: key.to_vec(),
             value: value.to_vec(),
         })?;
+        if let Some(c) = &self.counters {
+            c.wal_records.inc();
+        }
         self.memtable.insert(key.to_vec(), Some(value.to_vec()));
         self.maybe_flush()
     }
@@ -177,6 +234,9 @@ impl KeyValue for KvStore {
 
     fn delete(&mut self, key: &[u8]) -> Result<()> {
         self.wal.append(&WalRecord::Delete { key: key.to_vec() })?;
+        if let Some(c) = &self.counters {
+            c.wal_records.inc();
+        }
         self.memtable.insert(key.to_vec(), None);
         self.maybe_flush()
     }
@@ -212,6 +272,10 @@ impl KeyValue for KvStore {
             return Ok(());
         }
         self.wal.append_batch(batch)?;
+        if let Some(c) = &self.counters {
+            c.wal_batch_commits.inc();
+            c.wal_records.add(batch.len() as u64);
+        }
         for op in batch {
             match op {
                 BatchOp::Put { key, value } => {
@@ -423,6 +487,54 @@ mod tests {
         for i in 0..10u8 {
             assert_eq!(s.get(&[i]).unwrap(), Some(vec![i * 3]));
         }
+    }
+
+    #[test]
+    fn attach_obs_counts_wal_activity_and_replay() {
+        let dir = TempDir::new("obs");
+        let reg = Registry::new();
+        {
+            let mut s = KvStore::open(&dir.0).unwrap();
+            s.attach_obs(&reg);
+            s.put(b"a", b"1").unwrap();
+            s.delete(b"a").unwrap();
+            s.write_batch(&[
+                BatchOp::Put {
+                    key: b"b".to_vec(),
+                    value: b"2".to_vec(),
+                },
+                BatchOp::Put {
+                    key: b"c".to_vec(),
+                    value: b"3".to_vec(),
+                },
+            ])
+            .unwrap();
+            s.flush().unwrap();
+            s.compact().unwrap();
+        }
+        let snap = reg.snapshot();
+        let count = |name: &str| match snap.get(name) {
+            Some(deltacfs_obs::MetricValue::Counter(v)) => *v,
+            other => panic!("{name}: {other:?}"),
+        };
+        assert_eq!(count("kv_wal_records"), 4); // put + delete + 2 batched
+        assert_eq!(count("kv_wal_batch_commits"), 1);
+        assert_eq!(count("kv_memtable_flushes"), 1);
+        assert_eq!(count("kv_compactions"), 1);
+        assert_eq!(count("kv_wal_replayed_records"), 0); // fresh store
+
+        // Reopen without flushing first: WAL replay is counted.
+        let reg2 = Registry::new();
+        let mut s = KvStore::open(&dir.0).unwrap();
+        s.put(b"d", b"4").unwrap();
+        drop(s);
+        let mut s = KvStore::open(&dir.0).unwrap();
+        s.attach_obs(&reg2);
+        let snap2 = reg2.snapshot();
+        assert_eq!(
+            snap2.get("kv_wal_replayed_records"),
+            Some(&deltacfs_obs::MetricValue::Counter(1))
+        );
     }
 
     #[test]

@@ -130,39 +130,45 @@ impl FaultSpec {
     }
 }
 
-/// Counters describing what the plan actually injected.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FaultStats {
-    // When adding a field, also add it to `FaultStats::absorb`.
-    /// Upload attempts that reached the verdict stage (client online).
-    pub uploads_attempted: u64,
-    /// Uploads lost in transit.
-    pub uploads_dropped: u64,
-    /// Uploads delivered twice.
-    pub uploads_duplicated: u64,
-    /// Duplicated copies held back and delivered out of order.
-    pub duplicates_reordered: u64,
-    /// Server→client transfers lost (acks and forwarded updates).
-    pub downloads_dropped: u64,
-    /// Server crashes before applying the in-flight group.
-    pub crashes_before_apply: u64,
-    /// Server crashes after applying (ack lost).
-    pub crashes_after_apply: u64,
-    /// Sends suppressed because the client was inside a disconnect window.
-    pub disconnected_sends: u64,
+deltacfs_obs::metric_struct! {
+    /// Counters describing what the plan actually injected.
+    ///
+    /// Defined through [`metric_struct!`](deltacfs_obs::metric_struct) so
+    /// topology aggregation ([`Merge`](deltacfs_obs::Merge)) and registry
+    /// export ([`FaultStats::export_counters`]) always cover every field —
+    /// a new fault kind can't be silently dropped from either.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct FaultStats {
+        /// Upload attempts that reached the verdict stage (client online).
+        pub uploads_attempted: u64,
+        /// Uploads lost in transit.
+        pub uploads_dropped: u64,
+        /// Uploads delivered twice.
+        pub uploads_duplicated: u64,
+        /// Duplicated copies held back and delivered out of order.
+        pub duplicates_reordered: u64,
+        /// Server→client transfers lost (acks and forwarded updates).
+        pub downloads_dropped: u64,
+        /// Server crashes before applying the in-flight group.
+        pub crashes_before_apply: u64,
+        /// Server crashes after applying (ack lost).
+        pub crashes_after_apply: u64,
+        /// Sends suppressed because the client was inside a disconnect window.
+        pub disconnected_sends: u64,
+    }
 }
 
 impl FaultStats {
-    /// Adds another plan's counters into this one (topology aggregation).
-    fn absorb(&mut self, other: &FaultStats) {
-        self.uploads_attempted += other.uploads_attempted;
-        self.uploads_dropped += other.uploads_dropped;
-        self.uploads_duplicated += other.uploads_duplicated;
-        self.duplicates_reordered += other.duplicates_reordered;
-        self.downloads_dropped += other.downloads_dropped;
-        self.crashes_before_apply += other.crashes_before_apply;
-        self.crashes_after_apply += other.crashes_after_apply;
-        self.disconnected_sends += other.disconnected_sends;
+    /// Total injections of any kind that actually fired (excludes
+    /// `uploads_attempted`, which counts opportunities, not faults).
+    pub fn total_fired(&self) -> u64 {
+        self.uploads_dropped
+            + self.uploads_duplicated
+            + self.duplicates_reordered
+            + self.downloads_dropped
+            + self.crashes_before_apply
+            + self.crashes_after_apply
+            + self.disconnected_sends
     }
 }
 
@@ -382,7 +388,7 @@ impl FaultTopology {
     pub fn stats(&self) -> FaultStats {
         let mut total = FaultStats::default();
         for plan in &self.plans {
-            total.absorb(&plan.stats);
+            deltacfs_obs::Merge::merge_from(&mut total, &plan.stats);
         }
         total
     }

@@ -1,19 +1,24 @@
+use deltacfs_obs::metric_struct;
 use serde::Serialize;
 
-/// Bytes and messages moved over a [`Link`](crate::Link), by direction.
-///
-/// "Upload" is client → cloud. These counters feed Figures 8 and 9 of the
-/// paper directly.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
-pub struct TrafficStats {
-    /// Bytes sent client → cloud.
-    pub bytes_up: u64,
-    /// Bytes sent cloud → client.
-    pub bytes_down: u64,
-    /// Messages sent client → cloud.
-    pub msgs_up: u64,
-    /// Messages sent cloud → client.
-    pub msgs_down: u64,
+metric_struct! {
+    /// Bytes and messages moved over a [`Link`](crate::Link), by direction.
+    ///
+    /// "Upload" is client → cloud. These counters feed Figures 8 and 9 of the
+    /// paper directly. Defined through [`metric_struct!`] so aggregation
+    /// ([`Merge`](deltacfs_obs::Merge)) and registry export
+    /// ([`TrafficStats::export_counters`]) always cover every field.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+    pub struct TrafficStats {
+        /// Bytes sent client → cloud.
+        pub bytes_up: u64,
+        /// Bytes sent cloud → client.
+        pub bytes_down: u64,
+        /// Messages sent client → cloud.
+        pub msgs_up: u64,
+        /// Messages sent cloud → client.
+        pub msgs_down: u64,
+    }
 }
 
 impl TrafficStats {
@@ -29,10 +34,7 @@ impl TrafficStats {
 
     /// Adds another counter set into this one.
     pub fn merge(&mut self, other: &TrafficStats) {
-        self.bytes_up += other.bytes_up;
-        self.bytes_down += other.bytes_down;
-        self.msgs_up += other.msgs_up;
-        self.msgs_down += other.msgs_down;
+        deltacfs_obs::Merge::merge_from(self, other);
     }
 
     /// Traffic Usage Efficiency as defined in the paper's Fig. 2: total
@@ -73,5 +75,26 @@ mod tests {
         };
         assert!((t.tue(100) - 2.0).abs() < 1e-9);
         assert_eq!(t.tue(0), 0.0);
+    }
+
+    #[test]
+    fn export_covers_every_field() {
+        let reg = deltacfs_obs::Registry::new();
+        let t = TrafficStats {
+            bytes_up: 9,
+            bytes_down: 8,
+            msgs_up: 7,
+            msgs_down: 6,
+        };
+        t.export_counters(&reg, "traffic", None);
+        let prom = reg.snapshot().to_prometheus();
+        for line in [
+            "traffic_bytes_up 9",
+            "traffic_bytes_down 8",
+            "traffic_msgs_up 7",
+            "traffic_msgs_down 6",
+        ] {
+            assert!(prom.contains(line), "missing {line} in:\n{prom}");
+        }
     }
 }

@@ -1,0 +1,594 @@
+//! The lock-cheap metrics registry.
+//!
+//! Registration (name → handle) takes a short mutex; the returned
+//! [`Counter`]/[`Gauge`]/[`Histogram`] handles are `Arc`'d atomics, so
+//! every update afterwards is a single atomic operation with no lock and
+//! no allocation. Handles registered twice under the same name and label
+//! resolve to the *same* cells, which lets independent components share a
+//! metric without coordinating.
+//!
+//! [`Registry::snapshot`] freezes the registry into a name-sorted
+//! [`Snapshot`] whose JSON and Prometheus renderings are byte-stable for
+//! a given set of metric values — the property the golden-file tests and
+//! the trace-determinism contract (DESIGN.md §11) rely on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One metric's identity: name plus an optional `key="value"` label.
+type MetricKey = (String, Option<(String, String)>);
+
+#[derive(Debug)]
+enum Entry {
+    Counter { help: String, cell: Arc<AtomicU64> },
+    Gauge { help: String, cell: Arc<AtomicI64> },
+    Histogram { help: String, cell: Arc<HistogramCell> },
+}
+
+/// A monotonic counter handle (atomic, lock-free after registration).
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — used when absorbing an externally
+    /// accumulated counter struct at snapshot time (see
+    /// [`metric_struct!`](crate::metric_struct)).
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can move both ways.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    /// Inclusive upper bounds of the finite buckets, strictly increasing.
+    bounds: Vec<u64>,
+    /// One count per finite bucket plus the overflow (+Inf) bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .cell
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.cell.bounds.len());
+        self.cell.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.cell.sum.fetch_add(v, Ordering::Relaxed);
+        self.cell.count.fetch_add(1, Ordering::Relaxed);
+        self.cell.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.cell.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.cell.max.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared metrics registry. Cloning yields a handle to the same
+/// metric set.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: Mutex<BTreeMap<MetricKey, Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_labeled(name, help, None)
+    }
+
+    /// Registers (or retrieves) a counter carrying one `key="value"`
+    /// label — the same name may be registered under several labels
+    /// (e.g. one per client).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name+label is already registered as a different
+    /// metric kind.
+    pub fn counter_labeled(
+        &self,
+        name: &str,
+        help: &str,
+        label: Option<(&str, &str)>,
+    ) -> Counter {
+        let key = make_key(name, label);
+        let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
+        let entry = metrics.entry(key).or_insert_with(|| Entry::Counter {
+            help: help.to_string(),
+            cell: Arc::new(AtomicU64::new(0)),
+        });
+        match entry {
+            Entry::Counter { cell, .. } => Counter { cell: cell.clone() },
+            _ => panic!("metric {name} already registered as a non-counter"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let key = make_key(name, None);
+        let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
+        let entry = metrics.entry(key).or_insert_with(|| Entry::Gauge {
+            help: help.to_string(),
+            cell: Arc::new(AtomicI64::new(0)),
+        });
+        match entry {
+            Entry::Gauge { cell, .. } => Gauge { cell: cell.clone() },
+            _ => panic!("metric {name} already registered as a non-gauge"),
+        }
+    }
+
+    /// Registers (or retrieves) a fixed-bucket histogram. `bounds` are
+    /// the inclusive upper bounds of the finite buckets, strictly
+    /// increasing; an overflow (+Inf) bucket is added automatically.
+    /// When the name is already registered, the existing histogram is
+    /// returned and `bounds` is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing, or if the
+    /// name is already registered as a different kind.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram {name} needs buckets");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name} bounds must be strictly increasing"
+        );
+        let key = make_key(name, None);
+        let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
+        let entry = metrics.entry(key).or_insert_with(|| Entry::Histogram {
+            help: help.to_string(),
+            cell: Arc::new(HistogramCell {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        });
+        match entry {
+            Entry::Histogram { cell, .. } => Histogram { cell: cell.clone() },
+            _ => panic!("metric {name} already registered as a non-histogram"),
+        }
+    }
+
+    /// Freezes every metric into a name-sorted snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.inner.metrics.lock().expect("registry poisoned");
+        let entries = metrics
+            .iter()
+            .map(|((name, label), entry)| {
+                let value = match entry {
+                    Entry::Counter { cell, .. } => {
+                        MetricValue::Counter(cell.load(Ordering::Relaxed))
+                    }
+                    Entry::Gauge { cell, .. } => MetricValue::Gauge(cell.load(Ordering::Relaxed)),
+                    Entry::Histogram { cell, .. } => MetricValue::Histogram {
+                        bounds: cell.bounds.clone(),
+                        counts: cell
+                            .counts
+                            .iter()
+                            .map(|c| c.load(Ordering::Relaxed))
+                            .collect(),
+                        sum: cell.sum.load(Ordering::Relaxed),
+                        count: cell.count.load(Ordering::Relaxed),
+                        max: cell.max.load(Ordering::Relaxed),
+                    },
+                };
+                let help = match entry {
+                    Entry::Counter { help, .. }
+                    | Entry::Gauge { help, .. }
+                    | Entry::Histogram { help, .. } => help.clone(),
+                };
+                SnapshotEntry {
+                    name: name.clone(),
+                    label: label.clone(),
+                    help,
+                    value,
+                }
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+fn make_key(name: &str, label: Option<(&str, &str)>) -> MetricKey {
+    (
+        name.to_string(),
+        label.map(|(k, v)| (k.to_string(), v.to_string())),
+    )
+}
+
+/// One frozen metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A point-in-time gauge.
+    Gauge(i64),
+    /// A fixed-bucket histogram; `counts` has one entry per finite bound
+    /// plus the overflow bucket.
+    Histogram {
+        /// Inclusive upper bounds of the finite buckets.
+        bounds: Vec<u64>,
+        /// Per-bucket (non-cumulative) observation counts.
+        counts: Vec<u64>,
+        /// Sum of all observations.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+        /// Largest observation (0 when empty).
+        max: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct SnapshotEntry {
+    name: String,
+    label: Option<(String, String)>,
+    help: String,
+    value: MetricValue,
+}
+
+/// A frozen, name-sorted view of a [`Registry`], renderable as JSON or
+/// Prometheus text exposition. Both renderings are byte-stable for a
+/// given set of metric values.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks a metric up by name (first label match wins).
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    /// Looks a labeled metric up by name and label value.
+    pub fn get_labeled(&self, name: &str, label_value: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name && e.label.as_ref().is_some_and(|(_, v)| v == label_value))
+            .map(|e| &e.value)
+    }
+
+    /// Renders the snapshot as a deterministic JSON document: one entry
+    /// per metric, sorted by name then label.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"metrics\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"name\": {}", json_str(&e.name));
+            if let Some((k, v)) = &e.label {
+                let _ = write!(out, ", \"labels\": {{{}: {}}}", json_str(k), json_str(v));
+            }
+            if !e.help.is_empty() {
+                let _ = write!(out, ", \"help\": {}", json_str(&e.help));
+            }
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, ", \"type\": \"counter\", \"value\": {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, ", \"type\": \"gauge\", \"value\": {v}");
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                    max,
+                } => {
+                    out.push_str(", \"type\": \"histogram\", \"buckets\": [");
+                    for (j, (b, c)) in bounds.iter().zip(counts.iter()).enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{{\"le\": {b}, \"count\": {c}}}");
+                    }
+                    if !bounds.is_empty() {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"le\": \"+Inf\", \"count\": {}}}]",
+                        counts.last().copied().unwrap_or(0)
+                    );
+                    let _ = write!(out, ", \"sum\": {sum}, \"count\": {count}, \"max\": {max}");
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// `# HELP`/`# TYPE` headers are emitted once per metric name;
+    /// histograms expand to cumulative `_bucket{le=...}` series plus
+    /// `_sum`, `_count`, and `_max` lines.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_header: Option<&str> = None;
+        for e in &self.entries {
+            let kind = match &e.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram { .. } => "histogram",
+            };
+            if last_header != Some(e.name.as_str()) {
+                if !e.help.is_empty() {
+                    let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                }
+                let _ = writeln!(out, "# TYPE {} {}", e.name, kind);
+                last_header = Some(e.name.as_str());
+            }
+            let label = |extra: Option<(&str, String)>| -> String {
+                let mut parts = Vec::new();
+                if let Some((k, v)) = &e.label {
+                    parts.push(format!("{k}=\"{v}\""));
+                }
+                if let Some((k, v)) = extra {
+                    parts.push(format!("{k}=\"{v}\""));
+                }
+                if parts.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{}}}", parts.join(","))
+                }
+            };
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", e.name, label(None));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {v}", e.name, label(None));
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                    max,
+                } => {
+                    let mut cumulative = 0u64;
+                    for (b, c) in bounds.iter().zip(counts.iter()) {
+                        cumulative += c;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cumulative}",
+                            e.name,
+                            label(Some(("le", b.to_string())))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {count}",
+                        e.name,
+                        label(Some(("le", "+Inf".to_string())))
+                    );
+                    let _ = writeln!(out, "{}_sum{} {sum}", e.name, label(None));
+                    let _ = writeln!(out, "{}_count{} {count}", e.name, label(None));
+                    let _ = writeln!(out, "{}_max{} {max}", e.name, label(None));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a string into a JSON string literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("ops_total", "operations");
+        let b = reg.counter("ops_total", "ignored on re-register");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        match reg.snapshot().get("ops_total") {
+            Some(MetricValue::Counter(3)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_keep_series_separate() {
+        let reg = Registry::new();
+        reg.counter_labeled("bytes_up", "", Some(("client", "0"))).add(10);
+        reg.counter_labeled("bytes_up", "", Some(("client", "1"))).add(20);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get_labeled("bytes_up", "0"),
+            Some(&MetricValue::Counter(10))
+        );
+        assert_eq!(
+            snap.get_labeled("bytes_up", "1"),
+            Some(&MetricValue::Counter(20))
+        );
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = Registry::new();
+        let g = reg.gauge("queue_depth", "nodes queued");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_max() {
+        let reg = Registry::new();
+        let h = reg.histogram("delay_ms", "backoff delays", &[10, 100, 1000]);
+        for v in [5, 50, 500, 5000, 7] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5562);
+        assert_eq!(h.max(), 5000);
+        match reg.snapshot().get("delay_ms") {
+            Some(MetricValue::Histogram { counts, .. }) => {
+                assert_eq!(counts, &vec![2, 1, 1, 1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let reg = Registry::new();
+        let h = reg.histogram("d", "", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+        let prom = reg.snapshot().to_prometheus();
+        assert!(prom.contains("d_bucket{le=\"10\"} 1"), "{prom}");
+        assert!(prom.contains("d_bucket{le=\"100\"} 2"), "{prom}");
+        assert!(prom.contains("d_bucket{le=\"+Inf\"} 3"), "{prom}");
+        assert!(prom.contains("d_count 3"), "{prom}");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let reg = Registry::new();
+        reg.counter("zeta", "").inc();
+        reg.counter("alpha", "").inc();
+        let a = reg.snapshot().to_json();
+        let b = reg.snapshot().to_json();
+        assert_eq!(a, b);
+        let alpha = a.find("alpha").unwrap();
+        let zeta = a.find("zeta").unwrap();
+        assert!(alpha < zeta, "snapshot not sorted:\n{a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn kind_mismatch_is_rejected() {
+        let reg = Registry::new();
+        reg.gauge("x", "");
+        reg.counter("x", "");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,381 @@
+//! Structured sync-pipeline tracing and the fault-run flight recorder.
+//!
+//! A [`Tracer`] records spans ([`Tracer::enter`]/[`Tracer::exit`]) and
+//! point events ([`Tracer::event`]) into a bounded ring buffer. The
+//! caller supplies every timestamp from the deterministic `SimClock`
+//! (as raw milliseconds, so this crate stays dependency-free), which
+//! makes two runs of the same seed produce *byte-identical*
+//! [`Tracer::dump`] output — the determinism contract tests assert on.
+//!
+//! A disabled tracer (the default) costs one relaxed atomic load per
+//! call site; detail strings are built through `FnOnce() -> String`
+//! closures that never run while tracing is off. That is the cheap
+//! runtime gate behind the < 5 % overhead acceptance criterion.
+//!
+//! [`DumpGuard`] is the flight recorder's trigger: drop it at the end
+//! of a fault or property run and, if the thread is panicking, the ring
+//! buffer (and optionally a metrics snapshot) is written to the file
+//! named by the `DELTACFS_TRACE_DUMP` environment variable, or to
+//! stderr when the variable is unset.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::Registry;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A span opened (`enter`).
+    Enter,
+    /// A span closed (`exit`).
+    Exit,
+    /// A point event inside the current span.
+    Event,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (monotonic across all actors).
+    pub seq: u64,
+    /// Simulated time in milliseconds, supplied by the caller.
+    pub at_ms: u64,
+    /// Which actor emitted it (e.g. `client-0`, `server`).
+    pub actor: String,
+    /// Span nesting depth of this actor when the event fired.
+    pub depth: u32,
+    /// Enter / exit / point event.
+    pub kind: TraceKind,
+    /// Pipeline stage name (e.g. `wire.upload`, `delta.encode`).
+    pub stage: String,
+    /// Lazily built human-readable detail.
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct TraceState {
+    seq: u64,
+    depths: BTreeMap<String, u32>,
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    enabled: AtomicBool,
+    state: Mutex<TraceState>,
+}
+
+/// The sync-pipeline tracer: a shared, bounded ring buffer of
+/// [`TraceEvent`]s. Cloning yields a handle to the same buffer.
+///
+/// The default tracer is *disabled*: call sites pay one relaxed atomic
+/// load and detail closures never execute.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        let t = Tracer::new(1024);
+        t.set_enabled(false);
+        t
+    }
+}
+
+impl Tracer {
+    /// An enabled tracer whose ring keeps the most recent `capacity`
+    /// events (older events are dropped and counted).
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                enabled: AtomicBool::new(true),
+                state: Mutex::new(TraceState {
+                    seq: 0,
+                    depths: BTreeMap::new(),
+                    ring: VecDeque::with_capacity(capacity.min(4096)),
+                    capacity: capacity.max(1),
+                    dropped: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Whether events are currently recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Records a point event. `detail` only runs while the tracer is
+    /// enabled, so formatting cost is zero when tracing is off.
+    pub fn event(&self, at_ms: u64, actor: &str, stage: &str, detail: impl FnOnce() -> String) {
+        if !self.enabled() {
+            return;
+        }
+        self.push(at_ms, actor, TraceKind::Event, stage, detail());
+    }
+
+    /// Opens a span for `actor`: subsequent events from the same actor
+    /// nest one level deeper until the matching [`Tracer::exit`].
+    pub fn enter(&self, at_ms: u64, actor: &str, stage: &str, detail: impl FnOnce() -> String) {
+        if !self.enabled() {
+            return;
+        }
+        self.push(at_ms, actor, TraceKind::Enter, stage, detail());
+    }
+
+    /// Closes the innermost open span for `actor`.
+    pub fn exit(&self, at_ms: u64, actor: &str, stage: &str, detail: impl FnOnce() -> String) {
+        if !self.enabled() {
+            return;
+        }
+        self.push(at_ms, actor, TraceKind::Exit, stage, detail());
+    }
+
+    fn push(&self, at_ms: u64, actor: &str, kind: TraceKind, stage: &str, detail: String) {
+        let mut state = self.inner.state.lock().expect("tracer poisoned");
+        let depth_entry = state.depths.entry(actor.to_string()).or_insert(0);
+        let depth = match kind {
+            TraceKind::Enter => {
+                let d = *depth_entry;
+                *depth_entry += 1;
+                d
+            }
+            TraceKind::Exit => {
+                *depth_entry = depth_entry.saturating_sub(1);
+                *depth_entry
+            }
+            TraceKind::Event => *depth_entry,
+        };
+        let seq = state.seq;
+        state.seq += 1;
+        if state.ring.len() == state.capacity {
+            state.ring.pop_front();
+            state.dropped += 1;
+        }
+        state.ring.push_back(TraceEvent {
+            seq,
+            at_ms,
+            actor: actor.to_string(),
+            depth,
+            kind,
+            stage: stage.to_string(),
+            detail,
+        });
+    }
+
+    /// Number of events currently held in the ring.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().expect("tracer poisoned").ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.state.lock().expect("tracer poisoned").dropped
+    }
+
+    /// Clears the ring (sequence numbers keep counting up).
+    pub fn clear(&self) {
+        let mut state = self.inner.state.lock().expect("tracer poisoned");
+        state.ring.clear();
+        state.depths.clear();
+    }
+
+    /// Clones the recorded events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .state
+            .lock()
+            .expect("tracer poisoned")
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Renders the ring as a stable, human-readable timeline. For a
+    /// given event sequence the output is byte-identical — the trace
+    /// determinism tests compare these strings directly.
+    pub fn dump(&self) -> String {
+        let state = self.inner.state.lock().expect("tracer poisoned");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== flight recorder: {} events ({} dropped) ===",
+            state.ring.len(),
+            state.dropped
+        );
+        for e in &state.ring {
+            let marker = match e.kind {
+                TraceKind::Enter => ">",
+                TraceKind::Exit => "<",
+                TraceKind::Event => "·",
+            };
+            let indent = "  ".repeat(e.depth as usize);
+            let _ = write!(
+                out,
+                "[{:>8}ms] {:<10} {indent}{marker} {}",
+                e.at_ms, e.actor, e.stage
+            );
+            if e.detail.is_empty() {
+                out.push('\n');
+            } else {
+                let _ = writeln!(out, ": {}", e.detail);
+            }
+        }
+        out
+    }
+}
+
+/// The flight recorder's trigger: a drop guard that dumps the tracer's
+/// ring buffer when the surrounding test or fault run panics.
+///
+/// On drop, if the thread is panicking, the timeline (plus a Prometheus
+/// metrics snapshot, when a registry was attached) is written to the
+/// path named by the `DELTACFS_TRACE_DUMP` environment variable, or to
+/// stderr when unset. Nothing is written on a clean exit.
+#[derive(Debug)]
+pub struct DumpGuard {
+    label: String,
+    tracer: Tracer,
+    registry: Option<Registry>,
+}
+
+impl DumpGuard {
+    /// Arms the flight recorder for `tracer`; `label` names the run in
+    /// the dump header (e.g. the seed and topology under test).
+    pub fn new(label: &str, tracer: &Tracer) -> Self {
+        DumpGuard {
+            label: label.to_string(),
+            tracer: tracer.clone(),
+            registry: None,
+        }
+    }
+
+    /// Also appends a Prometheus snapshot of `registry` to the dump.
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Builds the dump text without writing it anywhere (what the guard
+    /// would emit on panic).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== DeltaCFS flight recorder dump: {} ===", self.label);
+        out.push_str(&self.tracer.dump());
+        if let Some(reg) = &self.registry {
+            out.push_str("=== metrics at failure ===\n");
+            out.push_str(&reg.snapshot().to_prometheus());
+        }
+        out
+    }
+}
+
+impl Drop for DumpGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let dump = self.render();
+        match std::env::var_os("DELTACFS_TRACE_DUMP") {
+            Some(path) if !path.is_empty() => {
+                if std::fs::write(&path, &dump).is_err() {
+                    eprintln!("{dump}");
+                } else {
+                    eprintln!(
+                        "flight recorder: wrote {} bytes to {}",
+                        dump.len(),
+                        path.to_string_lossy()
+                    );
+                }
+            }
+            _ => eprintln!("{dump}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_skips_detail_closures() {
+        let t = Tracer::default();
+        assert!(!t.enabled());
+        t.event(1, "a", "s", || unreachable!("must stay lazy"));
+        t.enter(1, "a", "s", || unreachable!());
+        t.exit(2, "a", "s", || unreachable!());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_per_actor() {
+        let t = Tracer::new(64);
+        t.enter(10, "client-0", "sync.flush", String::new);
+        t.event(11, "client-0", "delta.encode", || "seg 0".into());
+        t.event(11, "server", "apply", String::new);
+        t.exit(12, "client-0", "sync.flush", String::new);
+        let ev = t.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev[0].depth, 0); // enter recorded at outer depth
+        assert_eq!(ev[1].depth, 1); // nested event
+        assert_eq!(ev[2].depth, 0); // other actor unaffected
+        assert_eq!(ev[3].depth, 0); // exit back at outer depth
+        assert_eq!(ev.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let t = Tracer::new(3);
+        for i in 0..5 {
+            t.event(i, "a", "s", || format!("{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let ev = t.events();
+        assert_eq!(ev[0].detail, "2"); // oldest two evicted
+    }
+
+    #[test]
+    fn dump_is_deterministic_for_identical_inputs() {
+        let run = || {
+            let t = Tracer::new(32);
+            t.enter(100, "client-1", "sync.flush", || "3 nodes".into());
+            t.event(105, "client-1", "wire.upload", || "group 7".into());
+            t.exit(140, "client-1", "sync.flush", String::new);
+            t.dump()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.contains("wire.upload: group 7"), "{a}");
+        assert!(a.contains("3 events (0 dropped)"), "{a}");
+    }
+
+    #[test]
+    fn guard_renders_label_and_metrics() {
+        let reg = Registry::new();
+        reg.counter("fails_total", "").inc();
+        let t = Tracer::new(8);
+        t.event(1, "a", "s", String::new);
+        let guard = DumpGuard::new("seed=7", &t).with_registry(&reg);
+        let text = guard.render();
+        assert!(text.contains("seed=7"), "{text}");
+        assert!(text.contains("fails_total 1"), "{text}");
+    }
+}

@@ -1,21 +1,27 @@
-/// Byte- and operation-level IO accounting for a [`Vfs`](crate::Vfs).
-///
-/// The paper calls out IO amplification as "another intrinsic flaw of delta
-/// encoding algorithms" (§II-A): Dropbox read over 700 MB to sync 688 KB of
-/// changes. These counters let the benchmarks report the same quantity for
-/// every engine.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct IoStats {
-    /// Total bytes returned by `read` calls.
-    pub bytes_read: u64,
-    /// Total bytes accepted by `write` calls.
-    pub bytes_written: u64,
-    /// Number of `read` calls.
-    pub reads: u64,
-    /// Number of `write` calls.
-    pub writes: u64,
-    /// Number of all mutating operations (create/write/rename/...).
-    pub mutations: u64,
+use deltacfs_obs::metric_struct;
+
+metric_struct! {
+    /// Byte- and operation-level IO accounting for a [`Vfs`](crate::Vfs).
+    ///
+    /// The paper calls out IO amplification as "another intrinsic flaw of delta
+    /// encoding algorithms" (§II-A): Dropbox read over 700 MB to sync 688 KB of
+    /// changes. These counters let the benchmarks report the same quantity for
+    /// every engine. Defined through [`metric_struct!`] so aggregation
+    /// ([`Merge`](deltacfs_obs::Merge)) and registry export
+    /// ([`IoStats::export_counters`]) always cover every field.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct IoStats {
+        /// Total bytes returned by `read` calls.
+        pub bytes_read: u64,
+        /// Total bytes accepted by `write` calls.
+        pub bytes_written: u64,
+        /// Number of `read` calls.
+        pub reads: u64,
+        /// Number of `write` calls.
+        pub writes: u64,
+        /// Number of all mutating operations (create/write/rename/...).
+        pub mutations: u64,
+    }
 }
 
 impl IoStats {
@@ -26,16 +32,12 @@ impl IoStats {
 
     /// Resets every counter to zero.
     pub fn reset(&mut self) {
-        *self = Self::default();
+        deltacfs_obs::Merge::reset(self);
     }
 
     /// Adds another counter set into this one.
     pub fn merge(&mut self, other: &IoStats) {
-        self.bytes_read += other.bytes_read;
-        self.bytes_written += other.bytes_written;
-        self.reads += other.reads;
-        self.writes += other.writes;
-        self.mutations += other.mutations;
+        deltacfs_obs::Merge::merge_from(self, other);
     }
 }
 
@@ -63,5 +65,28 @@ mod tests {
         a.bytes_read = 7;
         a.reset();
         assert_eq!(a, IoStats::default());
+    }
+
+    #[test]
+    fn export_covers_every_field() {
+        let reg = deltacfs_obs::Registry::new();
+        let s = IoStats {
+            bytes_read: 1,
+            bytes_written: 2,
+            reads: 3,
+            writes: 4,
+            mutations: 5,
+        };
+        s.export_counters(&reg, "io", Some(("client", "0")));
+        let prom = reg.snapshot().to_prometheus();
+        for line in [
+            "io_bytes_read{client=\"0\"} 1",
+            "io_bytes_written{client=\"0\"} 2",
+            "io_reads{client=\"0\"} 3",
+            "io_writes{client=\"0\"} 4",
+            "io_mutations{client=\"0\"} 5",
+        ] {
+            assert!(prom.contains(line), "missing {line} in:\n{prom}");
+        }
     }
 }

@@ -15,6 +15,23 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// Collects a token stream, transparently expanding `Delimiter::None`
+/// groups. `macro_rules!` fragment captures (`$vis:vis`, `$ty:ty`, ...)
+/// arrive wrapped in such invisible groups, so without this a derive on a
+/// macro-generated struct sees `Group(pub)` where it expects `Ident(pub)`.
+fn flatten_stream(input: TokenStream) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    for tok in input {
+        match tok {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::None => {
+                out.extend(flatten_stream(g.stream()));
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 struct Field {
     name: String,
     flatten: bool,
@@ -61,7 +78,7 @@ fn parse_serde_attr(
     snake: &mut bool,
     flatten: &mut bool,
 ) {
-    let toks: Vec<TokenTree> = tokens.into_iter().collect();
+    let toks: Vec<TokenTree> = flatten_stream(tokens);
     let mut i = 0;
     while i < toks.len() {
         if let TokenTree::Ident(id) = &toks[i] {
@@ -135,7 +152,7 @@ fn skip_vis(toks: &[TokenTree], i: &mut usize) {
 
 /// Parses the named fields inside a brace group.
 fn parse_fields(stream: TokenStream) -> Vec<Field> {
-    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let toks: Vec<TokenTree> = flatten_stream(stream);
     let mut fields = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -176,7 +193,7 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
 
 /// Parses the variants inside an enum body.
 fn parse_variants(stream: TokenStream) -> Vec<Variant> {
-    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let toks: Vec<TokenTree> = flatten_stream(stream);
     let mut variants = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -216,7 +233,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 }
 
 fn parse_item(input: TokenStream) -> Item {
-    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let toks: Vec<TokenTree> = flatten_stream(input);
     let mut i = 0;
     let mut tag = None;
     let mut snake = false;

@@ -16,6 +16,7 @@
 //! | [`delta`] | `deltacfs-delta` | rsync, the local bitwise variant, CDC, fixed-block dedup, LZ compression, MD5 |
 //! | [`kvstore`] | `deltacfs-kvstore` | WAL + memtable + segment KV store (the LevelDB stand-in) |
 //! | [`net`] | `deltacfs-net` | virtual clock, accounted links, platform cost profiles |
+//! | [`obs`] | `deltacfs-obs` | metrics registry, structured sync-pipeline tracing, flight recorder |
 //! | [`baselines`] | `deltacfs-baselines` | Dropbox-, Seafile-, NFS- and Dropsync-like engines |
 //! | [`workloads`] | `deltacfs-workloads` | the §IV-A traces, filebench personalities, replay driver |
 //!
@@ -56,5 +57,6 @@ pub use deltacfs_core as core;
 pub use deltacfs_delta as delta;
 pub use deltacfs_kvstore as kvstore;
 pub use deltacfs_net as net;
+pub use deltacfs_obs as obs;
 pub use deltacfs_vfs as vfs;
 pub use deltacfs_workloads as workloads;

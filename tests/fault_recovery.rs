@@ -398,3 +398,43 @@ fn disconnect_window_defers_and_heals() {
     );
     assert_converged(&hub, seed);
 }
+
+#[test]
+fn pinned_seed_fires_exact_injection_counts() {
+    // Satellite check: the fault plan's injection counters are exported
+    // through the obs registry, and a pinned seed fires an exact,
+    // reproducible number of injections — if the decision stream drifts,
+    // these numbers change and this test catches it.
+    let seed = 3u64;
+    let (mut hub, clock) = two_client_hub();
+    hub.enable_observability(deltacfs::obs::Obs::new());
+    hub.enable_faults(
+        FaultSpec::clean(seed)
+            .with_rates(0.3, 0.2, 0.3)
+            .with_reorder(0.5),
+    );
+    run_disjoint_workload(&mut hub, &clock);
+    let drained = hub.settle(SETTLE_MS);
+    assert!(drained, "seed {seed}: courier never drained");
+
+    let stats = hub.fault_stats().unwrap();
+    assert!(stats.total_fired() > 0, "seed {seed}: no injection fired");
+    // Exact pinned counts for seed 3 under this workload.
+    assert_eq!(stats.uploads_attempted, 19, "seed {seed}: {stats:?}");
+    assert_eq!(stats.uploads_dropped, 9, "seed {seed}: {stats:?}");
+    assert_eq!(stats.uploads_duplicated, 5, "seed {seed}: {stats:?}");
+    assert_eq!(stats.duplicates_reordered, 3, "seed {seed}: {stats:?}");
+    assert_eq!(stats.downloads_dropped, 2, "seed {seed}: {stats:?}");
+    assert_eq!(stats.total_fired(), 19, "seed {seed}: {stats:?}");
+
+    // The same numbers come out of the unified metrics snapshot.
+    let snap = hub.export_metrics();
+    let counter = |name: &str| match snap.get(name) {
+        Some(deltacfs::obs::MetricValue::Counter(v)) => *v,
+        other => panic!("{name}: unexpected {other:?}"),
+    };
+    assert_eq!(counter("fault_injections_fired"), stats.total_fired());
+    assert_eq!(counter("fault_uploads_dropped"), stats.uploads_dropped);
+    assert_eq!(counter("fault_uploads_duplicated"), stats.uploads_duplicated);
+    assert_eq!(counter("fault_downloads_dropped"), stats.downloads_dropped);
+}

@@ -63,7 +63,7 @@ fn bench_wire(c: &mut Criterion) {
         version: None,
         payload: UpdatePayload::Ops(vec![FileOpItem::Write {
             offset: 8192,
-            data: bytes::Bytes::from(vec![7u8; 4096]),
+            data: deltacfs_core::Payload::from(vec![7u8; 4096]),
         }]),
         txn: Some(3),
         group: None,

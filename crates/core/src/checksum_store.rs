@@ -409,6 +409,63 @@ mod tests {
     }
 
     #[test]
+    fn repeated_update_range_round_trips_hit_the_backend_read_cache() {
+        // Over a durable backend, the hot path is: write some blocks,
+        // flush, then re-verify the same blocks again and again (e.g. a
+        // file that keeps receiving writes to the same region). The
+        // KvStore read cache should absorb the repeated segment lookups.
+        let dir = std::env::temp_dir().join(format!(
+            "deltacfs-cs-cache-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = deltacfs_obs::Registry::new();
+        let mut kv = deltacfs_kvstore::KvStore::open(&dir).unwrap();
+        kv.attach_obs(&reg);
+        let mut cs = ChecksumStore::new(kv, 4);
+        let mut cost = Cost::new();
+
+        let mut content = b"aaaabbbbcccc".to_vec();
+        cs.reindex_file("/f", &content, &mut cost).unwrap();
+        let count = |reg: &deltacfs_obs::Registry, name: &str| match reg.snapshot().get(name) {
+            Some(deltacfs_obs::MetricValue::Counter(v)) => *v,
+            other => panic!("{name}: {other:?}"),
+        };
+
+        for round in 0..3u8 {
+            // Same region rewritten each round; update_range invalidates
+            // exactly the touched block's cache entry.
+            content[5..7].copy_from_slice(&[b'0' + round, b'Z']);
+            let snapshot = content.clone();
+            cs.update_range(
+                "/f",
+                5,
+                2,
+                |idx| {
+                    let start = idx as usize * 4;
+                    snapshot
+                        .get(start..(start + 4).min(snapshot.len()))
+                        .map(<[u8]>::to_vec)
+                },
+                &mut cost,
+            )
+            .unwrap();
+            // Push the fresh checksums out of the memtable so the
+            // verifying reads below must go through cache + segments.
+            cs.backend_mut().flush().unwrap();
+            assert!(cs.verify_block("/f", 1, &content[4..8], &mut cost).unwrap());
+            assert!(cs.verify_block("/f", 1, &content[4..8], &mut cost).unwrap());
+            assert!(cs.verify_block("/f", 1, &content[4..8], &mut cost).unwrap());
+        }
+        // Each round: one miss to warm the (freshly invalidated) entry,
+        // then two hits from the cache.
+        assert_eq!(count(&reg, "kv_cache_misses"), 3);
+        assert_eq!(count(&reg, "kv_cache_hits"), 6);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn paths_do_not_collide() {
         // "/ab" block 0 must not collide with "/a" + strange suffix.
         let mut cs = store();

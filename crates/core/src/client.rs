@@ -28,7 +28,7 @@ use deltacfs_vfs::{OpEvent, Vfs};
 
 use crate::checksum_store::ChecksumStore;
 use crate::config::{CausalMode, DeltaCfsConfig};
-use crate::protocol::{ClientId, FileOpItem, GroupId, UpdateMsg, UpdatePayload, Version};
+use crate::protocol::{ClientId, FileOpItem, GroupId, Payload, UpdateMsg, UpdatePayload, Version};
 use crate::relation_table::{OldVersion, Preserved, RelationTable};
 use crate::sync_queue::{NodeKind, SyncQueue};
 use crate::undo_log::UndoLog;
@@ -158,6 +158,11 @@ impl<K: KeyValue> DeltaCfsClient<K> {
         self.cost
     }
 
+    /// The client's configuration.
+    pub fn config(&self) -> &DeltaCfsConfig {
+        &self.cfg
+    }
+
     /// Resets the work counters.
     pub fn reset_cost(&mut self) {
         self.cost = Cost::new();
@@ -228,7 +233,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             self.queue.push(
                 NodeKind::Full {
                     path: path.to_string(),
-                    data: Bytes::from(content),
+                    data: Payload::from(content),
                 },
                 None,
                 Some(version),
@@ -361,7 +366,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
 
         let op = FileOpItem::Write {
             offset,
-            data: data.clone(),
+            data: Payload::from(data.clone()),
         };
         if self.queue.append_write(path, op.clone(), now).is_none() {
             let base = self.versions.get(path).copied();
@@ -671,7 +676,8 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             ids.extend(src_ids);
         }
 
-        let params = DeltaParams::with_block_size(self.cfg.block_size);
+        let params = DeltaParams::with_block_size(self.cfg.block_size)
+            .with_min_parallel_bytes(self.cfg.min_parallel_bytes);
         self.obs
             .tracer
             .enter(now.as_millis(), &self.actor, "delta.encode", || {
@@ -740,7 +746,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             self.queue.push(
                 NodeKind::Full {
                     path: path.to_string(),
-                    data: Bytes::from(new_content),
+                    data: Payload::from(new_content),
                 },
                 full_base,
                 Some(version),
@@ -896,7 +902,8 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             let undo = self.undo.get(path).expect("checked above");
             let old = undo.reconstruct(&current);
             self.cost.bytes_copied += old.len() as u64;
-            let params = DeltaParams::with_block_size(self.cfg.block_size);
+            let params = DeltaParams::with_block_size(self.cfg.block_size)
+            .with_min_parallel_bytes(self.cfg.min_parallel_bytes);
             let delta =
                 local::diff_parallel(&old, &current, &params, self.cfg.parallelism, &mut self.cost);
             self.clear_undo(path);
@@ -1176,7 +1183,8 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             if base_matches && initial_len > 0 {
                 let old = self.undo[&path].reconstruct(&current);
                 self.cost.bytes_copied += old.len() as u64;
-                let params = DeltaParams::with_block_size(self.cfg.block_size);
+                let params = DeltaParams::with_block_size(self.cfg.block_size)
+            .with_min_parallel_bytes(self.cfg.min_parallel_bytes);
                 let delta = local::diff_parallel(
                     &old,
                     &current,
@@ -1203,7 +1211,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                 self.queue.push(
                     NodeKind::Full {
                         path: path.clone(),
-                        data: Bytes::from(current.clone()),
+                        data: Payload::from(current.clone()),
                     },
                     cloud,
                     Some(version),
@@ -1637,7 +1645,7 @@ mod tests {
                 client: ClientId(2),
                 counter: 1,
             }),
-            payload: UpdatePayload::Full(Bytes::from_static(b"from-peer")),
+            payload: UpdatePayload::Full(Payload::from_static(b"from-peer")),
             txn: None,
             group: None,
         };
@@ -1662,7 +1670,7 @@ mod tests {
                 client: ClientId(2),
                 counter: 5,
             }),
-            payload: UpdatePayload::Full(Bytes::from_static(b"remote wins")),
+            payload: UpdatePayload::Full(Payload::from_static(b"remote wins")),
             txn: None,
             group: None,
         };

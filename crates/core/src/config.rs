@@ -52,6 +52,27 @@ pub struct DeltaCfsConfig {
     ///
     /// [`Cost`]: deltacfs_delta::Cost
     pub parallelism: usize,
+    /// New-file sizes below this use the sequential delta matcher even
+    /// when [`parallelism`](DeltaCfsConfig::parallelism) is higher:
+    /// per-segment seam overhead beats the parallel win on small inputs
+    /// (BENCH_3 measured 0.76–0.84x at 4 MiB). Threaded into
+    /// [`DeltaParams::min_parallel_bytes`]; output and cost are
+    /// unaffected either way.
+    ///
+    /// [`DeltaParams::min_parallel_bytes`]: deltacfs_delta::DeltaParams
+    pub min_parallel_bytes: usize,
+    /// Upload transaction groups as a stream of bounded chunk frames
+    /// (scatter-gather wire framing, encode→upload overlap) instead of
+    /// one materialized buffer per group. Off by default; traffic
+    /// totals, costs, and server state are identical either way.
+    pub streaming: bool,
+    /// Literal-byte budget per streamed chunk frame (see
+    /// [`ChunkSink`](deltacfs_delta::ChunkSink)).
+    pub chunk_budget: usize,
+    /// Depth of the bounded encoder→uploader channel; together with
+    /// [`chunk_budget`](DeltaCfsConfig::chunk_budget) it caps the bytes
+    /// in flight between the delta encoder and the wire.
+    pub pipeline_depth: usize,
 }
 
 impl DeltaCfsConfig {
@@ -66,6 +87,10 @@ impl DeltaCfsConfig {
             checksums: true,
             causal_mode: CausalMode::Backindex,
             parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            min_parallel_bytes: deltacfs_delta::DeltaParams::DEFAULT_MIN_PARALLEL_BYTES,
+            streaming: false,
+            chunk_budget: 256 * 1024,
+            pipeline_depth: 4,
         }
     }
 
@@ -93,6 +118,43 @@ impl DeltaCfsConfig {
         self.parallelism = workers;
         self
     }
+
+    /// Overrides the sequential-fallback size threshold for parallel
+    /// delta encoding (`0` forces the parallel path whenever
+    /// `parallelism > 1`; tests use this to keep coverage on small
+    /// inputs).
+    pub fn with_min_parallel_bytes(mut self, bytes: usize) -> Self {
+        self.min_parallel_bytes = bytes;
+        self
+    }
+
+    /// Enables the streaming upload pipeline.
+    pub fn with_streaming(mut self, on: bool) -> Self {
+        self.streaming = on;
+        self
+    }
+
+    /// Sets the per-chunk literal budget for streamed uploads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn with_chunk_budget(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "chunk budget must be positive");
+        self.chunk_budget = bytes;
+        self
+    }
+
+    /// Sets the bounded encoder→uploader channel depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "pipeline depth must be positive");
+        self.pipeline_depth = depth;
+        self
+    }
 }
 
 impl Default for DeltaCfsConfig {
@@ -114,6 +176,23 @@ mod tests {
         assert!(c.checksums);
         assert!(!c.without_checksums().checksums);
         assert!(c.parallelism >= 1, "defaults to available cores, >= 1");
+        assert!(!c.streaming, "streaming is opt-in");
+        assert_eq!(c.chunk_budget, 256 * 1024);
+        assert_eq!(c.pipeline_depth, 4);
+        assert_eq!(c.min_parallel_bytes, 8 << 20);
+    }
+
+    #[test]
+    fn streaming_builders() {
+        let c = DeltaCfsConfig::new()
+            .with_streaming(true)
+            .with_chunk_budget(4096)
+            .with_pipeline_depth(2)
+            .with_min_parallel_bytes(0);
+        assert!(c.streaming);
+        assert_eq!(c.chunk_budget, 4096);
+        assert_eq!(c.pipeline_depth, 2);
+        assert_eq!(c.min_parallel_bytes, 0);
     }
 
     #[test]

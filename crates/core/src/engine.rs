@@ -8,12 +8,13 @@
 
 use deltacfs_delta::Cost;
 use deltacfs_kvstore::KeyValue;
-use deltacfs_net::{Link, LinkSpec, SimClock, TrafficStats};
+use deltacfs_net::{Link, LinkSpec, SimClock, SimTime, TrafficStats};
 use deltacfs_vfs::{OpEvent, Vfs};
 
 use crate::client::DeltaCfsClient;
 use crate::config::DeltaCfsConfig;
-use crate::protocol::{ApplyOutcome, ClientId};
+use crate::pipeline;
+use crate::protocol::{ApplyOutcome, ClientId, UpdateMsg};
 use crate::server::CloudServer;
 
 /// Summary of an engine's resource usage after a run.
@@ -58,6 +59,7 @@ pub struct DeltaCfsSystem<K: KeyValue = deltacfs_kvstore::MemStore> {
     link: Link,
     clock: SimClock,
     outcomes: Vec<ApplyOutcome>,
+    obs: deltacfs_obs::Obs,
 }
 
 impl DeltaCfsSystem<deltacfs_kvstore::MemStore> {
@@ -69,6 +71,7 @@ impl DeltaCfsSystem<deltacfs_kvstore::MemStore> {
             link: Link::new(link_spec),
             clock,
             outcomes: Vec::new(),
+            obs: deltacfs_obs::Obs::new(),
         }
     }
 }
@@ -87,12 +90,14 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
             link: Link::new(link_spec),
             clock,
             outcomes: Vec::new(),
+            obs: deltacfs_obs::Obs::new(),
         }
     }
 
     /// Installs a shared observability bundle on the client engine (see
     /// [`DeltaCfsClient::set_obs`]).
     pub fn enable_observability(&mut self, obs: deltacfs_obs::Obs) {
+        self.obs = obs.clone();
         self.client.set_obs(obs);
     }
 
@@ -124,14 +129,60 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
             self.client.tick(fs)
         };
         let now = self.clock.now();
+        let cfg = *self.client.config();
         for group in groups {
-            let wire: u64 = group.iter().map(|m| m.wire_size()).sum();
-            self.link.upload(wire, now);
-            let outcomes = self.server.apply_txn(&group);
-            self.outcomes.extend(outcomes);
-            // Acknowledgement.
-            self.link.download(32, now);
+            if cfg.streaming && group.iter().all(|m| m.group.is_some()) {
+                self.upload_group_streaming(&group, &cfg, now);
+            } else {
+                let wire: u64 = group.iter().map(|m| m.wire_size()).sum();
+                self.link.upload(wire, now);
+                let outcomes = self.server.apply_txn(&group);
+                self.outcomes.extend(outcomes);
+                // Acknowledgement.
+                self.link.download(32, now);
+            }
         }
+    }
+
+    /// Streams one group as bounded chunk frames: an encoder thread
+    /// frames messages (scatter-gather, shared payloads) into the
+    /// pipeline's bounded channel while this thread uploads each frame
+    /// and feeds the server's chunk stage; the server commits the group
+    /// atomically on the final frame. Traffic totals match the
+    /// materialized path exactly — the frames' accounted bytes sum to
+    /// `Σ wire_size()` and the message latency is charged once per
+    /// group, as `Link::upload` would.
+    fn upload_group_streaming(&mut self, group: &[UpdateMsg], cfg: &DeltaCfsConfig, now: SimTime) {
+        let link = &mut self.link;
+        let server = &mut self.server;
+        let outcomes = &mut self.outcomes;
+        pipeline::run_pipeline(
+            pipeline::PipelineConfig {
+                chunk_budget: cfg.chunk_budget,
+                pipeline_depth: cfg.pipeline_depth,
+            },
+            pipeline::Pace::Immediate,
+            now,
+            &self.obs,
+            |sender| {
+                pipeline::frame_group(group, cfg.chunk_budget, |frame| {
+                    sender.send(frame);
+                });
+            },
+            |frame, ready| {
+                let done = link.upload_part(frame.accounted, ready);
+                if let Some(out) = server
+                    .receive_chunk(&frame)
+                    .expect("in-process chunk stream cannot be malformed")
+                {
+                    outcomes.extend(out);
+                }
+                done
+            },
+        );
+        link.upload_end_msg(now);
+        // Acknowledgement.
+        link.download(32, now);
     }
 }
 
@@ -193,7 +244,9 @@ mod tests {
         // uploaded bytes, or the synced content.
         let run = |workers: usize| {
             let clock = SimClock::new();
-            let cfg = DeltaCfsConfig::new().with_parallelism(workers);
+            let cfg = DeltaCfsConfig::new()
+                .with_parallelism(workers)
+                .with_min_parallel_bytes(0);
             let mut sys = DeltaCfsSystem::new(cfg, clock.clone(), LinkSpec::pc());
             let mut fs = Vfs::new();
             fs.enable_event_log();
@@ -227,6 +280,57 @@ mod tests {
         assert_eq!(up1, up4, "traffic must not depend on worker count");
         assert_eq!(file1, file4);
         assert!(file1.is_some());
+    }
+
+    #[test]
+    fn streaming_upload_matches_materialized_traffic_and_state() {
+        // The streaming pipeline is an implementation detail of the
+        // upload: same traffic totals, same costs, same cloud state.
+        let run = |streaming: bool| {
+            let clock = SimClock::new();
+            let cfg = DeltaCfsConfig::new()
+                .with_streaming(streaming)
+                .with_chunk_budget(512)
+                .with_pipeline_depth(2);
+            let mut sys = DeltaCfsSystem::new(cfg, clock.clone(), LinkSpec::pc());
+            let mut fs = Vfs::new();
+            fs.enable_event_log();
+            fs.create("/f").unwrap();
+            let base: Vec<u8> = (0..30_000u32)
+                .map(|i| (i.wrapping_mul(17) % 250) as u8)
+                .collect();
+            fs.write("/f", 0, &base).unwrap();
+            fs.create("/small").unwrap();
+            fs.write("/small", 0, b"tiny file").unwrap();
+            for e in fs.drain_events() {
+                sys.on_event(&e, &fs);
+            }
+            clock.advance(4000);
+            sys.tick(&fs);
+            // An in-place rewrite large enough to go through the local
+            // delta path, so the streamed group carries a Delta payload.
+            let edit = vec![0x5A; 16_000];
+            fs.write("/f", 200, &edit).unwrap();
+            fs.rename("/small", "/renamed").unwrap();
+            for e in fs.drain_events() {
+                sys.on_event(&e, &fs);
+            }
+            clock.advance(4000);
+            sys.finish(&fs);
+            let r = sys.report();
+            (
+                r.traffic,
+                r.client_cost,
+                sys.server().file("/f").map(<[u8]>::to_vec),
+                sys.server().file("/renamed").map(<[u8]>::to_vec),
+                sys.outcomes().to_vec(),
+            )
+        };
+        let materialized = run(false);
+        let streamed = run(true);
+        assert_eq!(streamed, materialized);
+        assert!(streamed.2.is_some());
+        assert_eq!(streamed.3.as_deref(), Some(&b"tiny file"[..]));
     }
 
     #[test]

@@ -59,6 +59,7 @@ mod event_buffer;
 mod inline;
 mod multi;
 pub mod persist;
+pub mod pipeline;
 mod protocol;
 mod relation_table;
 mod retry;
@@ -76,7 +77,7 @@ pub use event_buffer::{BufferObserver, EventBuffer};
 pub use inline::{InlineInterceptor, InlineMode};
 pub use multi::SyncHub;
 pub use protocol::{
-    ApplyOutcome, ClientId, FileOpItem, GroupId, UpdateMsg, UpdatePayload, Version,
+    ApplyOutcome, ClientId, FileOpItem, GroupId, Payload, UpdateMsg, UpdatePayload, Version,
     MSG_HEADER_BYTES, OP_ITEM_HEADER_BYTES,
 };
 pub use relation_table::{OldVersion, Preserved, RelationTable};

@@ -17,7 +17,7 @@ use deltacfs_vfs::Vfs;
 use crate::client::{DeltaCfsClient, RemoteConflict};
 use crate::config::DeltaCfsConfig;
 use crate::persist;
-use crate::protocol::{ApplyOutcome, ClientId, UpdateMsg, UpdatePayload, Version};
+use crate::protocol::{ApplyOutcome, ClientId, Payload, UpdateMsg, UpdatePayload, Version};
 use crate::retry::{Courier, RetryPolicy, BACKOFF_BUCKETS_MS};
 use crate::server::CloudServer;
 
@@ -300,7 +300,7 @@ impl SyncHub {
                 path: path.clone(),
                 base: None,
                 version: self.server.version(&path),
-                payload: UpdatePayload::Full(bytes::Bytes::copy_from_slice(content)),
+                payload: UpdatePayload::Full(Payload::copy_from_slice(content)),
                 txn: None,
                 group: None,
             });
@@ -595,7 +595,7 @@ impl SyncHub {
                     let content = self
                         .server
                         .file(&msg.path)
-                        .map(bytes::Bytes::copy_from_slice)
+                        .map(Payload::copy_from_slice)
                         .unwrap_or_default();
                     UpdateMsg {
                         payload: UpdatePayload::Full(content),
@@ -667,7 +667,7 @@ impl SyncHub {
                     path: path.clone(),
                     base: None,
                     version: self.server.version(&path),
-                    payload: UpdatePayload::Full(bytes::Bytes::from(server_content)),
+                    payload: UpdatePayload::Full(Payload::from(server_content)),
                     txn: None,
                     group: None,
                 };

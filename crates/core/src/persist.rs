@@ -26,7 +26,7 @@
 
 use deltacfs_kvstore::{KeyValue, KvError};
 
-use crate::protocol::{ApplyOutcome, ClientId, GroupId, UpdateMsg, UpdatePayload};
+use crate::protocol::{ApplyOutcome, ClientId, GroupId, Payload, UpdateMsg, UpdatePayload};
 use crate::server::CloudServer;
 use crate::wire;
 
@@ -185,7 +185,7 @@ pub fn save<K: KeyValue>(server: &CloudServer, store: &mut K) -> Result<(), Pers
                 path: path.clone(),
                 base: prev,
                 version: Some(*v),
-                payload: UpdatePayload::Full(bytes::Bytes::copy_from_slice(old)),
+                payload: UpdatePayload::Full(Payload::copy_from_slice(old)),
                 txn: None,
                 group: None,
             };
@@ -197,7 +197,7 @@ pub fn save<K: KeyValue>(server: &CloudServer, store: &mut K) -> Result<(), Pers
             path: path.clone(),
             base: prev,
             version: server.version(&path),
-            payload: UpdatePayload::Full(bytes::Bytes::copy_from_slice(content)),
+            payload: UpdatePayload::Full(Payload::copy_from_slice(content)),
             txn: None,
             group: None,
         };
@@ -272,8 +272,7 @@ pub fn load<K: KeyValue>(store: &mut K) -> Result<CloudServer, PersistError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{ClientId, Version};
-    use bytes::Bytes;
+    use crate::protocol::{ClientId, Payload, Version};
     use deltacfs_kvstore::{KvStore, MemStore};
 
     fn v(n: u64) -> Version {
@@ -288,7 +287,7 @@ mod tests {
             path: path.into(),
             base,
             version: Some(v(ver)),
-            payload: UpdatePayload::Full(Bytes::from_static(data)),
+            payload: UpdatePayload::Full(Payload::from_static(data)),
             txn: None,
             group: None,
         }

@@ -13,6 +13,101 @@ use std::fmt;
 use bytes::Bytes;
 use deltacfs_delta::Delta;
 
+/// A cheap, shared, immutable payload buffer: `Arc`'d storage plus an
+/// offset/len window, `Bytes`-style.
+///
+/// Every hop of the sync path used to copy payload bytes (queue node →
+/// message → wire → server apply). `Payload` replaces those copies with
+/// reference-count bumps: cloning and [`slice`](Payload::slice)-ing share
+/// the underlying allocation, so a write's data is materialized exactly
+/// once — when the VFS event is intercepted — and then travels by view.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Payload(Bytes);
+
+impl Payload {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Payload(Bytes::new())
+    }
+
+    /// Copies `data` into a fresh buffer — the one intentional copy, at
+    /// the point bytes enter the sync pipeline.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Payload(Bytes::copy_from_slice(data))
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Payload(Bytes::from_static(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Zero-copy sub-window: shares storage, adjusts offset/len.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Payload(self.0.slice(range))
+    }
+
+    /// The shared buffer itself (zero-copy view).
+    pub fn as_bytes(&self) -> &Bytes {
+        &self.0
+    }
+
+    /// Copies the contents out into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Self {
+        Payload(b)
+    }
+}
+
+impl From<Payload> for Bytes {
+    fn from(p: Payload) -> Self {
+        p.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(Bytes::from(v))
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
 /// Identifier of a sync client (device).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClientId(pub u32);
@@ -70,8 +165,8 @@ pub enum FileOpItem {
     Write {
         /// Byte offset of the write.
         offset: u64,
-        /// The written bytes.
-        data: Bytes,
+        /// The written bytes (shared buffer, not a copy).
+        data: Payload,
     },
     /// Truncate (or zero-extend) the file to `size` bytes.
     Truncate {
@@ -124,7 +219,7 @@ pub enum UpdatePayload {
         delta: Delta,
     },
     /// Replace the file content wholesale (initial upload or fallback).
-    Full(Bytes),
+    Full(Payload),
     /// Rename this message's `path` to `to`.
     Rename {
         /// Destination path.
@@ -242,7 +337,7 @@ mod tests {
         let mut content = b"abcdef".to_vec();
         FileOpItem::Write {
             offset: 4,
-            data: Bytes::from_static(b"XYZ"),
+            data: Payload::from_static(b"XYZ"),
         }
         .apply_to(&mut content);
         assert_eq!(content, b"abcdXYZ");
@@ -261,7 +356,7 @@ mod tests {
             payload: UpdatePayload::Ops(vec![
                 FileOpItem::Write {
                     offset: 0,
-                    data: Bytes::from_static(b"12345"),
+                    data: Payload::from_static(b"12345"),
                 },
                 FileOpItem::Truncate { size: 0 },
             ]),
@@ -273,7 +368,7 @@ mod tests {
             MSG_HEADER_BYTES + 2 * OP_ITEM_HEADER_BYTES + 5
         );
         let full = UpdateMsg {
-            payload: UpdatePayload::Full(Bytes::from_static(b"123")),
+            payload: UpdatePayload::Full(Payload::from_static(b"123")),
             ..msg.clone()
         };
         assert_eq!(full.wire_size(), MSG_HEADER_BYTES + 3);

@@ -15,7 +15,9 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use bytes::Bytes;
 use deltacfs_delta::Cost;
 
+use crate::pipeline::ChunkFrame;
 use crate::protocol::{ApplyOutcome, GroupId, UpdateMsg, UpdatePayload, Version};
+use crate::wire::{self, WireError};
 
 /// How many past versions the server retains per file.
 const DEFAULT_HISTORY: usize = 8;
@@ -43,8 +45,7 @@ impl ServerFile {
 /// # Example
 ///
 /// ```
-/// use bytes::Bytes;
-/// use deltacfs_core::{ClientId, CloudServer, UpdateMsg, UpdatePayload, Version};
+/// use deltacfs_core::{ClientId, CloudServer, Payload, UpdateMsg, UpdatePayload, Version};
 ///
 /// let mut cloud = CloudServer::new();
 /// let v1 = Version { client: ClientId(1), counter: 1 };
@@ -52,7 +53,7 @@ impl ServerFile {
 ///     path: "/f".into(),
 ///     base: None,
 ///     version: Some(v1),
-///     payload: UpdatePayload::Full(Bytes::from_static(b"v1")),
+///     payload: UpdatePayload::Full(Payload::from_static(b"v1")),
 ///     txn: None,
 ///     group: None,
 /// });
@@ -78,6 +79,20 @@ pub struct CloudServer {
     /// members carry no file version for `seen` to key on.
     group_seen: HashMap<GroupId, Vec<ApplyOutcome>>,
     duplicate_groups: u64,
+    /// In-progress streamed group uploads, keyed by group id. Nothing
+    /// in a stage is visible to reads or applied until the group's
+    /// final chunk commits it atomically.
+    stages: HashMap<GroupId, ChunkStage>,
+}
+
+/// Assembly state of one streamed group: decoded messages so far plus
+/// the bytes of the message currently arriving.
+#[derive(Debug, Clone, Default)]
+struct ChunkStage {
+    msgs: Vec<UpdateMsg>,
+    cur: Vec<u8>,
+    next_msg: usize,
+    next_chunk: usize,
 }
 
 impl Default for CloudServer {
@@ -98,6 +113,7 @@ impl CloudServer {
             seen: HashMap::new(),
             group_seen: HashMap::new(),
             duplicate_groups: 0,
+            stages: HashMap::new(),
         }
     }
 
@@ -361,6 +377,69 @@ impl CloudServer {
         (outcomes, false)
     }
 
+    /// Receives one frame of a streamed group upload.
+    ///
+    /// Frames stage per-message bytes (the receiver's single
+    /// "NIC landing" copy); a `last_in_msg` frame freezes and decodes
+    /// the message, and the `last_in_group` frame commits the whole
+    /// group through [`apply_txn_idempotent`] — so a group whose stream
+    /// is cut mid-way applies *nothing*, and the client's whole-group
+    /// retry restarts cleanly: chunk `(0, 0)` always resets a stale
+    /// stage for its group.
+    ///
+    /// Returns `Ok(Some(outcomes))` when the group commits, `Ok(None)`
+    /// for an intermediate frame.
+    ///
+    /// # Errors
+    ///
+    /// An out-of-order or unknown frame (a prior chunk was lost) drops
+    /// the stage and returns [`WireError::Malformed`]; staged bytes
+    /// that fail to decode are reported likewise. Either way the group
+    /// is untouched and a full resend recovers.
+    ///
+    /// [`apply_txn_idempotent`]: CloudServer::apply_txn_idempotent
+    pub fn receive_chunk(
+        &mut self,
+        frame: &ChunkFrame,
+    ) -> Result<Option<Vec<ApplyOutcome>>, WireError> {
+        if frame.msg_idx == 0 && frame.chunk_idx == 0 {
+            self.stages.insert(frame.group, ChunkStage::default());
+        }
+        let Some(stage) = self.stages.get_mut(&frame.group) else {
+            return Err(WireError::Malformed("chunk for unknown group stream"));
+        };
+        if frame.msg_idx != stage.next_msg || frame.chunk_idx != stage.next_chunk {
+            self.stages.remove(&frame.group);
+            return Err(WireError::Malformed("chunk out of order"));
+        }
+        for piece in &frame.pieces {
+            stage.cur.extend_from_slice(piece.as_slice());
+        }
+        if frame.last_in_msg {
+            let buf = Bytes::from(std::mem::take(&mut stage.cur));
+            match wire::decode_shared(&buf) {
+                Ok(msg) => stage.msgs.push(msg),
+                Err(e) => {
+                    self.stages.remove(&frame.group);
+                    return Err(e);
+                }
+            }
+            stage.next_msg += 1;
+            stage.next_chunk = 0;
+        } else {
+            stage.next_chunk += 1;
+        }
+        if frame.last_in_group {
+            let stage = self
+                .stages
+                .remove(&frame.group)
+                .expect("stage exists: we just appended to it");
+            let (outcomes, _duplicate) = self.apply_txn_idempotent(&stage.msgs);
+            return Ok(Some(outcomes));
+        }
+        Ok(None)
+    }
+
     /// Whether a `<CliID, GroupSeq>` group has already been applied here.
     pub fn has_seen_group(&self, group: GroupId) -> bool {
         self.group_seen.contains_key(&group)
@@ -475,7 +554,7 @@ impl CloudServer {
             UpdatePayload::Full(data) => {
                 self.cost.bytes_copied += data.len() as u64;
                 self.cost.ops += 1;
-                self.bump(&msg.path, data.clone(), msg.version);
+                self.bump(&msg.path, data.as_bytes().clone(), msg.version);
             }
             UpdatePayload::Rename { to } => {
                 if let Some(f) = self.files.remove(&msg.path) {
@@ -554,7 +633,7 @@ impl CloudServer {
                     }
                 }
             },
-            UpdatePayload::Full(data) => data.clone(),
+            UpdatePayload::Full(data) => data.as_bytes().clone(),
             // A create that lost the race materializes as an empty
             // conflict copy; the existing file stays untouched.
             UpdatePayload::Create => Bytes::new(),
@@ -576,7 +655,7 @@ impl CloudServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{ClientId, FileOpItem};
+    use crate::protocol::{ClientId, FileOpItem, Payload};
 
     fn v(c: u32, n: u64) -> Version {
         Version {
@@ -599,7 +678,7 @@ mod tests {
     fn write_op(offset: u64, data: &'static [u8]) -> FileOpItem {
         FileOpItem::Write {
             offset,
-            data: Bytes::from_static(data),
+            data: Payload::from_static(data),
         }
     }
 
@@ -956,7 +1035,7 @@ mod tests {
                 path: "/g".into(),
                 base: None,
                 version: Some(v(3, 2)),
-                payload: UpdatePayload::Full(Bytes::from_static(b"new")),
+                payload: UpdatePayload::Full(Payload::from_static(b"new")),
                 txn: None,
                 group: None,
             },

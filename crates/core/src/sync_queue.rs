@@ -17,11 +17,10 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
 use deltacfs_delta::Delta;
 use deltacfs_net::SimTime;
 
-use crate::protocol::{FileOpItem, Version};
+use crate::protocol::{FileOpItem, Payload, Version};
 
 /// What a sync-queue node carries.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,8 +52,8 @@ pub enum NodeKind {
     Full {
         /// The uploaded path.
         path: String,
-        /// The file's entire content.
-        data: Bytes,
+        /// The file's entire content (shared buffer).
+        data: Payload,
     },
     /// A rename.
     Rename {
@@ -131,15 +130,14 @@ pub struct Node {
 /// # Example
 ///
 /// ```
-/// use bytes::Bytes;
-/// use deltacfs_core::{FileOpItem, NodeKind, SyncQueue};
+/// use deltacfs_core::{FileOpItem, NodeKind, Payload, SyncQueue};
 /// use deltacfs_net::SimTime;
 ///
 /// let mut q = SyncQueue::new(3_000); // the paper's 3 s upload delay
 /// q.push(
 ///     NodeKind::Write {
 ///         path: "/f".into(),
-///         ops: vec![FileOpItem::Write { offset: 0, data: Bytes::from_static(b"hi") }],
+///         ops: vec![FileOpItem::Write { offset: 0, data: Payload::from_static(b"hi") }],
 ///         packed: false,
 ///     },
 ///     None,
@@ -406,7 +404,7 @@ fn coalesce_adjacent_writes(ops: &mut Vec<FileOpItem>) {
                 let mut merged = Vec::with_capacity(prev_data.len() + data.len());
                 merged.extend_from_slice(prev_data);
                 merged.extend_from_slice(data);
-                *prev_data = Bytes::from(merged);
+                *prev_data = Payload::from(merged);
                 continue;
             }
         }
@@ -450,7 +448,7 @@ mod tests {
     fn w(offset: u64, data: &'static [u8]) -> FileOpItem {
         FileOpItem::Write {
             offset,
-            data: Bytes::from_static(data),
+            data: Payload::from_static(data),
         }
     }
 

@@ -7,6 +7,21 @@
 //! the per-message padding) and so updates can be persisted or shipped
 //! over a real transport.
 //!
+//! Three encode/decode shapes share one format:
+//!
+//! * [`encode_into`] serializes into a caller-owned scratch buffer so a
+//!   sender looping over messages reuses one allocation; [`encode`] is
+//!   the convenience wrapper that allocates.
+//! * [`decode_shared`] decodes from a shared [`Bytes`] buffer and
+//!   recovers every payload (`Full` bodies, `Write` data, delta
+//!   literals) as a zero-copy view into it via `slice_ref`; [`decode`]
+//!   wraps it for plain slices (one copy into a fresh buffer).
+//! * [`encode_vectored`] performs scatter-gather framing: control bytes
+//!   land in the scratch buffer while payloads stay as shared
+//!   [`Payload`] segments, so large bodies are never memcpy'd into the
+//!   frame at all. Concatenating the segments reproduces [`encode`]'s
+//!   output byte for byte.
+//!
 //! Format (little-endian):
 //!
 //! ```text
@@ -15,15 +30,20 @@
 //! path     = u16 len | bytes
 //! version  = u8 present | [u32 client | u64 counter]
 //! group    = u8 present | [u32 client | u64 seq]
-//! body     = per opcode (see below)
+//! body     = per opcode; op lists (Ops, Delta) are streams of tagged
+//!            ops closed by an 0xFF end marker, so a streaming sender
+//!            can emit the header before it knows the op count
 //! ```
 
 use bytes::Bytes;
 use deltacfs_delta::{Delta, DeltaOp};
 
-use crate::protocol::{ClientId, FileOpItem, GroupId, UpdateMsg, UpdatePayload, Version};
+use crate::protocol::{ClientId, FileOpItem, GroupId, Payload, UpdateMsg, UpdatePayload, Version};
 
 const MAGIC: &[u8; 4] = b"DCFS";
+
+/// Terminator tag closing an op stream (`Ops` and `Delta` bodies).
+pub(crate) const OPS_END: u8 = 0xFF;
 
 /// Errors produced when decoding a wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,17 +65,11 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-struct Writer {
-    buf: Vec<u8>,
+struct Writer<'a> {
+    buf: &'a mut Vec<u8>,
 }
 
-impl Writer {
-    fn new() -> Self {
-        Writer {
-            buf: Vec::with_capacity(128),
-        }
-    }
-
+impl Writer<'_> {
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
@@ -102,6 +116,45 @@ impl Writer {
                 self.u64(g.seq);
             }
             None => self.u8(0),
+        }
+    }
+
+    /// Everything up to (not including) the opcode-specific body.
+    fn header(&mut self, msg: &UpdateMsg) {
+        self.buf.extend_from_slice(MAGIC);
+        self.u8(opcode(&msg.payload));
+        self.bytes_short(msg.path.as_bytes());
+        self.version_opt(msg.base);
+        self.version_opt(msg.version);
+        self.u64(msg.txn.unwrap_or(0));
+        self.group_opt(msg.group);
+    }
+
+    fn delta_op(&mut self, op: &DeltaOp) {
+        match op {
+            DeltaOp::Copy { offset, len } => {
+                self.u8(0);
+                self.u64(*offset);
+                self.u64(*len);
+            }
+            DeltaOp::Literal(b) => {
+                self.u8(1);
+                self.bytes_long(b);
+            }
+        }
+    }
+
+    fn file_op(&mut self, op: &FileOpItem) {
+        match op {
+            FileOpItem::Write { offset, data } => {
+                self.u8(0);
+                self.u64(*offset);
+                self.bytes_long(data);
+            }
+            FileOpItem::Truncate { size } => {
+                self.u8(1);
+                self.u64(*size);
+            }
         }
     }
 }
@@ -204,27 +257,149 @@ fn opcode(payload: &UpdatePayload) -> u8 {
 /// assert_eq!(wire::decode(&bytes).unwrap(), msg);
 /// ```
 pub fn encode(msg: &UpdateMsg) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.buf.extend_from_slice(MAGIC);
-    w.u8(opcode(&msg.payload));
-    w.bytes_short(msg.path.as_bytes());
-    w.version_opt(msg.base);
-    w.version_opt(msg.version);
-    w.u64(msg.txn.unwrap_or(0));
-    w.group_opt(msg.group);
+    let mut buf = Vec::with_capacity(128);
+    encode_into(&mut buf, msg);
+    buf
+}
+
+/// Serializes one [`UpdateMsg`] into `buf`, clearing it first.
+///
+/// The buffer's allocation is reused across calls, so a sender encoding
+/// a stream of messages touches the allocator only when a message
+/// outgrows every previous one.
+pub fn encode_into(buf: &mut Vec<u8>, msg: &UpdateMsg) {
+    buf.clear();
+    let mut w = Writer { buf };
+    w.header(msg);
     match &msg.payload {
         UpdatePayload::Create
         | UpdatePayload::Unlink
         | UpdatePayload::Mkdir
         | UpdatePayload::Rmdir => {}
         UpdatePayload::Ops(ops) => {
-            w.u32(ops.len() as u32);
             for op in ops {
+                w.file_op(op);
+            }
+            w.u8(OPS_END);
+        }
+        UpdatePayload::Delta { base_path, delta } => {
+            w.bytes_short(base_path.as_bytes());
+            for op in delta.ops() {
+                w.delta_op(op);
+            }
+            w.u8(OPS_END);
+        }
+        UpdatePayload::Full(data) => w.bytes_long(data),
+        UpdatePayload::Rename { to } | UpdatePayload::Link { to } => w.bytes_short(to.as_bytes()),
+    }
+}
+
+/// One segment of a scatter-gather [`WireFrame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameSeg {
+    /// A range of control bytes inside the caller's scratch buffer.
+    Scratch(std::ops::Range<usize>),
+    /// A shared payload transmitted as-is — no copy into the frame.
+    Shared(Payload),
+}
+
+/// A scatter-gather encoded message: interleaved scratch-buffer ranges
+/// and shared payload views whose concatenation equals [`encode`]'s
+/// output for the same message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFrame {
+    /// The segments, in wire order.
+    pub segs: Vec<FrameSeg>,
+}
+
+impl WireFrame {
+    /// Total bytes the frame occupies on the wire.
+    pub fn wire_len(&self, scratch: &[u8]) -> usize {
+        self.segs
+            .iter()
+            .map(|seg| match seg {
+                FrameSeg::Scratch(r) => {
+                    debug_assert!(r.end <= scratch.len());
+                    r.len()
+                }
+                FrameSeg::Shared(p) => p.len(),
+            })
+            .sum()
+    }
+
+    /// Materializes the frame into contiguous bytes (the receiver-side
+    /// "NIC landing" copy; senders never need this).
+    pub fn assemble(&self, scratch: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len(scratch));
+        for seg in &self.segs {
+            match seg {
+                FrameSeg::Scratch(r) => out.extend_from_slice(&scratch[r.clone()]),
+                FrameSeg::Shared(p) => out.extend_from_slice(p),
+            }
+        }
+        out
+    }
+}
+
+/// Tracks the boundary between control bytes (appended to scratch) and
+/// shared payload segments while building a [`WireFrame`].
+struct SegWriter<'a> {
+    scratch: &'a mut Vec<u8>,
+    segs: Vec<FrameSeg>,
+    cut: usize,
+}
+
+impl SegWriter<'_> {
+    fn shared(&mut self, payload: Payload) {
+        let here = self.scratch.len();
+        if here > self.cut {
+            self.segs.push(FrameSeg::Scratch(self.cut..here));
+        }
+        self.segs.push(FrameSeg::Shared(payload));
+        self.cut = here;
+    }
+
+    fn finish(mut self) -> WireFrame {
+        let here = self.scratch.len();
+        if here > self.cut {
+            self.segs.push(FrameSeg::Scratch(self.cut..here));
+        }
+        WireFrame { segs: self.segs }
+    }
+}
+
+/// Scatter-gather serialization: control bytes are appended to
+/// `scratch` (which is cleared first), payload bodies stay as shared
+/// [`Payload`] segments.
+///
+/// Concatenating the returned segments (see [`WireFrame::assemble`])
+/// yields exactly [`encode`]`(msg)`, but the sender never copies payload
+/// bytes — a `Full` body or a `Write`'s data travels as an `Arc` bump.
+pub fn encode_vectored(msg: &UpdateMsg, scratch: &mut Vec<u8>) -> WireFrame {
+    scratch.clear();
+    let mut sw = SegWriter {
+        scratch,
+        segs: Vec::new(),
+        cut: 0,
+    };
+    {
+        let mut w = Writer { buf: sw.scratch };
+        w.header(msg);
+    }
+    match &msg.payload {
+        UpdatePayload::Create
+        | UpdatePayload::Unlink
+        | UpdatePayload::Mkdir
+        | UpdatePayload::Rmdir => {}
+        UpdatePayload::Ops(ops) => {
+            for op in ops {
+                let mut w = Writer { buf: sw.scratch };
                 match op {
                     FileOpItem::Write { offset, data } => {
                         w.u8(0);
                         w.u64(*offset);
-                        w.bytes_long(data);
+                        w.u64(data.len() as u64);
+                        sw.shared(data.clone());
                     }
                     FileOpItem::Truncate { size } => {
                         w.u8(1);
@@ -232,11 +407,12 @@ pub fn encode(msg: &UpdateMsg) -> Vec<u8> {
                     }
                 }
             }
+            Writer { buf: sw.scratch }.u8(OPS_END);
         }
         UpdatePayload::Delta { base_path, delta } => {
-            w.bytes_short(base_path.as_bytes());
-            w.u32(delta.ops().len() as u32);
+            Writer { buf: sw.scratch }.bytes_short(base_path.as_bytes());
             for op in delta.ops() {
+                let mut w = Writer { buf: sw.scratch };
                 match op {
                     DeltaOp::Copy { offset, len } => {
                         w.u8(0);
@@ -245,24 +421,43 @@ pub fn encode(msg: &UpdateMsg) -> Vec<u8> {
                     }
                     DeltaOp::Literal(b) => {
                         w.u8(1);
-                        w.bytes_long(b);
+                        w.u64(b.len() as u64);
+                        sw.shared(Payload::from(b.clone()));
                     }
                 }
             }
+            Writer { buf: sw.scratch }.u8(OPS_END);
         }
-        UpdatePayload::Full(data) => w.bytes_long(data),
-        UpdatePayload::Rename { to } | UpdatePayload::Link { to } => w.bytes_short(to.as_bytes()),
+        UpdatePayload::Full(data) => {
+            Writer { buf: sw.scratch }.u64(data.len() as u64);
+            sw.shared(data.clone());
+        }
+        UpdatePayload::Rename { to } | UpdatePayload::Link { to } => {
+            Writer { buf: sw.scratch }.bytes_short(to.as_bytes());
+        }
     }
-    w.buf
+    sw.finish()
 }
 
-/// Deserializes one [`UpdateMsg`] from bytes.
+/// Deserializes one [`UpdateMsg`] from bytes (copies payloads).
 ///
 /// # Errors
 ///
 /// [`WireError::Truncated`] or [`WireError::Malformed`] on any framing
 /// violation; decoding never panics on untrusted input.
 pub fn decode(buf: &[u8]) -> Result<UpdateMsg, WireError> {
+    decode_shared(&Bytes::copy_from_slice(buf))
+}
+
+/// Deserializes one [`UpdateMsg`] from a shared buffer, recovering every
+/// payload (`Full` bodies, `Write` data, delta literals) as a zero-copy
+/// view into `buf` — the receiver holds exactly one allocation per
+/// message no matter how many payload-bearing ops it carries.
+///
+/// # Errors
+///
+/// Same failure modes as [`decode`].
+pub fn decode_shared(buf: &Bytes) -> Result<UpdateMsg, WireError> {
     let mut r = Reader { buf, pos: 0 };
     if r.take(4)? != MAGIC {
         return Err(WireError::Malformed("magic"));
@@ -280,16 +475,16 @@ pub fn decode(buf: &[u8]) -> Result<UpdateMsg, WireError> {
     let payload = match opcode {
         0 => UpdatePayload::Create,
         1 => {
-            let count = r.u32()? as usize;
-            let mut ops = Vec::with_capacity(count.min(4096));
-            for _ in 0..count {
+            let mut ops = Vec::new();
+            loop {
                 match r.u8()? {
                     0 => {
                         let offset = r.u64()?;
-                        let data = Bytes::copy_from_slice(r.bytes_long()?);
+                        let data = Payload::from(buf.slice_ref(r.bytes_long()?));
                         ops.push(FileOpItem::Write { offset, data });
                     }
                     1 => ops.push(FileOpItem::Truncate { size: r.u64()? }),
+                    OPS_END => break,
                     _ => return Err(WireError::Malformed("op tag")),
                 }
             }
@@ -298,15 +493,15 @@ pub fn decode(buf: &[u8]) -> Result<UpdateMsg, WireError> {
         2 => {
             let base_path = String::from_utf8(r.bytes_short()?.to_vec())
                 .map_err(|_| WireError::Malformed("base path utf-8"))?;
-            let count = r.u32()? as usize;
-            let mut ops = Vec::with_capacity(count.min(4096));
-            for _ in 0..count {
+            let mut ops = Vec::new();
+            loop {
                 match r.u8()? {
                     0 => ops.push(DeltaOp::Copy {
                         offset: r.u64()?,
                         len: r.u64()?,
                     }),
-                    1 => ops.push(DeltaOp::Literal(Bytes::copy_from_slice(r.bytes_long()?))),
+                    1 => ops.push(DeltaOp::Literal(buf.slice_ref(r.bytes_long()?))),
+                    OPS_END => break,
                     _ => return Err(WireError::Malformed("delta op tag")),
                 }
             }
@@ -315,7 +510,7 @@ pub fn decode(buf: &[u8]) -> Result<UpdateMsg, WireError> {
                 delta: Delta::from_ops(ops),
             }
         }
-        3 => UpdatePayload::Full(Bytes::copy_from_slice(r.bytes_long()?)),
+        3 => UpdatePayload::Full(Payload::from(buf.slice_ref(r.bytes_long()?))),
         4 => UpdatePayload::Rename {
             to: String::from_utf8(r.bytes_short()?.to_vec())
                 .map_err(|_| WireError::Malformed("rename target utf-8"))?,
@@ -340,6 +535,31 @@ pub fn decode(buf: &[u8]) -> Result<UpdateMsg, WireError> {
         txn,
         group,
     })
+}
+
+/// Appends the streaming prefix of a Delta-payload message to `buf`:
+/// the full header plus the body's `base_path`, i.e. everything before
+/// the op stream. Append tagged ops with [`append_delta_ops`] and close
+/// with [`finish_op_stream`]; the concatenation decodes like a
+/// materialized Delta message (the receiver's `Delta::from_ops`
+/// re-merges ops split at chunk boundaries).
+pub(crate) fn begin_delta_stream(buf: &mut Vec<u8>, msg: &UpdateMsg, base_path: &str) {
+    let mut w = Writer { buf };
+    w.header(msg);
+    w.bytes_short(base_path.as_bytes());
+}
+
+/// Appends tagged delta ops (no terminator) to a streamed message body.
+pub(crate) fn append_delta_ops(buf: &mut Vec<u8>, ops: &[DeltaOp]) {
+    let mut w = Writer { buf };
+    for op in ops {
+        w.delta_op(op);
+    }
+}
+
+/// Closes a streamed op stream with the end marker.
+pub(crate) fn finish_op_stream(buf: &mut Vec<u8>) {
+    buf.push(OPS_END);
 }
 
 #[cfg(test)]
@@ -377,7 +597,7 @@ mod tests {
                 payload: UpdatePayload::Ops(vec![
                     FileOpItem::Write {
                         offset: 42,
-                        data: Bytes::from_static(b"payload"),
+                        data: Payload::from_static(b"payload"),
                     },
                     FileOpItem::Truncate { size: 10 },
                 ]),
@@ -402,7 +622,7 @@ mod tests {
                 path: "/full".into(),
                 base: None,
                 version: Some(v(1, 4)),
-                payload: UpdatePayload::Full(Bytes::from_static(b"whole file")),
+                payload: UpdatePayload::Full(Payload::from_static(b"whole file")),
                 group: Some(g(1, 3)),
                 txn: None,
             },
@@ -459,6 +679,92 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_reuses_the_buffer_and_matches_encode() {
+        let mut buf = Vec::new();
+        for msg in sample_msgs() {
+            encode_into(&mut buf, &msg);
+            assert_eq!(buf, encode(&msg));
+        }
+        // After the largest message has been seen, re-encoding smaller
+        // ones must not grow the allocation.
+        let cap = buf.capacity();
+        for msg in sample_msgs() {
+            encode_into(&mut buf, &msg);
+        }
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn vectored_segments_concatenate_to_the_flat_encoding() {
+        let mut scratch = Vec::new();
+        for msg in sample_msgs() {
+            let frame = encode_vectored(&msg, &mut scratch);
+            let flat = encode(&msg);
+            assert_eq!(frame.wire_len(&scratch), flat.len());
+            assert_eq!(frame.assemble(&scratch), flat, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn vectored_payloads_share_storage_with_the_message() {
+        let data = Payload::from(vec![7u8; 1024]);
+        let msg = UpdateMsg {
+            path: "/big".into(),
+            base: None,
+            version: Some(v(1, 1)),
+            payload: UpdatePayload::Full(data.clone()),
+            group: None,
+            txn: None,
+        };
+        let mut scratch = Vec::new();
+        let frame = encode_vectored(&msg, &mut scratch);
+        let shared: Vec<_> = frame
+            .segs
+            .iter()
+            .filter_map(|s| match s {
+                FrameSeg::Shared(p) => Some(p),
+                FrameSeg::Scratch(_) => None,
+            })
+            .collect();
+        assert_eq!(shared.len(), 1);
+        // Pointer equality: the segment is a view of the payload's
+        // buffer, not a copy.
+        assert!(std::ptr::eq(shared[0].as_ref(), data.as_ref()));
+    }
+
+    #[test]
+    fn decode_shared_recovers_payload_views_without_copying() {
+        let msg = &sample_msgs()[3]; // Full(b"whole file")
+        let encoded = Bytes::from(encode(msg));
+        let decoded = decode_shared(&encoded).expect("decode");
+        let UpdatePayload::Full(data) = &decoded.payload else {
+            panic!("expected Full payload");
+        };
+        // The recovered payload points into the encoded buffer itself.
+        let base = encoded.as_ref().as_ptr() as usize;
+        let view = data.as_ref().as_ptr() as usize;
+        assert!(view >= base && view < base + encoded.len());
+        assert_eq!(&data[..], b"whole file");
+    }
+
+    #[test]
+    fn streamed_delta_prefix_plus_ops_decodes_to_the_merged_delta() {
+        let msg = sample_msgs()[2].clone();
+        let UpdatePayload::Delta { base_path, delta } = &msg.payload else {
+            unreachable!()
+        };
+        // Stream the ops one at a time, with the trailing literal split
+        // in two as a chunk boundary would split it.
+        let mut buf = Vec::new();
+        begin_delta_stream(&mut buf, &msg, base_path);
+        append_delta_ops(&mut buf, &[delta.ops()[0].clone()]);
+        append_delta_ops(&mut buf, &[DeltaOp::Literal(Bytes::from_static(b"ta"))]);
+        append_delta_ops(&mut buf, &[DeltaOp::Literal(Bytes::from_static(b"il"))]);
+        finish_op_stream(&mut buf);
+        assert_eq!(decode(&buf).expect("decode"), msg);
+    }
+
+    #[test]
     fn encoded_size_tracks_accounted_size() {
         // The accounting model (wire_size) must stay within the real
         // encoded size plus the fixed header allowance.
@@ -486,7 +792,7 @@ mod tests {
     #[test]
     fn corrupted_tags_are_rejected() {
         let mut buf = encode(&sample_msgs()[0]);
-        buf[4] = 0xFF; // opcode
+        buf[4] = 0xFE; // opcode
         assert!(matches!(decode(&buf), Err(WireError::Malformed(_))));
         let buf = b"XXXX".to_vec();
         assert!(decode(&buf).is_err());
@@ -497,7 +803,7 @@ mod tests {
         // Header layout for sample 0: magic(4) opcode(1) path(2+2)
         // base(1) version(13) txn(8) — the group tag sits at offset 31.
         let mut buf = encode(&sample_msgs()[0]);
-        buf[31] = 0xFF;
+        buf[31] = 0xFE;
         assert_eq!(decode(&buf), Err(WireError::Malformed("group tag")));
     }
 

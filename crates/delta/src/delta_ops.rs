@@ -73,6 +73,16 @@ impl Delta {
         Delta { ops: merged }
     }
 
+    /// Reassembles a materialized delta from streamed chunks.
+    ///
+    /// Ops split at chunk boundaries (adjacent copies, a literal cut by
+    /// the chunk budget) re-merge under the [`from_ops`](Delta::from_ops)
+    /// rules, so the result is byte-identical to the `Delta` the
+    /// non-streaming walk would have produced.
+    pub fn from_chunks<I: IntoIterator<Item = crate::stream::DeltaChunk>>(chunks: I) -> Self {
+        Delta::from_ops(chunks.into_iter().flat_map(|c| c.ops).collect())
+    }
+
     /// The instructions, in order.
     pub fn ops(&self) -> &[DeltaOp] {
         &self.ops

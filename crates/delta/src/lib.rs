@@ -65,6 +65,7 @@ mod md5_impl;
 mod parallel;
 mod rolling;
 pub mod rsync;
+mod stream;
 mod weak_index;
 
 pub use cost::Cost;
@@ -72,6 +73,7 @@ pub use parallel::segment_bounds;
 pub use delta_ops::{ApplyError, Delta, DeltaOp, OP_HEADER_BYTES};
 pub use md5_impl::{md5, md5_hex, Md5};
 pub use rolling::RollingChecksum;
+pub use stream::{ChunkSink, DeltaChunk};
 
 /// Tuning parameters shared by the block-based delta algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,11 +85,23 @@ pub struct DeltaParams {
     /// (§IV-C: "the delta is at least one data block even though only 1 byte
     /// is modified").
     pub block_size: usize,
+
+    /// New-file sizes below this take the sequential matcher even when a
+    /// parallel diff is requested: per-segment seam overhead (window
+    /// re-derivations, on-demand replay probes) outweighs the parallel
+    /// win on small inputs — BENCH_3 measured 0.76–0.84x at 4 MiB.
+    /// Output and [`Cost`] are unaffected either way, by contract.
+    pub min_parallel_bytes: usize,
 }
 
 impl DeltaParams {
     /// rsync's historical 4 KB block size, the paper's default.
     pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+
+    /// Default [`min_parallel_bytes`](DeltaParams::min_parallel_bytes)
+    /// threshold (8 MiB): the smallest size where the BENCH_3 thread
+    /// sweep shows parallel segmentation breaking even.
+    pub const DEFAULT_MIN_PARALLEL_BYTES: usize = 8 << 20;
 
     /// Creates parameters with the paper's default 4 KB block size.
     pub fn new() -> Self {
@@ -101,7 +115,18 @@ impl DeltaParams {
     /// Panics if `block_size` is zero.
     pub fn with_block_size(block_size: usize) -> Self {
         assert!(block_size > 0, "block size must be positive");
-        DeltaParams { block_size }
+        DeltaParams {
+            block_size,
+            min_parallel_bytes: Self::DEFAULT_MIN_PARALLEL_BYTES,
+        }
+    }
+
+    /// Overrides the sequential-fallback threshold (0 forces the parallel
+    /// path whenever `workers > 1`; tests use this to keep coverage on
+    /// small inputs).
+    pub fn with_min_parallel_bytes(mut self, min_parallel_bytes: usize) -> Self {
+        self.min_parallel_bytes = min_parallel_bytes;
+        self
     }
 }
 

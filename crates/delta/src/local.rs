@@ -19,21 +19,16 @@ use std::collections::HashMap;
 
 use crate::cost::Cost;
 use crate::delta_ops::Delta;
-use crate::parallel::{replay_matches, scan_matches, ProbeOutcome};
+use crate::parallel::{replay_matches, replay_with, scan_matches, scan_streaming, ProbeOutcome};
 use crate::rolling::RollingChecksum;
-use crate::rsync::diff_with;
+use crate::rsync::diff_with_sink;
+use crate::stream::{ChunkSink, DeltaChunk, MaterializeSink, OpSink};
 use crate::weak_index::{insert_candidate, CandidateSet, WeakIndex};
 use crate::DeltaParams;
 
-/// Computes a [`Delta`] from `old` to `new` using rolling-checksum search
-/// with bitwise confirmation (no strong checksums).
-///
-/// Charges rolled and compared bytes to `cost`;
-/// `cost.bytes_strong_hashed` is never incremented by this function —
-/// that is the whole point.
-pub fn diff(old: &[u8], new: &[u8], params: &DeltaParams, cost: &mut Cost) -> Delta {
-    let bs = params.block_size;
-    // Index old-file blocks by weak checksum only.
+/// Indexes old-file blocks by weak checksum only, charging the canonical
+/// one-pass cost.
+fn index_old(old: &[u8], bs: usize, cost: &mut Cost) -> HashMap<u32, CandidateSet> {
     let nblocks = old.len().div_ceil(bs);
     let mut weak_map: HashMap<u32, CandidateSet> = HashMap::with_capacity(nblocks);
     for (i, block) in old.chunks(bs).enumerate() {
@@ -42,7 +37,19 @@ pub fn diff(old: &[u8], new: &[u8], params: &DeltaParams, cost: &mut Cost) -> De
         cost.ops += 1;
         insert_candidate(&mut weak_map, weak, i as u32);
     }
-    diff_with(
+    weak_map
+}
+
+/// The sequential bitwise-confirming walk, generic over the op sink.
+fn diff_sink<S: OpSink>(
+    old: &[u8],
+    new: &[u8],
+    bs: usize,
+    cost: &mut Cost,
+    weak_map: &HashMap<u32, CandidateSet>,
+    sink: &mut S,
+) {
+    diff_with_sink(
         new,
         bs,
         cost,
@@ -54,7 +61,22 @@ pub fn diff(old: &[u8], new: &[u8], params: &DeltaParams, cost: &mut Cost) -> De
             })
         },
         |block_idx| block_range(old.len(), bs, block_idx),
-    )
+        sink,
+    );
+}
+
+/// Computes a [`Delta`] from `old` to `new` using rolling-checksum search
+/// with bitwise confirmation (no strong checksums).
+///
+/// Charges rolled and compared bytes to `cost`;
+/// `cost.bytes_strong_hashed` is never incremented by this function —
+/// that is the whole point.
+pub fn diff(old: &[u8], new: &[u8], params: &DeltaParams, cost: &mut Cost) -> Delta {
+    let bs = params.block_size;
+    let weak_map = index_old(old, bs, cost);
+    let mut sink = MaterializeSink::new();
+    diff_sink(old, new, bs, cost, &weak_map, &mut sink);
+    sink.into_delta()
 }
 
 /// Like [`diff`], but probes window positions across `workers` scoped
@@ -68,7 +90,9 @@ pub fn diff(old: &[u8], new: &[u8], params: &DeltaParams, cost: &mut Cost) -> De
 /// the greedy walk skips is wall-clock overhead of the parallel pipeline,
 /// not algorithmic work, and is never charged.
 ///
-/// `workers <= 1` falls through to the sequential implementation.
+/// `workers <= 1` — or an input below `params.min_parallel_bytes`, where
+/// seam overhead would outweigh the parallel win — falls through to the
+/// sequential implementation (same output and cost by contract).
 pub fn diff_parallel(
     old: &[u8],
     new: &[u8],
@@ -76,7 +100,7 @@ pub fn diff_parallel(
     workers: usize,
     cost: &mut Cost,
 ) -> Delta {
-    if workers <= 1 {
+    if workers <= 1 || new.len() < params.min_parallel_bytes {
         return diff(old, new, params, cost);
     }
     let bs = params.block_size;
@@ -85,17 +109,7 @@ pub fn diff_parallel(
     // the sequential loop charges.
     cost.bytes_rolled += old.len() as u64;
     cost.ops += old.len().div_ceil(bs) as u64;
-    let probe = |weak: u32, window: &[u8]| -> Option<ProbeOutcome> {
-        index.lookup(weak).map(|candidates| {
-            let mut bytes = 0u64;
-            let mut ops = 0u64;
-            let matched = confirm_bitwise(old, bs, window, candidates, |b, o| {
-                bytes += b;
-                ops += o;
-            });
-            (matched, bytes, ops)
-        })
-    };
+    let probe = probe_bitwise(old, bs, &index);
     let table = scan_matches(new, bs, workers, &probe);
     replay_matches(
         new,
@@ -112,6 +126,77 @@ pub fn diff_parallel(
             probe(RollingChecksum::new(window).digest(), window)
         },
     )
+}
+
+/// The bitwise-confirming probe shared by the parallel and streaming
+/// paths.
+fn probe_bitwise<'a>(
+    old: &'a [u8],
+    bs: usize,
+    index: &'a WeakIndex,
+) -> impl Fn(u32, &[u8]) -> Option<ProbeOutcome> + Sync + 'a {
+    move |weak: u32, window: &[u8]| {
+        index.lookup(weak).map(|candidates| {
+            let mut bytes = 0u64;
+            let mut ops = 0u64;
+            let matched = confirm_bitwise(old, bs, window, candidates, |b, o| {
+                bytes += b;
+                ops += o;
+            });
+            (matched, bytes, ops)
+        })
+    }
+}
+
+/// Streaming variant of [`diff_parallel`]: instead of materializing a
+/// [`Delta`], hands [`DeltaChunk`]s of at most `chunk_budget` literal
+/// bytes to `emit` as the walk produces them — the replay releases a
+/// chunk as soon as its scan segment resolves, so upload can overlap the
+/// remaining encode work and in-flight literal memory stays bounded.
+///
+/// Reassembling the chunks with [`Delta::from_chunks`] yields output
+/// byte-identical to [`diff`] / [`diff_parallel`], with identical
+/// [`Cost`] totals. Sub-threshold or single-worker inputs run the
+/// sequential walk through the same chunk sink.
+pub fn diff_streaming(
+    old: &[u8],
+    new: &[u8],
+    params: &DeltaParams,
+    workers: usize,
+    cost: &mut Cost,
+    chunk_budget: usize,
+    emit: impl FnMut(DeltaChunk),
+) {
+    let bs = params.block_size;
+    let mut sink = ChunkSink::new(chunk_budget, emit);
+    if workers <= 1 || new.len() < params.min_parallel_bytes {
+        let weak_map = index_old(old, bs, cost);
+        diff_sink(old, new, bs, cost, &weak_map, &mut sink);
+    } else {
+        let index = WeakIndex::build_parallel(old, bs, workers);
+        cost.bytes_rolled += old.len() as u64;
+        cost.ops += old.len().div_ceil(bs) as u64;
+        let probe = probe_bitwise(old, bs, &index);
+        scan_streaming(new, bs, workers, &probe, |feed| {
+            replay_with(
+                new,
+                bs,
+                feed,
+                cost,
+                |cost, bytes, ops| {
+                    cost.bytes_compared += bytes;
+                    cost.ops += ops;
+                },
+                |block_idx| block_range(old.len(), bs, block_idx),
+                |pos| {
+                    let window = &new[pos..pos + bs];
+                    probe(RollingChecksum::new(window).digest(), window)
+                },
+                &mut sink,
+            );
+        });
+    }
+    sink.finish();
 }
 
 /// `(offset, len)` of block `block_idx` in an old file of `old_len` bytes.
@@ -324,7 +409,7 @@ mod tests {
         let mut new = old.clone();
         new.splice(5_000..5_000, [0xEE; 37]);
         new[70_000] ^= 0xFF;
-        let params = DeltaParams::with_block_size(512);
+        let params = DeltaParams::with_block_size(512).with_min_parallel_bytes(0);
         let mut c_seq = Cost::new();
         let d_seq = diff(&old, &new, &params, &mut c_seq);
         for workers in [2, 3, 4, 7] {
@@ -337,7 +422,7 @@ mod tests {
 
     #[test]
     fn parallel_handles_edge_inputs() {
-        let params = DeltaParams::with_block_size(16);
+        let params = DeltaParams::with_block_size(16).with_min_parallel_bytes(0);
         for (old, new) in [
             (&b""[..], &b""[..]),
             (&b""[..], &b"short"[..]),
@@ -351,6 +436,52 @@ mod tests {
             assert_eq!(d_par, d_seq);
             assert_eq!(c_par, c_seq);
             assert_eq!(d_par.apply(old).unwrap(), new);
+        }
+    }
+
+    #[test]
+    fn small_inputs_skip_parallel_segmentation() {
+        // Below the threshold the parallel entry point must behave exactly
+        // like the sequential one (it is documented to fall through).
+        let old: Vec<u8> = (0..8_192u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut new = old.clone();
+        new[1000] ^= 0xFF;
+        let params = DeltaParams::with_block_size(512); // default 8 MiB gate
+        assert!(new.len() < params.min_parallel_bytes);
+        let mut c_seq = Cost::new();
+        let d_seq = diff(&old, &new, &params, &mut c_seq);
+        let mut c_par = Cost::new();
+        let d_par = diff_parallel(&old, &new, &params, 8, &mut c_par);
+        assert_eq!(d_par, d_seq);
+        assert_eq!(c_par, c_seq);
+    }
+
+    #[test]
+    fn streaming_chunks_reassemble_byte_identically() {
+        let old: Vec<u8> = (0..30_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut new = old.clone();
+        new.splice(5_000..5_000, [0xEE; 37]);
+        new[70_000] ^= 0xFF;
+        new.extend_from_slice(&[0xBB; 3_000]);
+        let params = DeltaParams::with_block_size(512).with_min_parallel_bytes(0);
+        let mut c_seq = Cost::new();
+        let d_seq = diff(&old, &new, &params, &mut c_seq);
+        for workers in [1, 2, 4] {
+            for budget in [64usize, 1024, 1 << 20] {
+                let mut c_str = Cost::new();
+                let mut chunks = Vec::new();
+                diff_streaming(&old, &new, &params, workers, &mut c_str, budget, |c| {
+                    chunks.push(c)
+                });
+                assert!(
+                    chunks.iter().all(|c| c.literal_bytes() <= budget as u64),
+                    "budget exceeded ({workers} workers, budget {budget})"
+                );
+                assert_eq!(chunks.last().map(|c| c.last), Some(true));
+                let d_str = Delta::from_chunks(chunks);
+                assert_eq!(d_str, d_seq, "{workers} workers, budget {budget}");
+                assert_eq!(c_str, c_seq, "{workers} workers, budget {budget}");
+            }
         }
     }
 }

@@ -13,13 +13,12 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
-
 use crate::cost::Cost;
-use crate::delta_ops::{Delta, DeltaOp};
+use crate::delta_ops::Delta;
 use crate::md5_impl::md5;
-use crate::parallel::{replay_matches, scan_matches, ProbeOutcome};
+use crate::parallel::{replay_matches, replay_with, scan_matches, scan_streaming, ProbeOutcome};
 use crate::rolling::RollingChecksum;
+use crate::stream::{ChunkSink, DeltaChunk, MaterializeSink, OpSink};
 use crate::weak_index::{insert_candidate, CandidateSet};
 use crate::DeltaParams;
 
@@ -132,17 +131,11 @@ pub fn diff_parallel(
     cost: &mut Cost,
 ) -> Delta {
     debug_assert_eq!(sig.block_size, params.block_size);
-    if workers <= 1 {
+    if workers <= 1 || new.len() < params.min_parallel_bytes {
         return diff(sig, new, params, cost);
     }
     let bs = sig.block_size;
-    let probe = |weak: u32, window: &[u8]| -> Option<ProbeOutcome> {
-        sig.weak_map.get(&weak).map(|candidates| {
-            let digest = md5(window);
-            let matched = candidates.iter().find(|&b| sig.strong[b as usize] == digest);
-            (matched, window.len() as u64, 1u64)
-        })
-    };
+    let probe = probe_md5(sig);
     let table = scan_matches(new, bs, workers, &probe);
     replay_matches(
         new,
@@ -161,6 +154,77 @@ pub fn diff_parallel(
     )
 }
 
+/// The md5-confirming probe shared by the parallel and streaming paths.
+fn probe_md5<'a>(sig: &'a Signature) -> impl Fn(u32, &[u8]) -> Option<ProbeOutcome> + Sync + 'a {
+    |weak: u32, window: &[u8]| {
+        sig.weak_map.get(&weak).map(|candidates| {
+            let digest = md5(window);
+            let matched = candidates.iter().find(|&b| sig.strong[b as usize] == digest);
+            (matched, window.len() as u64, 1u64)
+        })
+    }
+}
+
+/// Streaming variant of [`diff_parallel`]: instead of materializing a
+/// [`Delta`], hands [`DeltaChunk`]s of at most `chunk_budget` literal
+/// bytes to `emit` as the walk produces them, overlapping segment
+/// scanning with chunk release.
+///
+/// Reassembling the chunks with [`Delta::from_chunks`] yields output
+/// byte-identical to [`diff`] / [`diff_parallel`], with identical
+/// [`Cost`] totals. Sub-threshold or single-worker inputs run the
+/// sequential walk through the same chunk sink.
+pub fn diff_streaming(
+    sig: &Signature,
+    new: &[u8],
+    params: &DeltaParams,
+    workers: usize,
+    cost: &mut Cost,
+    chunk_budget: usize,
+    emit: impl FnMut(DeltaChunk),
+) {
+    debug_assert_eq!(sig.block_size, params.block_size);
+    let bs = sig.block_size;
+    let mut sink = ChunkSink::new(chunk_budget, emit);
+    if workers <= 1 || new.len() < params.min_parallel_bytes {
+        diff_with_sink(
+            new,
+            bs,
+            cost,
+            |weak| sig.weak_map.get(&weak),
+            |window, candidates, cost| {
+                let digest = md5(window);
+                cost.bytes_strong_hashed += window.len() as u64;
+                cost.ops += 1;
+                candidates.iter().find(|&b| sig.strong[b as usize] == digest)
+            },
+            |block_idx| sig.block_range(block_idx),
+            &mut sink,
+        );
+    } else {
+        let probe = probe_md5(sig);
+        scan_streaming(new, bs, workers, &probe, |feed| {
+            replay_with(
+                new,
+                bs,
+                feed,
+                cost,
+                |cost, bytes, ops| {
+                    cost.bytes_strong_hashed += bytes;
+                    cost.ops += ops;
+                },
+                |block_idx| sig.block_range(block_idx),
+                |pos| {
+                    let window = &new[pos..pos + bs];
+                    probe(RollingChecksum::new(window).digest(), window)
+                },
+                &mut sink,
+            );
+        });
+    }
+    sink.finish();
+}
+
 /// Shared rolling-window matcher used by both the remote ([`diff`]) and the
 /// local bitwise variant (`local::diff`).
 ///
@@ -172,16 +236,31 @@ pub(crate) fn diff_with<'a>(
     block_size: usize,
     cost: &mut Cost,
     lookup: impl Fn(u32) -> Option<&'a CandidateSet>,
-    mut confirm: impl FnMut(&[u8], &CandidateSet, &mut Cost) -> Option<u32>,
+    confirm: impl FnMut(&[u8], &CandidateSet, &mut Cost) -> Option<u32>,
     block_range: impl Fn(u32) -> (u64, u64),
 ) -> Delta {
-    let mut ops: Vec<DeltaOp> = Vec::new();
+    let mut sink = MaterializeSink::new();
+    diff_with_sink(new, block_size, cost, lookup, confirm, block_range, &mut sink);
+    sink.into_delta()
+}
+
+/// Sink-generic form of [`diff_with`]: identical walk, but ops go to an
+/// [`OpSink`] so the streaming paths reuse the exact traversal.
+pub(crate) fn diff_with_sink<'a, S: OpSink>(
+    new: &[u8],
+    block_size: usize,
+    cost: &mut Cost,
+    lookup: impl Fn(u32) -> Option<&'a CandidateSet>,
+    mut confirm: impl FnMut(&[u8], &CandidateSet, &mut Cost) -> Option<u32>,
+    block_range: impl Fn(u32) -> (u64, u64),
+    sink: &mut S,
+) {
     let mut literal_start = 0usize;
     let mut pos = 0usize;
 
-    let flush_literal = |ops: &mut Vec<DeltaOp>, from: usize, to: usize, cost: &mut Cost| {
+    let flush_literal = |sink: &mut S, from: usize, to: usize, cost: &mut Cost| {
         if to > from {
-            ops.push(DeltaOp::Literal(Bytes::copy_from_slice(&new[from..to])));
+            sink.literal(&new[from..to]);
             cost.bytes_copied += (to - from) as u64;
         }
     };
@@ -194,9 +273,9 @@ pub(crate) fn diff_with<'a>(
             let matched =
                 lookup(rc.digest()).and_then(|candidates| confirm(window, candidates, cost));
             if let Some(block_idx) = matched {
-                flush_literal(&mut ops, literal_start, pos, cost);
+                flush_literal(sink, literal_start, pos, cost);
                 let (offset, len) = block_range(block_idx);
-                ops.push(DeltaOp::Copy { offset, len });
+                sink.copy(offset, len);
                 pos += block_size;
                 literal_start = pos;
                 if pos + block_size > new.len() {
@@ -214,8 +293,7 @@ pub(crate) fn diff_with<'a>(
             }
         }
     }
-    flush_literal(&mut ops, literal_start, new.len(), cost);
-    Delta::from_ops(ops)
+    flush_literal(sink, literal_start, new.len(), cost);
 }
 
 #[cfg(test)]
@@ -334,7 +412,7 @@ mod tests {
         let mut new = old.clone();
         new.splice(3_000..3_000, b"SHIFTED".iter().copied());
         new[60_000] ^= 0x55;
-        let params = DeltaParams::with_block_size(256);
+        let params = DeltaParams::with_block_size(256).with_min_parallel_bytes(0);
         let mut c_sig = Cost::new();
         let sig = signature(&old, &params, &mut c_sig);
         let mut c_seq = Cost::new();
@@ -344,6 +422,32 @@ mod tests {
             let d_par = diff_parallel(&sig, &new, &params, workers, &mut c_par);
             assert_eq!(d_par, d_seq, "delta differs with {workers} workers");
             assert_eq!(c_par, c_seq, "cost differs with {workers} workers");
+        }
+    }
+
+    #[test]
+    fn streaming_chunks_reassemble_byte_identically() {
+        let old: Vec<u8> = (0..20_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut new = old.clone();
+        new.splice(3_000..3_000, b"SHIFTED".iter().copied());
+        new[60_000] ^= 0x55;
+        let params = DeltaParams::with_block_size(256).with_min_parallel_bytes(0);
+        let mut c_sig = Cost::new();
+        let sig = signature(&old, &params, &mut c_sig);
+        let mut c_seq = Cost::new();
+        let d_seq = diff(&sig, &new, &params, &mut c_seq);
+        for workers in [1, 3] {
+            for budget in [128usize, 4096] {
+                let mut c_str = Cost::new();
+                let mut chunks = Vec::new();
+                diff_streaming(&sig, &new, &params, workers, &mut c_str, budget, |c| {
+                    chunks.push(c)
+                });
+                assert!(chunks.iter().all(|c| c.literal_bytes() <= budget as u64));
+                let d_str = Delta::from_chunks(chunks);
+                assert_eq!(d_str, d_seq, "{workers} workers, budget {budget}");
+                assert_eq!(c_str, c_seq, "{workers} workers, budget {budget}");
+            }
         }
     }
 }

@@ -1,0 +1,216 @@
+//! Streaming delta emission: chunked op sinks shared by the sequential
+//! and parallel matchers.
+//!
+//! The classic API materializes a whole [`Delta`] before anything can be
+//! uploaded, so peak memory tracks the *delta* size even when the wire
+//! protocol could start sending immediately. The streaming mode threads
+//! an [`OpSink`] through the very same greedy walks instead: ops are
+//! pushed as the matcher produces them, and a [`ChunkSink`] groups them
+//! into [`DeltaChunk`]s holding at most `chunk_budget` literal bytes
+//! each. Reassembling the chunks ([`Delta::from_chunks`]) yields a
+//! `Delta` byte-identical to the materialized one: `Delta::from_ops`
+//! re-merges ops that a chunk boundary split.
+
+use bytes::Bytes;
+
+use crate::delta_ops::{Delta, DeltaOp};
+
+/// A bounded slice of a streamed delta: the next instructions in output
+/// order, with `last` set on the final chunk of the stream.
+///
+/// A chunk carries at most the emitting [`ChunkSink`]'s literal budget in
+/// literal bytes (copy instructions are budget-free — they reference the
+/// receiver's base file and cost only a header on the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaChunk {
+    /// Delta instructions, in output order.
+    pub ops: Vec<DeltaOp>,
+    /// Whether this is the final chunk of the delta.
+    pub last: bool,
+}
+
+impl DeltaChunk {
+    /// Bytes carried literally by this chunk.
+    pub fn literal_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::Literal(b) => b.len() as u64,
+                DeltaOp::Copy { .. } => 0,
+            })
+            .sum()
+    }
+}
+
+/// Receives delta instructions as a matcher walk produces them.
+///
+/// The walks in `rsync::diff_with_sink` and `parallel::replay_with` are
+/// generic over this trait, so the materialized and streaming paths run
+/// the *same* traversal code and cannot drift.
+pub(crate) trait OpSink {
+    /// A copy of `len` bytes at `offset` of the old file.
+    fn copy(&mut self, offset: u64, len: u64);
+    /// A run of literal bytes.
+    fn literal(&mut self, data: &[u8]);
+}
+
+/// Collects every op and materializes a [`Delta`] at the end — the
+/// classic non-streaming behaviour.
+pub(crate) struct MaterializeSink {
+    ops: Vec<DeltaOp>,
+}
+
+impl MaterializeSink {
+    pub(crate) fn new() -> Self {
+        MaterializeSink { ops: Vec::new() }
+    }
+
+    pub(crate) fn into_delta(self) -> Delta {
+        Delta::from_ops(self.ops)
+    }
+}
+
+impl OpSink for MaterializeSink {
+    fn copy(&mut self, offset: u64, len: u64) {
+        self.ops.push(DeltaOp::Copy { offset, len });
+    }
+
+    fn literal(&mut self, data: &[u8]) {
+        self.ops.push(DeltaOp::Literal(Bytes::copy_from_slice(data)));
+    }
+}
+
+/// Groups incoming ops into [`DeltaChunk`]s of at most `budget` literal
+/// bytes, handing each finished chunk to `emit` as soon as it fills —
+/// which is what lets the upload start while the matcher is still
+/// walking.
+///
+/// Adjacent copies are merged exactly as [`Delta::from_ops`] would merge
+/// them; a literal larger than the budget is split across chunks (the
+/// receiver's `from_ops` re-merge makes the split invisible).
+pub struct ChunkSink<F: FnMut(DeltaChunk)> {
+    budget: usize,
+    ops: Vec<DeltaOp>,
+    literal_in_chunk: usize,
+    emit: F,
+}
+
+impl<F: FnMut(DeltaChunk)> ChunkSink<F> {
+    /// A sink flushing a chunk whenever `budget` literal bytes are
+    /// pending (a zero budget is treated as 1).
+    pub fn new(budget: usize, emit: F) -> Self {
+        ChunkSink {
+            budget: budget.max(1),
+            ops: Vec::new(),
+            literal_in_chunk: 0,
+            emit,
+        }
+    }
+
+    fn flush(&mut self, last: bool) {
+        if self.ops.is_empty() && !last {
+            return;
+        }
+        let ops = std::mem::take(&mut self.ops);
+        self.literal_in_chunk = 0;
+        (self.emit)(DeltaChunk { ops, last });
+    }
+
+    /// Emits the final chunk (`last == true`, possibly op-less for an
+    /// empty delta). Must be called exactly once, after the walk.
+    pub fn finish(mut self) {
+        self.flush(true);
+    }
+}
+
+impl<F: FnMut(DeltaChunk)> OpSink for ChunkSink<F> {
+    fn copy(&mut self, offset: u64, len: u64) {
+        if let Some(DeltaOp::Copy {
+            offset: o,
+            len: l,
+        }) = self.ops.last_mut()
+        {
+            if *o + *l == offset {
+                *l += len;
+                return;
+            }
+        }
+        self.ops.push(DeltaOp::Copy { offset, len });
+    }
+
+    fn literal(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let room = self.budget - self.literal_in_chunk;
+            let take = room.min(data.len());
+            if take > 0 {
+                self.ops
+                    .push(DeltaOp::Literal(Bytes::copy_from_slice(&data[..take])));
+                self.literal_in_chunk += take;
+                data = &data[take..];
+            }
+            if self.literal_in_chunk >= self.budget {
+                self.flush(false);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(budget: usize, feed: impl FnOnce(&mut ChunkSink<&mut dyn FnMut(DeltaChunk)>)) -> Vec<DeltaChunk> {
+        let mut chunks = Vec::new();
+        let mut push = |c: DeltaChunk| chunks.push(c);
+        let mut sink: ChunkSink<&mut dyn FnMut(DeltaChunk)> = ChunkSink::new(budget, &mut push);
+        feed(&mut sink);
+        sink.finish();
+        chunks
+    }
+
+    #[test]
+    fn chunks_respect_literal_budget_and_reassemble() {
+        let chunks = collect(4, |sink| {
+            sink.literal(b"0123456789");
+            sink.copy(0, 16);
+            sink.copy(16, 16);
+            sink.literal(b"ab");
+        });
+        assert!(chunks.iter().all(|c| c.literal_bytes() <= 4));
+        assert_eq!(chunks.last().map(|c| c.last), Some(true));
+        assert!(chunks.iter().rev().skip(1).all(|c| !c.last));
+        let delta = Delta::from_chunks(chunks);
+        let expected = Delta::from_ops(vec![
+            DeltaOp::Literal(Bytes::from_static(b"0123456789")),
+            DeltaOp::Copy { offset: 0, len: 32 },
+            DeltaOp::Literal(Bytes::from_static(b"ab")),
+        ]);
+        assert_eq!(delta, expected);
+    }
+
+    #[test]
+    fn adjacent_copies_merge_inside_a_chunk() {
+        let chunks = collect(1024, |sink| {
+            sink.copy(0, 8);
+            sink.copy(8, 8);
+            sink.copy(32, 8);
+        });
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(
+            chunks[0].ops,
+            vec![
+                DeltaOp::Copy { offset: 0, len: 16 },
+                DeltaOp::Copy { offset: 32, len: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_walk_still_emits_a_final_chunk() {
+        let chunks = collect(64, |_| {});
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].ops.is_empty());
+        assert!(chunks[0].last);
+        assert_eq!(Delta::from_chunks(chunks), Delta::default());
+    }
+}

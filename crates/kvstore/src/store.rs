@@ -1,4 +1,4 @@
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 
 use deltacfs_obs::{Counter, Registry};
@@ -9,6 +9,64 @@ use crate::{BatchOp, KeyValue, KvError, Result};
 
 /// Default memtable flush threshold, in entries.
 const DEFAULT_FLUSH_THRESHOLD: usize = 16 * 1024;
+
+/// Default capacity of the segment read cache, in entries.
+const DEFAULT_READ_CACHE_ENTRIES: usize = 1024;
+
+/// A small LRU over *segment* lookup results (the memtable is already a
+/// single map probe and is always consulted first). Caches negative
+/// results too: a `None` from the segment scan is just as expensive to
+/// recompute. Writers invalidate the touched keys, so flushes and
+/// compactions — which only move entries between layers without changing
+/// the merged view — need no invalidation at all.
+#[derive(Debug, Default)]
+struct ReadCache {
+    map: HashMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Least-recently-used first.
+    order: VecDeque<Vec<u8>>,
+    cap: usize,
+}
+
+impl ReadCache {
+    fn new(cap: usize) -> Self {
+        ReadCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Outer `None` = not cached; inner value is the cached segment-scan
+    /// result (which may itself be a miss/tombstone).
+    fn get(&mut self, key: &[u8]) -> Option<Option<Vec<u8>>> {
+        let hit = self.map.get(key)?.clone();
+        if self.order.back().map(Vec::as_slice) != Some(key) {
+            self.order.retain(|k| k != key);
+            self.order.push_back(key.to_vec());
+        }
+        Some(hit)
+    }
+
+    fn insert(&mut self, key: &[u8], value: Option<Vec<u8>>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.insert(key.to_vec(), value).is_some() {
+            self.order.retain(|k| k != key);
+        }
+        self.order.push_back(key.to_vec());
+        while self.map.len() > self.cap {
+            let evict = self.order.pop_front().expect("order tracks map");
+            self.map.remove(&evict);
+        }
+    }
+
+    fn invalidate(&mut self, key: &[u8]) {
+        if self.map.remove(key).is_some() {
+            self.order.retain(|k| k != key);
+        }
+    }
+}
 
 /// A persistent key-value store: WAL + memtable + sorted segments.
 ///
@@ -33,6 +91,7 @@ pub struct KvStore {
     /// exported when [`KvStore::attach_obs`] installs counters.
     replayed: u64,
     counters: Option<KvCounters>,
+    cache: ReadCache,
 }
 
 /// WAL/flush counters registered by [`KvStore::attach_obs`].
@@ -42,6 +101,8 @@ struct KvCounters {
     wal_batch_commits: Counter,
     flushes: Counter,
     compactions: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
 }
 
 impl KvStore {
@@ -102,14 +163,16 @@ impl KvStore {
             flush_threshold,
             replayed,
             counters: None,
+            cache: ReadCache::new(DEFAULT_READ_CACHE_ENTRIES),
         })
     }
 
-    /// Registers this store's WAL and flush counters in `registry` and
-    /// starts recording into them: `kv_wal_records`,
-    /// `kv_wal_batch_commits`, `kv_memtable_flushes`, `kv_compactions`.
-    /// The records already replayed from the WAL at open time are added
-    /// to `kv_wal_replayed_records` immediately.
+    /// Registers this store's WAL, flush, and read-cache counters in
+    /// `registry` and starts recording into them: `kv_wal_records`,
+    /// `kv_wal_batch_commits`, `kv_memtable_flushes`, `kv_compactions`,
+    /// `kv_cache_hits`, `kv_cache_misses`. The records already replayed
+    /// from the WAL at open time are added to `kv_wal_replayed_records`
+    /// immediately.
     pub fn attach_obs(&mut self, registry: &Registry) {
         registry
             .counter(
@@ -131,6 +194,14 @@ impl KvStore {
                 "memtable flushes into on-disk segments",
             ),
             compactions: registry.counter("kv_compactions", "full segment compactions"),
+            cache_hits: registry.counter(
+                "kv_cache_hits",
+                "segment lookups served from the read cache",
+            ),
+            cache_misses: registry.counter(
+                "kv_cache_misses",
+                "segment lookups that had to scan the segment stack",
+            ),
         });
     }
 
@@ -216,6 +287,7 @@ impl KeyValue for KvStore {
         if let Some(c) = &self.counters {
             c.wal_records.inc();
         }
+        self.cache.invalidate(key);
         self.memtable.insert(key.to_vec(), Some(value.to_vec()));
         self.maybe_flush()
     }
@@ -224,12 +296,23 @@ impl KeyValue for KvStore {
         if let Some(v) = self.memtable.get(key) {
             return Ok(v.clone());
         }
-        for (_, seg) in self.segments.iter().rev() {
-            if let Some(v) = seg.get(key) {
-                return Ok(v.cloned());
+        if let Some(cached) = self.cache.get(key) {
+            if let Some(c) = &self.counters {
+                c.cache_hits.inc();
             }
+            return Ok(cached);
         }
-        Ok(None)
+        if let Some(c) = &self.counters {
+            c.cache_misses.inc();
+        }
+        let found = self
+            .segments
+            .iter()
+            .rev()
+            .find_map(|(_, seg)| seg.get(key))
+            .and_then(|v| v.cloned());
+        self.cache.insert(key, found.clone());
+        Ok(found)
     }
 
     fn delete(&mut self, key: &[u8]) -> Result<()> {
@@ -237,6 +320,7 @@ impl KeyValue for KvStore {
         if let Some(c) = &self.counters {
             c.wal_records.inc();
         }
+        self.cache.invalidate(key);
         self.memtable.insert(key.to_vec(), None);
         self.maybe_flush()
     }
@@ -279,9 +363,11 @@ impl KeyValue for KvStore {
         for op in batch {
             match op {
                 BatchOp::Put { key, value } => {
+                    self.cache.invalidate(key);
                     self.memtable.insert(key.clone(), Some(value.clone()));
                 }
                 BatchOp::Delete { key } => {
+                    self.cache.invalidate(key);
                     self.memtable.insert(key.clone(), None);
                 }
             }
@@ -487,6 +573,73 @@ mod tests {
         for i in 0..10u8 {
             assert_eq!(s.get(&[i]).unwrap(), Some(vec![i * 3]));
         }
+    }
+
+    #[test]
+    fn read_cache_serves_repeated_segment_lookups() {
+        let dir = TempDir::new("cache");
+        let reg = Registry::new();
+        let mut s = KvStore::open(&dir.0).unwrap();
+        s.attach_obs(&reg);
+        s.put(b"k", b"v1").unwrap();
+        s.put(b"other", b"x").unwrap();
+        s.flush().unwrap(); // move everything into a segment
+
+        let count = |reg: &Registry, name: &str| match reg.snapshot().get(name) {
+            Some(deltacfs_obs::MetricValue::Counter(v)) => *v,
+            other => panic!("{name}: {other:?}"),
+        };
+
+        // First lookup scans the segment stack; the next two are served
+        // from the cache.
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"v1"[..]));
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"v1"[..]));
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"v1"[..]));
+        assert_eq!(count(&reg, "kv_cache_misses"), 1);
+        assert_eq!(count(&reg, "kv_cache_hits"), 2);
+
+        // Negative results are cached too.
+        assert_eq!(s.get(b"absent").unwrap(), None);
+        assert_eq!(s.get(b"absent").unwrap(), None);
+        assert_eq!(count(&reg, "kv_cache_misses"), 2);
+        assert_eq!(count(&reg, "kv_cache_hits"), 3);
+
+        // A write invalidates the cached entry; after the memtable is
+        // flushed away the store must re-read the *new* segment value
+        // rather than serve the stale cached one.
+        s.put(b"k", b"v2").unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+        assert_eq!(count(&reg, "kv_cache_misses"), 3);
+
+        // Same story for deletes: the tombstone wins over the cache.
+        s.delete(b"k").unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.get(b"k").unwrap(), None);
+
+        // Compaction does not change the merged view, so cached entries
+        // stay valid across it.
+        assert_eq!(s.get(b"other").unwrap().as_deref(), Some(&b"x"[..]));
+        let hits_before = count(&reg, "kv_cache_hits");
+        s.compact().unwrap();
+        assert_eq!(s.get(b"other").unwrap().as_deref(), Some(&b"x"[..]));
+        assert_eq!(count(&reg, "kv_cache_hits"), hits_before + 1);
+    }
+
+    #[test]
+    fn read_cache_evicts_least_recently_used() {
+        let mut cache = ReadCache::new(2);
+        cache.insert(b"a", Some(b"1".to_vec()));
+        cache.insert(b"b", Some(b"2".to_vec()));
+        // Touch "a" so "b" becomes the LRU entry.
+        assert_eq!(cache.get(b"a"), Some(Some(b"1".to_vec())));
+        cache.insert(b"c", Some(b"3".to_vec()));
+        assert_eq!(cache.get(b"b"), None);
+        assert_eq!(cache.get(b"a"), Some(Some(b"1".to_vec())));
+        assert_eq!(cache.get(b"c"), Some(Some(b"3".to_vec())));
+        // Invalidate removes the entry outright.
+        cache.invalidate(b"a");
+        assert_eq!(cache.get(b"a"), None);
     }
 
     #[test]

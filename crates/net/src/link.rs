@@ -92,11 +92,31 @@ impl Link {
     /// Sends `bytes` client → cloud starting no earlier than `now`;
     /// returns the completion time.
     pub fn upload(&mut self, bytes: u64, now: SimTime) -> SimTime {
+        self.upload_part(bytes, now);
+        self.upload_end_msg(now)
+    }
+
+    /// Streams one part of a larger logical upload: the bytes occupy
+    /// upload bandwidth (and are accounted) but no per-message latency
+    /// or message count is charged — that happens once, in
+    /// [`upload_end_msg`](Link::upload_end_msg). A pipelined sender
+    /// calls this as each chunk becomes ready, so chunk `i + 1` can be
+    /// encoded while chunk `i` is still in flight.
+    pub fn upload_part(&mut self, bytes: u64, now: SimTime) -> SimTime {
         self.stats.bytes_up += bytes;
+        let start = now.max(self.up_busy_until);
+        self.up_busy_until = start.plus_millis(transfer_ms(bytes, self.spec.bandwidth_up));
+        self.up_busy_until
+    }
+
+    /// Closes a logical upload made of [`upload_part`](Link::upload_part)
+    /// calls: charges the one-way latency once and counts one message.
+    /// `upload(bytes, now)` and `upload_part(bytes, now)` +
+    /// `upload_end_msg(now)` produce identical timing and accounting.
+    pub fn upload_end_msg(&mut self, now: SimTime) -> SimTime {
         self.stats.msgs_up += 1;
         let start = now.max(self.up_busy_until);
-        let duration = transfer_ms(bytes, self.spec.bandwidth_up) + self.spec.latency_ms;
-        self.up_busy_until = start.plus_millis(duration);
+        self.up_busy_until = start.plus_millis(self.spec.latency_ms);
         self.up_busy_until
     }
 
@@ -215,6 +235,40 @@ mod tests {
         let done = link.upload(10 * 1024 * 1024, SimTime::ZERO);
         // 10 MB at 1 MB/s plus 80 ms latency.
         assert!(done.as_millis() >= 10_000);
+    }
+
+    #[test]
+    fn chunked_upload_matches_single_shot_timing_and_accounting() {
+        let spec = LinkSpec {
+            bandwidth_up: Some(1000),
+            bandwidth_down: None,
+            latency_ms: 40,
+        };
+        let mut whole = Link::new(spec);
+        let done_whole = whole.upload(3000, SimTime::ZERO);
+
+        let mut parts = Link::new(spec);
+        parts.upload_part(1000, SimTime::ZERO);
+        parts.upload_part(1000, SimTime(100));
+        parts.upload_part(1000, SimTime(1900));
+        let done_parts = parts.upload_end_msg(SimTime(1900));
+
+        assert_eq!(done_parts, done_whole);
+        assert_eq!(parts.stats(), whole.stats());
+        assert_eq!(parts.stats().msgs_up, 1);
+    }
+
+    #[test]
+    fn upload_parts_only_charge_latency_at_end_of_message() {
+        let mut link = Link::new(LinkSpec {
+            bandwidth_up: None,
+            bandwidth_down: None,
+            latency_ms: 80,
+        });
+        assert_eq!(link.upload_part(4096, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(link.stats().msgs_up, 0);
+        assert_eq!(link.upload_end_msg(SimTime::ZERO), SimTime(80));
+        assert_eq!(link.stats().msgs_up, 1);
     }
 
     #[test]

@@ -12,67 +12,128 @@ use std::sync::Arc;
 
 /// A cheaply clonable immutable byte buffer.
 ///
-/// Clones share the underlying allocation via `Arc`, matching the cost
-/// model of the real `bytes::Bytes` closely enough for the simulator's
-/// accounting.
-#[derive(Clone, Default)]
+/// Clones share the underlying allocation via `Arc`, and — like the real
+/// `bytes::Bytes` — a [`Bytes::slice`] is a zero-copy *view* (offset +
+/// length into the shared storage), so sub-slicing a payload costs one
+/// reference-count bump, never a memcpy.
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from([]) }
+        Bytes {
+            data: Arc::from([]),
+            off: 0,
+            len: 0,
+        }
     }
 
     /// Wraps a static byte slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes {
+            len: bytes.len(),
+            data: Arc::from(bytes),
+            off: 0,
+        }
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            len: data.len(),
+            data: Arc::from(data),
+            off: 0,
+        }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Returns a sub-range copy of the buffer.
+    /// Returns a zero-copy view of a sub-range of the buffer: the new
+    /// `Bytes` shares the same storage with an adjusted offset/length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
-        Bytes { data: Arc::from(&self.data[range]) }
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {}..{} out of bounds of {}",
+            range.start,
+            range.end,
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Returns a zero-copy `Bytes` covering `subset`, which must lie
+    /// inside this buffer (the real crate's `slice_ref`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` is not a sub-slice of `self`.
+    pub fn slice_ref(&self, subset: &[u8]) -> Self {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let base = self.as_ref().as_ptr() as usize;
+        let start = subset.as_ptr() as usize;
+        assert!(
+            start >= base && start + subset.len() <= base + self.len,
+            "slice_ref of a slice outside the buffer"
+        );
+        let off = start - base;
+        self.slice(off..off + subset.len())
     }
 
     /// Copies the contents into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        Bytes {
+            len: v.len(),
+            data: Arc::from(v.into_boxed_slice()),
+            off: 0,
+        }
     }
 }
 
@@ -102,7 +163,7 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_ref() == other.as_ref()
     }
 }
 
@@ -110,13 +171,13 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self.as_ref() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_ref() == other.as_slice()
     }
 }
 
@@ -128,20 +189,20 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_ref().cmp(other.as_ref())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state);
+        self.as_ref().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_ref().iter() {
             if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -171,5 +232,37 @@ mod tests {
         let a = Bytes::from(vec![1u8, 2, 3, 4]);
         assert_eq!(&a.slice(1..3)[..], &[2, 3]);
         assert_eq!(Bytes::from_static(b"x").to_vec(), vec![b'x']);
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let view = a.slice(2..6);
+        assert_eq!(&view[..], &[2, 3, 4, 5]);
+        // Same storage: the view's slice starts inside the parent's.
+        let base = a.as_ref().as_ptr() as usize;
+        let sub = view.as_ref().as_ptr() as usize;
+        assert_eq!(sub, base + 2);
+        // Slicing a slice composes offsets.
+        let inner = view.slice(1..3);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(inner.as_ref().as_ptr() as usize, base + 3);
+    }
+
+    #[test]
+    fn slice_ref_recovers_a_view() {
+        let a = Bytes::from(vec![9u8; 16]);
+        let sub = &a.as_ref()[4..9];
+        let view = a.slice_ref(sub);
+        assert_eq!(view.len(), 5);
+        assert_eq!(view.as_ref().as_ptr(), sub.as_ptr());
+        assert!(a.slice_ref(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let _ = a.slice(1..5);
     }
 }

@@ -2,7 +2,7 @@
 
 use deltacfs::core::{
     ApplyOutcome, ClientId, CloudServer, DeltaCfsClient, DeltaCfsConfig, DeltaCfsSystem,
-    SyncEngine, UpdateMsg, UpdatePayload,
+    Payload, SyncEngine, UpdateMsg, UpdatePayload,
 };
 use deltacfs::kvstore::KvStore;
 use deltacfs::net::{LinkSpec, SimClock};
@@ -82,7 +82,6 @@ fn upload_order_follows_update_order() {
 /// labels every file of an atomic operation as conflicted.
 #[test]
 fn whole_transaction_conflicts_together() {
-    use bytes::Bytes;
     use deltacfs::core::Version;
     let mut server = CloudServer::new();
     let v = |c: u32, n: u64| Version {
@@ -93,7 +92,7 @@ fn whole_transaction_conflicts_together() {
         path: path.into(),
         base,
         version: Some(ver),
-        payload: UpdatePayload::Full(Bytes::from_static(data)),
+        payload: UpdatePayload::Full(Payload::from_static(data)),
         txn: Some(1),
         group: None,
     };
@@ -203,7 +202,7 @@ fn conflict_copy_content_is_exact() {
         path: "/doc".into(),
         base: None,
         version: base_version,
-        payload: UpdatePayload::Full(bytes::Bytes::copy_from_slice(server.file("/doc").unwrap())),
+        payload: UpdatePayload::Full(Payload::copy_from_slice(server.file("/doc").unwrap())),
         txn: None,
         group: None,
     };

@@ -438,3 +438,77 @@ fn pinned_seed_fires_exact_injection_counts() {
     assert_eq!(counter("fault_uploads_duplicated"), stats.uploads_duplicated);
     assert_eq!(counter("fault_downloads_dropped"), stats.downloads_dropped);
 }
+
+#[test]
+fn dropped_mid_group_chunk_never_commits_and_whole_group_resend_recovers() {
+    // The streaming upload path stages chunk frames server-side and only
+    // commits the group atomically on the final frame. Losing a chunk in
+    // the middle of a group must therefore leave the server exactly at
+    // its pre-group state; the recovery protocol is a whole-group resend
+    // from chunk (0,0), which the `<CliID, GroupSeq>` replay index keeps
+    // idempotent even if the first attempt had partially staged.
+    use deltacfs::core::{
+        pipeline, ClientId, CloudServer, GroupId, Payload, UpdateMsg, UpdatePayload, Version,
+    };
+    use deltacfs::delta::{local, Cost, DeltaParams};
+
+    let mut server = CloudServer::new();
+    let cli = ClientId(7);
+    let base: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(13) % 251) as u8).collect();
+    let v1 = Version { client: cli, counter: 1 };
+    server.apply_msg(&UpdateMsg {
+        path: "/f".into(),
+        base: None,
+        version: Some(v1),
+        payload: UpdatePayload::Full(Payload::from(base.clone())),
+        txn: None,
+        group: None,
+    });
+
+    let mut new = base.clone();
+    new[300..1500].fill(0xC3);
+    let delta = local::diff(&base, &new, &DeltaParams::with_block_size(64), &mut Cost::new());
+    let group = vec![UpdateMsg {
+        path: "/f".into(),
+        base: Some(v1),
+        version: Some(Version { client: cli, counter: 2 }),
+        payload: UpdatePayload::Delta { base_path: "/f".into(), delta },
+        txn: Some(1),
+        group: Some(GroupId { client: cli, seq: 1 }),
+    }];
+    let mut frames = Vec::new();
+    pipeline::frame_group(&group, 128, |f| frames.push(f));
+    assert!(frames.len() >= 3, "workload must span several chunks");
+
+    // First attempt: the link eats frame 1; the next frame arrives
+    // out of order and is rejected, dropping the partial stage.
+    assert_eq!(server.receive_chunk(&frames[0]).unwrap(), None);
+    assert!(server.receive_chunk(&frames[2]).is_err());
+    assert_eq!(server.file("/f"), Some(&base[..]), "partial group must not apply");
+    assert_eq!(server.version("/f"), Some(v1));
+
+    // Retry: whole-group resend from chunk (0,0) commits atomically.
+    let mut outcomes = Vec::new();
+    for f in &frames {
+        if let Some(out) = server.receive_chunk(f).unwrap() {
+            outcomes.extend(out);
+        }
+    }
+    assert_eq!(outcomes, vec![ApplyOutcome::Applied]);
+    assert_eq!(server.file("/f"), Some(&new[..]));
+    let v2 = server.version("/f").unwrap();
+    assert_eq!(v2.counter, 2);
+
+    // A duplicate redelivery of the full chunk stream (e.g. a retry
+    // racing the ack) replays idempotently: same outcomes, no state
+    // change, no double-apply of the delta.
+    let mut replay = Vec::new();
+    for f in &frames {
+        if let Some(out) = server.receive_chunk(f).unwrap() {
+            replay.extend(out);
+        }
+    }
+    assert_eq!(replay, vec![ApplyOutcome::Applied]);
+    assert_eq!(server.file("/f"), Some(&new[..]));
+    assert_eq!(server.version("/f"), Some(v2));
+}

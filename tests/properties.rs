@@ -50,7 +50,9 @@ proptest! {
         bs in 1usize..256,
         workers in 1usize..8,
     ) {
-        let params = DeltaParams::with_block_size(bs);
+        // Drop the size gate so small generated inputs actually take the
+        // parallel path instead of falling back to the sequential walk.
+        let params = DeltaParams::with_block_size(bs).with_min_parallel_bytes(0);
 
         let mut seq_cost = Cost::new();
         let seq = local::diff(&old, &new, &params, &mut seq_cost);
@@ -69,6 +71,52 @@ proptest! {
         prop_assert_eq!(par_cost, seq_cost);
 
         prop_assert_eq!(par.apply(&old).unwrap(), new);
+    }
+
+    /// The streaming chunked encoders are indistinguishable from the
+    /// materializing ones once the chunks are reassembled: byte-identical
+    /// `Delta`, identical `Cost`, for any worker count and any chunk
+    /// budget — boundary splits re-merge losslessly. This is the
+    /// correctness contract of the zero-copy upload pipeline (DESIGN.md
+    /// §12): what goes over the wire in chunks is exactly what the
+    /// one-shot encoder would have sent.
+    #[test]
+    fn streaming_equals_materialized(
+        old in buffer(8192),
+        new in buffer(8192),
+        bs in 1usize..256,
+        workers in 1usize..5,
+        budget in 1usize..4096,
+    ) {
+        use deltacfs::delta::Delta;
+
+        let params = DeltaParams::with_block_size(bs).with_min_parallel_bytes(0);
+
+        let mut mat_cost = Cost::new();
+        let mat = local::diff(&old, &new, &params, &mut mat_cost);
+        let mut st_cost = Cost::new();
+        let mut chunks = Vec::new();
+        local::diff_streaming(&old, &new, &params, workers, &mut st_cost, budget, |c| {
+            chunks.push(c);
+        });
+        let st = Delta::from_chunks(chunks);
+        prop_assert_eq!(&st, &mat);
+        prop_assert_eq!(st_cost, mat_cost);
+        prop_assert_eq!(st.apply(&old).unwrap(), new.clone());
+
+        let mut mat_cost = Cost::new();
+        let sig = rsync::signature(&old, &params, &mut mat_cost);
+        let mat = rsync::diff(&sig, &new, &params, &mut mat_cost);
+        let mut st_cost = Cost::new();
+        let sig_s = rsync::signature(&old, &params, &mut st_cost);
+        let mut chunks = Vec::new();
+        rsync::diff_streaming(&sig_s, &new, &params, workers, &mut st_cost, budget, |c| {
+            chunks.push(c);
+        });
+        let st = Delta::from_chunks(chunks);
+        prop_assert_eq!(&st, &mat);
+        prop_assert_eq!(st_cost, mat_cost);
+        prop_assert_eq!(st.apply(&old).unwrap(), new);
     }
 
     /// Local and remote rsync produce deltas of identical output length
@@ -233,7 +281,7 @@ proptest! {
 
 // --- Wire-format properties --------------------------------------------
 
-use deltacfs::core::{wire, FileOpItem, UpdateMsg, UpdatePayload};
+use deltacfs::core::{wire, FileOpItem, Payload, UpdateMsg, UpdatePayload};
 use deltacfs::delta::{Delta, DeltaOp};
 
 fn arb_version() -> impl Strategy<Value = Option<deltacfs::core::Version>> {
@@ -263,13 +311,13 @@ fn arb_payload() -> impl Strategy<Value = UpdatePayload> {
         "[a-z/]{1,20}".prop_map(|to| UpdatePayload::Rename { to }),
         "[a-z/]{1,20}".prop_map(|to| UpdatePayload::Link { to }),
         proptest::collection::vec(any::<u8>(), 0..256)
-            .prop_map(|d| UpdatePayload::Full(Bytes::from(d))),
+            .prop_map(|d| UpdatePayload::Full(Payload::from(d))),
         proptest::collection::vec(
             prop_oneof![
                 (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(o, d)| {
                     FileOpItem::Write {
                         offset: o,
-                        data: Bytes::from(d),
+                        data: Payload::from(d),
                     }
                 }),
                 any::<u64>().prop_map(|s| FileOpItem::Truncate { size: s }),
@@ -432,7 +480,7 @@ proptest! {
                 path: path.clone(),
                 base,
                 version: Some(version),
-                payload: UpdatePayload::Full(Bytes::from(data.clone())),
+                payload: UpdatePayload::Full(Payload::from(data.clone())),
                 txn: None,
                 group: None,
             });

@@ -586,7 +586,7 @@ fn fault_cell(scenario: &'static str, spec: FaultSpec) -> FaultCellResult {
     let stats = hub.fault_stats().expect("faults are armed");
     let converged = drained
         && hub.server().paths().iter().all(|p| {
-            (0..2).all(|i| hub.fs(i).peek_all(p).ok().as_deref() == hub.server().file(p))
+            (0..2).all(|i| hub.fs(i).peek_all(p).ok().as_deref() == hub.server().file(p).as_deref())
         });
     FaultCellResult {
         scenario,

@@ -722,6 +722,21 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                     )
                 }
             });
+        // What the cloud will hold at `path` when a full-content node
+        // lands there. The paper's per-RPC interception never uploads
+        // mid-save, but a driver that pumps between batched operations
+        // can ship part of the save (say, the temp file's create) before
+        // the trigger fires — then "the old version was renamed away"
+        // no longer implies "the cloud has nothing at this name", and a
+        // `base: None` full would bounce off its own create as a version
+        // conflict. The pending chain's bottom is the cloud's copy; with
+        // nothing pending and no rename in flight for the name, the
+        // version map points straight at it.
+        let cloud_base = match self.queue.pending_chain_base(path) {
+            Some(chain_bottom) => chain_bottom,
+            None if self.queue.pending_rename_touching(path) => None,
+            None => self.versions.get(path).copied(),
+        };
         let version = self.next_version();
         let node_id = if chose_delta {
             self.queue.push(
@@ -742,7 +757,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             // the preserved version, if the content survives in place
             // (gedit's replaced rename, unlink-then-recreate).
             self.cost.bytes_copied += new_content.len() as u64;
-            let full_base = if old_via_path { None } else { base_version };
+            let full_base = if old_via_path { cloud_base } else { base_version };
             self.queue.push(
                 NodeKind::Full {
                     path: path.to_string(),

@@ -163,6 +163,54 @@ impl Default for DeltaCfsConfig {
     }
 }
 
+/// Hub-level tuning knobs (the server side of the simulation; per-client
+/// knobs live in [`DeltaCfsConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HubConfig {
+    /// Number of server shards. `1` reproduces the single-instance hub
+    /// byte for byte; higher counts stripe the replay index,
+    /// group-outcome records, and persisted state by namespace.
+    pub shards: usize,
+    /// Record per-group apply latency into the
+    /// `hub_apply_latency_us` observability histogram. Off by default:
+    /// wall-clock timing is nondeterministic, and the deterministic
+    /// tests compare metric snapshots.
+    pub latency_histogram: bool,
+}
+
+impl HubConfig {
+    /// The single-shard legacy configuration.
+    pub fn new() -> Self {
+        HubConfig {
+            shards: 1,
+            latency_histogram: false,
+        }
+    }
+
+    /// Sets the shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "a hub needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Enables the wall-clock apply-latency histogram.
+    pub fn with_latency_histogram(mut self, on: bool) -> Self {
+        self.latency_histogram = on;
+        self
+    }
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,6 +64,7 @@ mod protocol;
 mod relation_table;
 mod retry;
 mod server;
+mod shard;
 mod sync_queue;
 mod threaded;
 mod undo_log;
@@ -71,7 +72,7 @@ pub mod wire;
 
 pub use checksum_store::ChecksumStore;
 pub use client::{DeltaCfsClient, IntegrityIssue, IssueKind, RemoteConflict};
-pub use config::{CausalMode, DeltaCfsConfig};
+pub use config::{CausalMode, DeltaCfsConfig, HubConfig};
 pub use engine::{DeltaCfsSystem, EngineReport, SyncEngine};
 pub use event_buffer::{BufferObserver, EventBuffer};
 pub use inline::{InlineInterceptor, InlineMode};
@@ -83,6 +84,7 @@ pub use protocol::{
 pub use relation_table::{OldVersion, Preserved, RelationTable};
 pub use retry::{Courier, Flight, RetryPolicy, BACKOFF_BUCKETS_MS};
 pub use server::CloudServer;
+pub use shard::{ShardRouter, ShardedServer};
 pub use sync_queue::{Node, NodeKind, SyncQueue};
 pub use threaded::{spawn_cloud, CloudGone, CloudHandle};
 pub use undo_log::{UndoLog, UndoRecord};

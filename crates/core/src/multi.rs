@@ -1,4 +1,4 @@
-//! Multi-client sharing (paper §III-D).
+//! Multi-client sharing (paper §III-D) over a sharded, multi-tenant hub.
 //!
 //! When a client uploads incremental data for a shared file, the cloud —
 //! "besides storing the data" — forwards the *same* incremental data to
@@ -6,26 +6,43 @@
 //! uploader, a peer client is virtually equivalent to the cloud.
 //! Conflicts on receiving clients reconcile exactly like on the cloud
 //! (first write wins; the local edit survives as a conflict copy).
+//!
+//! The hub side is sharded (DESIGN.md §13): server state lives in a
+//! [`ShardedServer`], each shard with its own snapshot store, and clients
+//! attach to a *namespace* (their shared folder, the first path
+//! component). Fan-out is batched per peer through the namespace
+//! subscriber index instead of scanning every client per message, and
+//! [`SyncHub::pump_parallel`] pumps one lane per home shard. A 1-shard
+//! hub with root clients reproduces the original single-instance hub
+//! byte for byte — the shard-invariance property suite pins this.
+
+use std::collections::HashMap;
+use std::time::Instant;
 
 use deltacfs_kvstore::MemStore;
 use deltacfs_net::{
-    FaultSpec, FaultStats, FaultTopology, Link, LinkSpec, SimClock, UploadVerdict,
+    FaultSpec, FaultStats, FaultTopology, Link, LinkSpec, SimClock, SimTime, UploadVerdict,
 };
-use deltacfs_obs::{Obs, Snapshot};
+use deltacfs_obs::{Histogram, Obs, Snapshot};
 use deltacfs_vfs::Vfs;
 
 use crate::client::{DeltaCfsClient, RemoteConflict};
-use crate::config::DeltaCfsConfig;
-use crate::persist;
+use crate::config::{DeltaCfsConfig, HubConfig};
 use crate::protocol::{ApplyOutcome, ClientId, Payload, UpdateMsg, UpdatePayload, Version};
 use crate::retry::{Courier, RetryPolicy, BACKOFF_BUCKETS_MS};
-use crate::server::CloudServer;
+use crate::shard::ShardedServer;
 
 struct Slot {
     client: DeltaCfsClient,
     fs: Vfs,
     link: Link,
     courier: Courier,
+    /// The shared folder this client is attached to (first path
+    /// component); `""` is the legacy root client that sees everything.
+    namespace: String,
+    /// The server shard the namespace hashes to — the client's pump lane
+    /// and queue-depth gauge bucket.
+    home_shard: usize,
 }
 
 /// A cloud server with any number of attached DeltaCFS clients, all
@@ -50,20 +67,29 @@ struct Slot {
 /// # Ok::<(), deltacfs_vfs::VfsError>(())
 /// ```
 pub struct SyncHub {
-    server: CloudServer,
+    server: ShardedServer,
     slots: Vec<Slot>,
     clock: SimClock,
+    cfg: HubConfig,
     conflicts: Vec<(usize, RemoteConflict)>,
     server_outcomes: Vec<ApplyOutcome>,
+    /// Namespace → indexes of the clients subscribed to it. Fan-out for
+    /// a namespaced uploader touches only this list plus
+    /// `root_subscribers` — O(sharing degree), not O(clients).
+    subscribers: HashMap<String, Vec<usize>>,
+    /// Clients attached to the root namespace (they see every path).
+    root_subscribers: Vec<usize>,
     /// `Some` once [`SyncHub::enable_faults`] (one shared schedule) or
     /// [`SyncHub::enable_fault_topology`] (independent per-writer
     /// schedules) arms fault injection; the pump then runs through the
     /// reliability layer (couriers + server idempotency + crash/restart
     /// from the snapshot store).
     fault: Option<FaultTopology>,
-    /// The server's durable snapshot, refreshed after every applied
-    /// group; a simulated server crash reloads from here.
-    store: MemStore,
+    /// One durable snapshot store per shard, refreshed for the involved
+    /// shards after every applied group; a simulated server crash
+    /// reloads every shard from here. A shard never writes another
+    /// shard's store.
+    stores: Vec<MemStore>,
     /// Duplicated group copies held back for out-of-order redelivery.
     deferred: Vec<Vec<UpdateMsg>>,
     /// Every `(client, path, version)` the server acknowledged as
@@ -78,21 +104,36 @@ impl std::fmt::Debug for SyncHub {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SyncHub")
             .field("clients", &self.slots.len())
+            .field("shards", &self.server.shard_count())
             .finish_non_exhaustive()
     }
 }
 
 impl SyncHub {
-    /// Creates a hub with no clients.
+    /// Creates a single-shard hub with no clients (the legacy
+    /// configuration; see [`SyncHub::with_config`] for sharding).
     pub fn new(clock: SimClock) -> Self {
+        Self::with_config(clock, HubConfig::new())
+    }
+
+    /// Creates a hub with `shards` server shards and no clients.
+    pub fn with_shards(clock: SimClock, shards: usize) -> Self {
+        Self::with_config(clock, HubConfig::new().with_shards(shards))
+    }
+
+    /// Creates a hub from a full [`HubConfig`].
+    pub fn with_config(clock: SimClock, cfg: HubConfig) -> Self {
         SyncHub {
-            server: CloudServer::new(),
+            server: ShardedServer::new(cfg.shards),
             slots: Vec::new(),
             clock,
+            cfg,
             conflicts: Vec::new(),
             server_outcomes: Vec::new(),
+            subscribers: HashMap::new(),
+            root_subscribers: Vec::new(),
             fault: None,
-            store: MemStore::new(),
+            stores: (0..cfg.shards).map(|_| MemStore::new()).collect(),
             deferred: Vec::new(),
             acked: Vec::new(),
             obs: Obs::new(),
@@ -122,8 +163,31 @@ impl SyncHub {
         &self.obs
     }
 
-    /// Attaches a new client and returns its index.
+    /// Attaches a new client to the root namespace and returns its index.
+    /// Root clients see every path — the legacy single-folder behavior.
     pub fn add_client(&mut self, cfg: DeltaCfsConfig, link_spec: LinkSpec) -> usize {
+        self.add_client_in("", cfg, link_spec)
+    }
+
+    /// Attaches a new client to `namespace` (a single path component;
+    /// `""` is the root). The client is expected to operate under
+    /// `/<namespace>/…`; forwarded updates, full sync, and anti-entropy
+    /// are filtered to that subtree, and the namespace pins the client's
+    /// home shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `namespace` contains `/`.
+    pub fn add_client_in(
+        &mut self,
+        namespace: &str,
+        cfg: DeltaCfsConfig,
+        link_spec: LinkSpec,
+    ) -> usize {
+        assert!(
+            !namespace.contains('/'),
+            "namespace is a single path component"
+        );
         let idx = self.slots.len();
         let mut client = DeltaCfsClient::new(ClientId(idx as u32 + 1), cfg, self.clock.clone());
         client.set_obs(self.obs.clone());
@@ -135,11 +199,22 @@ impl SyncHub {
             BACKOFF_HELP,
             &BACKOFF_BUCKETS_MS,
         ));
+        if namespace.is_empty() {
+            self.root_subscribers.push(idx);
+        } else {
+            self.subscribers
+                .entry(namespace.to_string())
+                .or_default()
+                .push(idx);
+        }
+        let home_shard = self.server.router().shard_of_namespace(namespace);
         self.slots.push(Slot {
             client,
             fs,
             link: Link::new(link_spec),
             courier,
+            namespace: namespace.to_string(),
+            home_shard,
         });
         idx
     }
@@ -162,7 +237,9 @@ impl SyncHub {
             slot.courier.set_backoff_histogram(hist.clone());
         }
         self.fault = Some(FaultTopology::shared(spec));
-        persist::save(&self.server, &mut self.store).expect("MemStore save cannot fail");
+        self.server
+            .save_all(&mut self.stores)
+            .expect("MemStore save cannot fail");
     }
 
     /// Arms one *independent* fault schedule per client: `specs[i]`
@@ -194,7 +271,9 @@ impl SyncHub {
             slot.courier.set_backoff_histogram(hist.clone());
         }
         self.fault = Some(FaultTopology::per_client(specs));
-        persist::save(&self.server, &mut self.store).expect("MemStore save cannot fail");
+        self.server
+            .save_all(&mut self.stores)
+            .expect("MemStore save cannot fail");
     }
 
     /// What the fault schedules have injected so far, summed over every
@@ -247,6 +326,21 @@ impl SyncHub {
         self.slots.len()
     }
 
+    /// Number of server shards.
+    pub fn shard_count(&self) -> usize {
+        self.server.shard_count()
+    }
+
+    /// The namespace client `idx` is attached to (`""` for root).
+    pub fn namespace(&self, idx: usize) -> &str {
+        &self.slots[idx].namespace
+    }
+
+    /// The server shard client `idx`'s namespace hashes to.
+    pub fn home_shard(&self, idx: usize) -> usize {
+        self.slots[idx].home_shard
+    }
+
     /// The file system of client `idx` — the application performs its
     /// operations here.
     pub fn fs_mut(&mut self, idx: usize) -> &mut Vfs {
@@ -263,8 +357,8 @@ impl SyncHub {
         &self.slots[idx].client
     }
 
-    /// The shared cloud server.
-    pub fn server(&self) -> &CloudServer {
+    /// The shared (sharded) cloud server.
+    pub fn server(&self) -> &ShardedServer {
         &self.server
     }
 
@@ -278,13 +372,17 @@ impl SyncHub {
         &self.server_outcomes
     }
 
-    /// Pushes the cloud's entire current state to client `idx` — the
-    /// initial sync a device performs when it joins an already-populated
-    /// shared folder.
+    /// Pushes the cloud's current state — filtered to the client's
+    /// namespace — to client `idx`: the initial sync a device performs
+    /// when it joins an already-populated shared folder.
     pub fn full_sync(&mut self, idx: usize) {
         let now = self.clock.now();
+        let ns = self.slots[idx].namespace.clone();
         let mut msgs: Vec<UpdateMsg> = Vec::new();
         for dir in self.server.dirs() {
+            if !ns.is_empty() && !path_in_namespace(&ns, &dir) {
+                continue;
+            }
             msgs.push(UpdateMsg {
                 path: dir,
                 base: None,
@@ -294,13 +392,18 @@ impl SyncHub {
                 group: None,
             });
         }
-        for path in self.server.paths() {
+        let paths = if ns.is_empty() {
+            self.server.paths()
+        } else {
+            self.server.paths_in_namespace(&ns)
+        };
+        for path in paths {
             let content = self.server.file(&path).expect("listed path exists");
             msgs.push(UpdateMsg {
                 path: path.clone(),
                 base: None,
                 version: self.server.version(&path),
-                payload: UpdatePayload::Full(Payload::copy_from_slice(content)),
+                payload: UpdatePayload::Full(Payload::from(content)),
                 txn: None,
                 group: None,
             });
@@ -314,7 +417,7 @@ impl SyncHub {
     }
 
     /// Drains client events, uploads ready nodes, applies them on the
-    /// cloud, and forwards applied updates to the other clients.
+    /// cloud, and forwards applied updates to the subscribed clients.
     pub fn pump(&mut self) {
         self.pump_inner(false);
     }
@@ -326,15 +429,112 @@ impl SyncHub {
         self.pump_inner(true);
     }
 
+    /// Like [`SyncHub::pump`], but pumps one lane per home shard, with
+    /// lanes running concurrently when the host has cores to spare
+    /// (capped at `min(shards, available cores)`; a single-core host
+    /// runs the lanes inline with zero thread overhead). Requires every
+    /// client to be namespaced — a root client shares files across
+    /// lanes — and faults to be off; otherwise this falls back to the
+    /// sequential pump. Conflicts and outcomes merge in lane order, so
+    /// the result is deterministic for a fixed topology.
+    pub fn pump_parallel(&mut self) {
+        self.pump_parallel_inner(false);
+    }
+
+    /// [`SyncHub::flush`] over the parallel lanes.
+    pub fn flush_parallel(&mut self) {
+        self.pump_parallel_inner(true);
+        self.pump_parallel_inner(true);
+    }
+
+    fn pump_parallel_inner(&mut self, flush: bool) {
+        if self.fault.is_some()
+            || self.server.shard_count() <= 1
+            || self.slots.iter().any(|s| s.namespace.is_empty())
+        {
+            return self.pump_inner(flush);
+        }
+        let now = self.clock.now();
+        let shard_count = self.server.shard_count();
+        // Move the slots into per-home-shard lanes (index order is
+        // preserved within a lane). A namespace's clients all share one
+        // home shard, so forwarding never crosses a lane.
+        let taken = std::mem::take(&mut self.slots);
+        let mut lanes: Vec<Vec<(usize, Slot)>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for (idx, slot) in taken.into_iter().enumerate() {
+            lanes[slot.home_shard].push((idx, slot));
+        }
+        let hist = self.cfg.latency_histogram.then(|| self.latency_histogram());
+        let threads = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(shard_count);
+        let server = &self.server;
+        let obs = &self.obs;
+        let mut outputs: Vec<LaneOutput> = (0..lanes.len()).map(|_| LaneOutput::default()).collect();
+        if threads <= 1 {
+            for (lane, out) in lanes.iter_mut().zip(outputs.iter_mut()) {
+                *out = run_lane(server, obs, now, lane, flush, hist.as_ref());
+            }
+        } else {
+            let chunk = lanes.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (lane_chunk, out_chunk) in
+                    lanes.chunks_mut(chunk).zip(outputs.chunks_mut(chunk))
+                {
+                    let hist = hist.clone();
+                    scope.spawn(move || {
+                        for (lane, out) in lane_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                            *out = run_lane(server, obs, now, lane, flush, hist.as_ref());
+                        }
+                    });
+                }
+            });
+        }
+        // Reassemble the slot vector in original index order.
+        let total: usize = lanes.iter().map(Vec::len).sum();
+        let mut rebuilt: Vec<Option<Slot>> = (0..total).map(|_| None).collect();
+        for lane in lanes {
+            for (idx, slot) in lane {
+                rebuilt[idx] = Some(slot);
+            }
+        }
+        self.slots = rebuilt
+            .into_iter()
+            .map(|s| s.expect("every lane returns its slots"))
+            .collect();
+        // Merge lane outputs deterministically, by lane order.
+        for out in outputs {
+            self.server_outcomes.extend(out.outcomes);
+            self.conflicts.extend(out.conflicts);
+        }
+    }
+
+    /// Feeds client `idx`'s pending file-system events into its engine
+    /// without pumping any uploads.
+    ///
+    /// The interception layer verifies block checksums and records undo
+    /// bytes against the *live* file content, so it assumes each event
+    /// is handled before the file changes again. The pump drains events
+    /// too, but only at pump time — a driver that batches several
+    /// operations against [`SyncHub::fs_mut`] between pumps must call
+    /// this after each operation (or each single-file burst), exactly
+    /// as `deltacfs_workloads::replay` feeds its engine per op.
+    /// Otherwise two writes landing in one checksum block between pumps
+    /// are indistinguishable from out-of-band corruption and quarantine
+    /// the file.
+    pub fn ingest(&mut self, idx: usize) {
+        let events = self.slots[idx].fs.drain_events();
+        for e in &events {
+            let slot = &mut self.slots[idx];
+            slot.client.handle_event(e, &slot.fs);
+        }
+    }
+
     fn pump_inner(&mut self, flush: bool) {
         let now = self.clock.now();
         for idx in 0..self.slots.len() {
             // 1. Feed pending fs events into the engine.
-            let events = self.slots[idx].fs.drain_events();
-            for e in &events {
-                let slot = &mut self.slots[idx];
-                slot.client.handle_event(e, &slot.fs);
-            }
+            self.ingest(idx);
             // 2. Upload ready groups.
             let slot = &mut self.slots[idx];
             let groups = if flush {
@@ -356,7 +556,7 @@ impl SyncHub {
                             format!("group of {} msgs, {wire} wire bytes", group.len())
                         });
                     self.slots[idx].link.upload(wire, now);
-                    let outcomes = self.server.apply_txn(&group);
+                    let outcomes = self.timed_apply(&group);
                     let all_applied = outcomes.iter().all(|o| *o == ApplyOutcome::Applied);
                     self.obs
                         .tracer
@@ -393,11 +593,34 @@ impl SyncHub {
         }
     }
 
+    /// The opt-in wall-clock apply-latency histogram (µs).
+    fn latency_histogram(&self) -> Histogram {
+        self.obs.registry.histogram(
+            "hub_apply_latency_us",
+            APPLY_LATENCY_HELP,
+            &APPLY_LATENCY_BUCKETS_US,
+        )
+    }
+
+    /// Applies a group, recording wall-clock latency when the
+    /// [`HubConfig::latency_histogram`] knob is on.
+    fn timed_apply(&self, group: &[UpdateMsg]) -> Vec<ApplyOutcome> {
+        if self.cfg.latency_histogram {
+            let hist = self.latency_histogram();
+            let t0 = Instant::now();
+            let outcomes = self.server.apply_txn(group);
+            hist.observe(t0.elapsed().as_micros() as u64);
+            outcomes
+        } else {
+            self.server.apply_txn(group)
+        }
+    }
+
     /// Runs client `idx`'s courier until its queue drains or backoff /
     /// disconnection parks it: each attempt goes through the client's
     /// fault plan, and only a surviving acknowledgement advances the
     /// queue.
-    fn drive_courier(&mut self, idx: usize, now: deltacfs_net::SimTime) {
+    fn drive_courier(&mut self, idx: usize, now: SimTime) {
         let mut topo = self.fault.take().expect("fault mode is armed");
         while self.slots[idx].courier.ready(now) {
             let Some(flight) = self.slots[idx].courier.take_attempt(now) else {
@@ -440,12 +663,14 @@ impl SyncHub {
                 }
                 UploadVerdict::CrashBeforeApply => {
                     // The group dies with the server's volatile state; the
-                    // restarted server comes back from its last snapshot
-                    // and the client retries into it.
+                    // restarted server comes back from the per-shard
+                    // snapshots and the client retries into it.
                     self.obs.tracer.event(now_ms, "server", "fault.inject", || {
                         "server crash before apply; restored from snapshot".to_string()
                     });
-                    self.server = persist::load(&mut self.store).expect("snapshot loads");
+                    self.server
+                        .reload_all(&mut self.stores)
+                        .expect("snapshot loads");
                     let delay = self.slots[idx].courier.on_failure(now);
                     self.trace_backoff(idx, now_ms, delay);
                 }
@@ -462,7 +687,9 @@ impl SyncHub {
                             format!("group from {actor} applied ({} msgs)", group.len())
                         }
                     });
-                    persist::save(&self.server, &mut self.store).expect("MemStore save");
+                    self.server
+                        .save_group(&group, &mut self.stores)
+                        .expect("MemStore save");
                     if duplicate {
                         // Every duplicated copy — versioned or namespace-
                         // only — may be held back and redelivered after
@@ -489,7 +716,9 @@ impl SyncHub {
                         self.obs.tracer.event(now_ms, "server", "fault.inject", || {
                             "server crash after apply; ack lost with it".to_string()
                         });
-                        self.server = persist::load(&mut self.store).expect("snapshot loads");
+                        self.server
+                            .reload_all(&mut self.stores)
+                            .expect("snapshot loads");
                         let delay = self.slots[idx].courier.on_failure(now);
                         self.trace_backoff(idx, now_ms, delay);
                     } else if self.slots[idx]
@@ -541,91 +770,51 @@ impl SyncHub {
             });
     }
 
-    /// Sends `group` to every client except `from` — the same incremental
-    /// data, no recomputation (paper §III-D). In fault mode each
-    /// forwarded message can be lost on the *receiving peer's* downlink,
-    /// as decided by that peer's own fault plan.
+    /// The clients a group from `from` fans out to, ascending: the
+    /// uploader's namespace subscribers plus every root client. A root
+    /// uploader fans out to everyone (per-message visibility still
+    /// filters what a namespaced peer receives).
+    fn receivers_for(&self, from: usize) -> Vec<usize> {
+        let ns = &self.slots[from].namespace;
+        if ns.is_empty() {
+            return (0..self.slots.len()).filter(|&i| i != from).collect();
+        }
+        let mut out: Vec<usize> = self
+            .root_subscribers
+            .iter()
+            .chain(self.subscribers.get(ns).into_iter().flatten())
+            .copied()
+            .filter(|&i| i != from)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Sends `group` to every subscribed client except `from` — the same
+    /// incremental data, no recomputation (paper §III-D), one batch per
+    /// peer. In fault mode each forwarded message can be lost on the
+    /// *receiving peer's* downlink, as decided by that peer's own fault
+    /// plan.
     fn forward(
         &mut self,
         from: usize,
         group: &[UpdateMsg],
-        now: deltacfs_net::SimTime,
+        now: SimTime,
         fault: &mut Option<&mut FaultTopology>,
     ) {
-        for idx in 0..self.slots.len() {
-            if idx == from {
-                continue;
-            }
-            self.obs
-                .tracer
-                .event(now.as_millis(), "server", "wire.forward", || {
-                    format!(
-                        "forwarding group of {} msgs from {} to {}",
-                        group.len(),
-                        actor_name(from),
-                        actor_name(idx)
-                    )
-                });
-            for msg in group {
-                // The paper's key multi-client property (§III-D): "the
-                // same incremental data can be directly sent to client B
-                // without additional computation". A delta is forwarded
-                // verbatim when the peer's base matches (it applies it to
-                // its own copy of the base path); only a diverged peer —
-                // e.g. one holding unsynced local edits, which is about to
-                // conflict anyway — receives the materialized content.
-                let peer_diverged = match &msg.payload {
-                    UpdatePayload::Delta { base_path, .. } => {
-                        let slot = &self.slots[idx];
-                        let local_version = slot.client.version_of(base_path);
-                        local_version != msg.base
-                    }
-                    // An ops batch assumes the peer holds the base the
-                    // uploader built on. A peer that missed an earlier
-                    // forward (lost downlink) would silently apply the
-                    // ops to stale content — materialize instead, which
-                    // also heals the earlier gap.
-                    UpdatePayload::Ops(_) => {
-                        let slot = &self.slots[idx];
-                        slot.client.version_of(&msg.path) != msg.base
-                    }
-                    _ => false,
-                };
-                let forwarded = if peer_diverged {
-                    let content = self
-                        .server
-                        .file(&msg.path)
-                        .map(Payload::copy_from_slice)
-                        .unwrap_or_default();
-                    UpdateMsg {
-                        payload: UpdatePayload::Full(content),
-                        ..msg.clone()
-                    }
-                } else {
-                    msg.clone()
-                };
-                let wire = forwarded.wire_size();
-                let arrived = match fault.as_mut() {
-                    Some(topo) => self.slots[idx]
-                        .link
-                        .download_faulty(wire, now, idx, topo.plan_for(idx))
-                        .is_some(),
-                    None => {
-                        self.slots[idx].link.download(wire, now);
-                        true
-                    }
-                };
-                if !arrived {
-                    // A lost forward leaves the peer behind; the next
-                    // forward's divergence check (or a settle pass)
-                    // re-materializes the content.
-                    continue;
-                }
-                let slot = &mut self.slots[idx];
-                if let Some(conflict) = slot.client.apply_remote(&forwarded, &mut slot.fs) {
-                    self.conflicts.push((idx, conflict));
-                }
-            }
+        for idx in self.receivers_for(from) {
+            forward_group_to_peer(
+                &self.server,
+                &self.obs,
+                now,
+                from,
+                idx,
+                &mut self.slots[idx],
+                group,
+                fault,
+                &mut self.conflicts,
+            );
         }
     }
 
@@ -650,15 +839,39 @@ impl SyncHub {
 
         // Anti-entropy: the server's state is authoritative; push every
         // divergence down as full content (local conflict copies are
-        // per-client artifacts and stay put).
+        // per-client artifacts and stay put). A namespaced client only
+        // reconciles its own subtree.
         let now = self.clock.now();
         for idx in 0..self.slots.len() {
-            for path in self.server.paths() {
-                let server_content = self
-                    .server
-                    .file(&path)
-                    .map(<[u8]>::to_vec)
-                    .expect("listed path exists");
+            let ns = self.slots[idx].namespace.clone();
+            // Directories first: a dropped Mkdir forward would otherwise
+            // leave every file reconciliation under it failing for want
+            // of a parent.
+            for dir in self.server.dirs() {
+                if !ns.is_empty() && !path_in_namespace(&ns, &dir) {
+                    continue;
+                }
+                if self.slots[idx].fs.exists(&dir) {
+                    continue;
+                }
+                let msg = UpdateMsg {
+                    path: dir,
+                    base: None,
+                    version: None,
+                    payload: UpdatePayload::Mkdir,
+                    txn: None,
+                    group: None,
+                };
+                let slot = &mut self.slots[idx];
+                slot.client.apply_remote(&msg, &mut slot.fs);
+            }
+            let paths = if ns.is_empty() {
+                self.server.paths()
+            } else {
+                self.server.paths_in_namespace(&ns)
+            };
+            for path in paths {
+                let server_content = self.server.file(&path).expect("listed path exists");
                 let local = self.slots[idx].fs.peek_all(&path).ok();
                 if local.as_deref() == Some(&server_content[..]) {
                     continue;
@@ -706,8 +919,11 @@ impl SyncHub {
     /// * per-client link traffic (`traffic_*`), VFS IO (`io_*`), and
     ///   delta-engine cost (`delta_cost_*`), each labeled
     ///   `client="<n>"`, plus courier retry counters;
-    /// * server-side apply cost (`server_cost_*`) and the idempotency
-    ///   index's `server_duplicates_ignored`;
+    /// * server-side apply cost (`server_cost_*`), the idempotency
+    ///   index's `server_duplicates_ignored`, and
+    ///   `server_cross_shard_groups`;
+    /// * per-shard `shard_queue_depth` / `shard_files` gauges labeled
+    ///   `shard="<k>"`;
     /// * when fault injection is armed, the per-kind `fault_*` injection
     ///   counters and their `fault_injections_fired` total;
     /// * the `retry_backoff_ms` histogram and anything else components
@@ -715,6 +931,7 @@ impl SyncHub {
     pub fn export_metrics(&self) -> Snapshot {
         let reg = &self.obs.registry;
         let mut queued = 0;
+        let mut shard_queue = vec![0i64; self.server.shard_count()];
         for (idx, slot) in self.slots.iter().enumerate() {
             let id = format!("{}", idx + 1);
             let label = Some(("client", id.as_str()));
@@ -734,15 +951,33 @@ impl SyncHub {
             )
             .set(slot.courier.given_up().len() as u64);
             queued += slot.client.queued_nodes() as i64;
+            shard_queue[slot.home_shard] += slot.client.queued_nodes() as i64;
         }
         reg.gauge("sync_queue_depth", "nodes waiting in sync queues")
             .set(queued);
+        for (s, depth) in shard_queue.iter().enumerate() {
+            let id = format!("{s}");
+            let label = Some(("shard", id.as_str()));
+            reg.gauge_labeled(
+                "shard_queue_depth",
+                "sync-queue nodes waiting on clients homed on this shard",
+                label,
+            )
+            .set(*depth);
+            reg.gauge_labeled("shard_files", "files currently stored on this shard", label)
+                .set(self.server.shard_file_count(s) as i64);
+        }
         self.server.cost().export_counters(reg, "server_cost", None);
         reg.counter(
             "server_duplicates_ignored",
             "uploads the idempotency index absorbed",
         )
         .set(self.server.duplicates_ignored());
+        reg.counter(
+            "server_cross_shard_groups",
+            "transaction groups dispatched through the cross-shard path",
+        )
+        .set(self.server.cross_shard_groups());
         if let Some(stats) = self.fault_stats() {
             stats.export_counters(reg, "fault", None);
             reg.counter(
@@ -776,6 +1011,198 @@ impl SyncHub {
     }
 }
 
+/// What one pump lane produced, merged into the hub in lane order.
+#[derive(Default)]
+struct LaneOutput {
+    outcomes: Vec<ApplyOutcome>,
+    conflicts: Vec<(usize, RemoteConflict)>,
+}
+
+/// One parallel-pump lane: the slots homed on one shard, pumped in index
+/// order exactly like the sequential path (events → tick/flush → upload →
+/// apply → forward to same-namespace lane peers).
+fn run_lane(
+    server: &ShardedServer,
+    obs: &Obs,
+    now: SimTime,
+    lane: &mut [(usize, Slot)],
+    flush: bool,
+    hist: Option<&Histogram>,
+) -> LaneOutput {
+    let mut out = LaneOutput::default();
+    for i in 0..lane.len() {
+        let groups = {
+            let (_, slot) = &mut lane[i];
+            let events = slot.fs.drain_events();
+            for e in &events {
+                slot.client.handle_event(e, &slot.fs);
+            }
+            if flush {
+                slot.client.flush(&slot.fs)
+            } else {
+                slot.client.tick(&slot.fs)
+            }
+        };
+        let from = lane[i].0;
+        let ns = lane[i].1.namespace.clone();
+        for group in groups {
+            let wire: u64 = group.iter().map(UpdateMsg::wire_size).sum();
+            obs.tracer
+                .event(now.as_millis(), &actor_name(from), "wire.upload", || {
+                    format!("group of {} msgs, {wire} wire bytes", group.len())
+                });
+            lane[i].1.link.upload(wire, now);
+            let t0 = hist.map(|_| Instant::now());
+            let outcomes = server.apply_txn(&group);
+            if let (Some(h), Some(t0)) = (hist, t0) {
+                h.observe(t0.elapsed().as_micros() as u64);
+            }
+            let all_applied = outcomes.iter().all(|o| *o == ApplyOutcome::Applied);
+            obs.tracer
+                .event(now.as_millis(), "server", "server.apply", || {
+                    format!(
+                        "group from {}: {} msgs, all_applied={all_applied}",
+                        actor_name(from),
+                        group.len()
+                    )
+                });
+            out.outcomes.extend(outcomes);
+            lane[i].1.link.download(32, now);
+            if all_applied {
+                for (j, (peer_idx, peer)) in lane.iter_mut().enumerate() {
+                    if j == i || peer.namespace != ns {
+                        continue;
+                    }
+                    forward_group_to_peer(
+                        server,
+                        obs,
+                        now,
+                        from,
+                        *peer_idx,
+                        peer,
+                        &group,
+                        &mut None,
+                        &mut out.conflicts,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Delivers one group to one peer — the per-peer forward batch shared by
+/// the sequential pump and the parallel lanes. Messages outside the
+/// peer's namespace are filtered; the rest keep today's per-message
+/// divergence check (a diverged peer gets materialized Full content, an
+/// in-sync peer the verbatim incremental data).
+#[allow(clippy::too_many_arguments)]
+fn forward_group_to_peer(
+    server: &ShardedServer,
+    obs: &Obs,
+    now: SimTime,
+    from: usize,
+    peer_idx: usize,
+    peer: &mut Slot,
+    group: &[UpdateMsg],
+    fault: &mut Option<&mut FaultTopology>,
+    conflicts: &mut Vec<(usize, RemoteConflict)>,
+) {
+    let visible = group
+        .iter()
+        .filter(|m| msg_visible(&peer.namespace, m))
+        .count();
+    if visible == 0 {
+        return;
+    }
+    obs.tracer
+        .event(now.as_millis(), "server", "wire.forward", || {
+            format!(
+                "forwarding group of {} msgs from {} to {}",
+                visible,
+                actor_name(from),
+                actor_name(peer_idx)
+            )
+        });
+    for msg in group {
+        if !msg_visible(&peer.namespace, msg) {
+            continue;
+        }
+        // The paper's key multi-client property (§III-D): "the
+        // same incremental data can be directly sent to client B
+        // without additional computation". A delta is forwarded
+        // verbatim when the peer's base matches (it applies it to
+        // its own copy of the base path); only a diverged peer —
+        // e.g. one holding unsynced local edits, which is about to
+        // conflict anyway — receives the materialized content.
+        let peer_diverged = match &msg.payload {
+            UpdatePayload::Delta { base_path, .. } => {
+                peer.client.version_of(base_path) != msg.base
+            }
+            // An ops batch assumes the peer holds the base the
+            // uploader built on. A peer that missed an earlier
+            // forward (lost downlink) would silently apply the
+            // ops to stale content — materialize instead, which
+            // also heals the earlier gap.
+            UpdatePayload::Ops(_) => peer.client.version_of(&msg.path) != msg.base,
+            _ => false,
+        };
+        let forwarded = if peer_diverged {
+            let content = server
+                .file(&msg.path)
+                .map(Payload::from)
+                .unwrap_or_default();
+            UpdateMsg {
+                payload: UpdatePayload::Full(content),
+                ..msg.clone()
+            }
+        } else {
+            msg.clone()
+        };
+        let wire = forwarded.wire_size();
+        let arrived = match fault.as_mut() {
+            Some(topo) => peer
+                .link
+                .download_faulty(wire, now, peer_idx, topo.plan_for(peer_idx))
+                .is_some(),
+            None => {
+                peer.link.download(wire, now);
+                true
+            }
+        };
+        if !arrived {
+            // A lost forward leaves the peer behind; the next
+            // forward's divergence check (or a settle pass)
+            // re-materializes the content.
+            continue;
+        }
+        if let Some(conflict) = peer.client.apply_remote(&forwarded, &mut peer.fs) {
+            conflicts.push((peer_idx, conflict));
+        }
+    }
+}
+
+/// Whether `path` lies inside namespace `ns` (the `/<ns>` subtree).
+fn path_in_namespace(ns: &str, path: &str) -> bool {
+    path.strip_prefix('/')
+        .and_then(|rest| rest.strip_prefix(ns))
+        .is_some_and(|rest| rest.is_empty() || rest.starts_with('/'))
+}
+
+/// Whether a forwarded message is visible to a client in namespace `ns`
+/// (root sees everything; otherwise the message must touch the
+/// namespace's subtree).
+fn msg_visible(ns: &str, msg: &UpdateMsg) -> bool {
+    if ns.is_empty() {
+        return true;
+    }
+    path_in_namespace(ns, &msg.path)
+        || match &msg.payload {
+            UpdatePayload::Rename { to } | UpdatePayload::Link { to } => path_in_namespace(ns, to),
+            _ => false,
+        }
+}
+
 /// Mixes the fault seed and the slot index into one courier seed.
 fn courier_seed(fault_seed: u64, idx: usize) -> u64 {
     fault_seed ^ (idx as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -788,6 +1215,13 @@ fn actor_name(idx: usize) -> String {
 }
 
 const BACKOFF_HELP: &str = "courier retransmission backoff delays (ms)";
+
+const APPLY_LATENCY_HELP: &str = "server-side group apply latency (µs)";
+
+/// Bucket bounds for `hub_apply_latency_us` (µs).
+const APPLY_LATENCY_BUCKETS_US: [u64; 12] = [
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+];
 
 #[cfg(test)]
 mod tests {
@@ -812,7 +1246,7 @@ mod tests {
         clock.advance(4000);
         hub.pump(); // upload aged nodes
         assert_eq!(
-            hub.server().file("/shared.txt"),
+            hub.server().file("/shared.txt").as_deref(),
             Some(&b"from client 0"[..])
         );
         assert_eq!(hub.fs(1).peek_all("/shared.txt").unwrap(), b"from client 0");
@@ -850,7 +1284,7 @@ mod tests {
         hub.pump(); // upload aged nodes
         hub.flush();
         // Client 0 pumped first: its version is the cloud's latest.
-        assert_eq!(hub.server().file("/doc"), Some(&b"AAAA"[..]));
+        assert_eq!(hub.server().file("/doc").as_deref(), Some(&b"AAAA"[..]));
         // Client 1's edit survived somewhere (conflict copy on cloud or
         // local conflict file).
         let cloud_conflict = hub.server().paths().iter().any(|p| p.contains(".conflict"));
@@ -971,5 +1405,71 @@ mod tests {
         hub.pump(); // upload aged nodes
         assert!(hub.fs(1).exists("/new"));
         assert!(!hub.fs(1).exists("/old"));
+    }
+
+    #[test]
+    fn namespaced_tenants_are_isolated() {
+        let clock = SimClock::new();
+        let mut hub = SyncHub::with_shards(clock.clone(), 4);
+        let a1 = hub.add_client_in("t1", DeltaCfsConfig::new(), LinkSpec::pc());
+        let a2 = hub.add_client_in("t1", DeltaCfsConfig::new(), LinkSpec::pc());
+        let b1 = hub.add_client_in("t2", DeltaCfsConfig::new(), LinkSpec::pc());
+        hub.fs_mut(a1).mkdir_all("/t1").unwrap();
+        hub.fs_mut(a1).create("/t1/doc").unwrap();
+        hub.fs_mut(a1).write("/t1/doc", 0, b"tenant one").unwrap();
+        hub.pump();
+        clock.advance(4000);
+        hub.pump();
+        // The same-namespace peer converged; the other tenant saw nothing.
+        assert_eq!(hub.fs(a2).peek_all("/t1/doc").unwrap(), b"tenant one");
+        assert!(!hub.fs(b1).exists("/t1/doc"));
+        assert_eq!(hub.traffic(b1).bytes_down, 0, "no fan-out to tenant 2");
+    }
+
+    #[test]
+    fn parallel_pump_matches_sequential_for_namespaced_tenants() {
+        let mk = |parallel: bool| {
+            let clock = SimClock::new();
+            let mut hub = SyncHub::with_shards(clock.clone(), 4);
+            let mut idxs = Vec::new();
+            for t in 0..6 {
+                let ns = format!("t{t}");
+                idxs.push(hub.add_client_in(&ns, DeltaCfsConfig::new(), LinkSpec::pc()));
+                idxs.push(hub.add_client_in(&ns, DeltaCfsConfig::new(), LinkSpec::pc()));
+            }
+            for t in 0..6 {
+                let writer = idxs[t * 2];
+                let dir = format!("/t{t}");
+                let path = format!("/t{t}/file");
+                hub.fs_mut(writer).mkdir_all(&dir).unwrap();
+                hub.fs_mut(writer).create(&path).unwrap();
+                hub.fs_mut(writer)
+                    .write(&path, 0, format!("payload-{t}").as_bytes())
+                    .unwrap();
+            }
+            if parallel {
+                hub.pump_parallel();
+                clock.advance(4000);
+                hub.pump_parallel();
+            } else {
+                hub.pump();
+                clock.advance(4000);
+                hub.pump();
+            }
+            hub
+        };
+        let seq = mk(false);
+        let par = mk(true);
+        assert_eq!(seq.server().paths(), par.server().paths());
+        for path in seq.server().paths() {
+            assert_eq!(seq.server().file(&path), par.server().file(&path), "{path}");
+        }
+        for idx in 0..seq.client_count() {
+            assert_eq!(
+                seq.traffic(idx).bytes_down,
+                par.traffic(idx).bytes_down,
+                "client {idx} downstream traffic"
+            );
+        }
     }
 }

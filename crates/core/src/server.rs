@@ -23,7 +23,7 @@ use crate::wire::{self, WireError};
 const DEFAULT_HISTORY: usize = 8;
 
 #[derive(Debug, Clone)]
-struct ServerFile {
+pub(crate) struct ServerFile {
     content: Bytes,
     version: Option<Version>,
     history: VecDeque<(Version, Bytes)>,
@@ -465,6 +465,55 @@ impl CloudServer {
     /// conflicted) here.
     pub fn has_seen(&self, version: Version) -> bool {
         self.seen.contains_key(&version)
+    }
+
+    /// The outcome recorded for `version` in the per-version index, if
+    /// any — the sharded dispatcher replays cross-shard retransmissions
+    /// from here.
+    pub(crate) fn seen_outcome(&self, version: Version) -> Option<ApplyOutcome> {
+        self.seen.get(&version).cloned()
+    }
+
+    /// Records a `<CliID, VerCnt>` outcome in the per-version index
+    /// (sharded dispatcher: a cross-shard group's members are indexed on
+    /// the shard owning each member's path).
+    pub(crate) fn record_seen(&mut self, version: Version, outcome: ApplyOutcome) {
+        self.seen.insert(version, outcome);
+    }
+
+    /// The recorded outcome vector of one group, if present.
+    pub(crate) fn group_record(&self, group: GroupId) -> Option<Vec<ApplyOutcome>> {
+        self.group_seen.get(&group).cloned()
+    }
+
+    /// Removes and returns the whole stored entry for `path` — content,
+    /// version, and retained history. Used by the sharded dispatcher to
+    /// check a file out of its owner shard for a cross-shard group.
+    pub(crate) fn take_file(&mut self, path: &str) -> Option<ServerFile> {
+        self.files.remove(path)
+    }
+
+    /// Installs a complete file entry under `path` (the check-in half of
+    /// [`CloudServer::take_file`]). Does not touch the apply order.
+    pub(crate) fn put_file(&mut self, path: String, file: ServerFile) {
+        self.files.insert(path, file);
+    }
+
+    /// Drains every stored file entry, sorted by path for determinism.
+    pub(crate) fn drain_files(&mut self) -> Vec<(String, ServerFile)> {
+        let mut out: Vec<(String, ServerFile)> = self.files.drain().collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Inserts a directory marker without going through a message.
+    pub(crate) fn insert_dir(&mut self, path: &str) {
+        self.dirs.insert(path.to_string());
+    }
+
+    /// Removes a directory marker without going through a message.
+    pub(crate) fn remove_dir(&mut self, path: &str) {
+        self.dirs.remove(path);
     }
 
     /// Rebuilds the idempotency memory from the stored files — used after

@@ -297,6 +297,38 @@ impl SyncQueue {
             .collect()
     }
 
+    /// The `base` of the earliest pending content node for `path` —
+    /// i.e. what the cloud holds at `path` before any of the pending
+    /// history applies. Outer `None` means no content node is pending:
+    /// everything the client assigned to `path` has already shipped.
+    pub fn pending_chain_base(&self, path: &str) -> Option<Option<Version>> {
+        self.nodes.iter().find_map(|n| {
+            if n.deleted {
+                return None;
+            }
+            let touches = match &n.kind {
+                NodeKind::Create { path: p }
+                | NodeKind::Write { path: p, .. }
+                | NodeKind::Full { path: p, .. }
+                | NodeKind::Delta { path: p, .. }
+                | NodeKind::Unlink { path: p } => p == path,
+                _ => false,
+            };
+            touches.then_some(n.base)
+        })
+    }
+
+    /// Whether a pending rename still involves `path` on either end —
+    /// the cloud's copy under that name is about to move, so `path`'s
+    /// version there cannot be projected from the version map.
+    pub fn pending_rename_touching(&self, path: &str) -> bool {
+        self.nodes.iter().any(|n| {
+            !n.deleted
+                && matches!(&n.kind,
+                    NodeKind::Rename { src, dst } if src == path || dst == path)
+        })
+    }
+
     /// Whether a (non-deleted) `Create` node for `path` is still queued —
     /// i.e. the cloud has never heard of this file.
     pub fn has_pending_create(&self, path: &str) -> bool {

@@ -1,0 +1,383 @@
+//! Multi-tenant access to a shared store: per-namespace key prefixing
+//! ([`TenantView`]) and a bounded per-store LRU read cache
+//! ([`ReadCache`]).
+//!
+//! The sharded hub (DESIGN.md §13) gives every shard its own snapshot
+//! store — a shard never touches another shard's persistence or cache.
+//! Within a shard, several tenants can share the backing store; a
+//! [`TenantView`] fences each tenant into its own key prefix, so one
+//! tenant's reads can never observe (or cache) another's records even
+//! when both use the same user-level key. The multi-tenant kvstore tests
+//! pin both properties: cache hits never leak across tenants, and a
+//! writer's invalidation on one store can never leave a *different*
+//! store's cache serving stale segments (each cache fronts exactly one
+//! store).
+
+use std::collections::HashMap;
+
+use deltacfs_obs::{Counter, Registry};
+
+use crate::{BatchOp, KeyValue, Result};
+
+/// Byte that terminates the namespace inside a prefixed key. Namespaces
+/// are path components (no NUL), so the terminator cannot be ambiguous.
+const NS_SEP: u8 = 0;
+
+/// A namespaced view over a shared [`KeyValue`] store: every key is
+/// transparently prefixed with `t\0<namespace>\0`, so two views with
+/// different namespaces address disjoint key ranges of the same backing
+/// store.
+///
+/// # Example
+///
+/// ```
+/// use deltacfs_kvstore::{KeyValue, MemStore, TenantView};
+///
+/// let mut store = MemStore::new();
+/// TenantView::new(&mut store, "alice").put(b"/f", b"a").unwrap();
+/// TenantView::new(&mut store, "bob").put(b"/f", b"b").unwrap();
+/// assert_eq!(
+///     TenantView::new(&mut store, "alice").get(b"/f").unwrap(),
+///     Some(b"a".to_vec())
+/// );
+/// # Ok::<(), deltacfs_kvstore::KvError>(())
+/// # ;
+/// ```
+#[derive(Debug)]
+pub struct TenantView<'a, K: KeyValue> {
+    inner: &'a mut K,
+    prefix: Vec<u8>,
+}
+
+impl<'a, K: KeyValue> TenantView<'a, K> {
+    /// A view of `inner` fenced to `namespace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `namespace` contains a NUL byte (the prefix terminator).
+    pub fn new(inner: &'a mut K, namespace: &str) -> Self {
+        assert!(
+            !namespace.as_bytes().contains(&NS_SEP),
+            "namespace must not contain NUL"
+        );
+        let mut prefix = Vec::with_capacity(3 + namespace.len());
+        prefix.push(b't');
+        prefix.push(NS_SEP);
+        prefix.extend_from_slice(namespace.as_bytes());
+        prefix.push(NS_SEP);
+        TenantView { inner, prefix }
+    }
+
+    fn fence(&self, key: &[u8]) -> Vec<u8> {
+        let mut k = Vec::with_capacity(self.prefix.len() + key.len());
+        k.extend_from_slice(&self.prefix);
+        k.extend_from_slice(key);
+        k
+    }
+}
+
+impl<K: KeyValue> KeyValue for TenantView<'_, K> {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let k = self.fence(key);
+        self.inner.put(&k, value)
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let k = self.fence(key);
+        self.inner.get(&k)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<()> {
+        let k = self.fence(key);
+        self.inner.delete(&k)
+    }
+
+    fn scan_prefix(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let fenced = self.fence(prefix);
+        let strip = self.prefix.len();
+        Ok(self
+            .inner
+            .scan_prefix(&fenced)?
+            .into_iter()
+            .map(|(k, v)| (k[strip..].to_vec(), v))
+            .collect())
+    }
+
+    fn write_batch(&mut self, batch: &[BatchOp]) -> Result<()> {
+        // Re-key and delegate in one call so the backing store's group
+        // commit (single WAL record) still covers the whole batch.
+        let fenced: Vec<BatchOp> = batch
+            .iter()
+            .map(|op| match op {
+                BatchOp::Put { key, value } => BatchOp::Put {
+                    key: self.fence(key),
+                    value: value.clone(),
+                },
+                BatchOp::Delete { key } => BatchOp::Delete {
+                    key: self.fence(key),
+                },
+            })
+            .collect();
+        self.inner.write_batch(&fenced)
+    }
+}
+
+/// A bounded LRU read cache in front of one [`KeyValue`] store
+/// (write-through with invalidate-on-write). Caches `get` results —
+/// present *and* absent — up to `capacity` keys; `scan_prefix` bypasses
+/// the cache.
+///
+/// The cache fronts exactly one store. In the sharded hub each shard
+/// wraps its own store, so an invalidation performed by shard A's writer
+/// lands in shard A's cache — there is no path by which shard B could
+/// keep serving A's stale segments, because B's cache never held them.
+#[derive(Debug)]
+pub struct ReadCache<K: KeyValue> {
+    inner: K,
+    capacity: usize,
+    map: HashMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Keys in recency order, least-recent first (O(capacity) updates —
+    /// the cache is meant for small, hot working sets).
+    order: Vec<Vec<u8>>,
+    hits: u64,
+    misses: u64,
+    obs_hits: Option<Counter>,
+    obs_misses: Option<Counter>,
+}
+
+impl<K: KeyValue> ReadCache<K> {
+    /// Wraps `inner` with an LRU read cache of `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(inner: K, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache needs at least one slot");
+        ReadCache {
+            inner,
+            capacity,
+            map: HashMap::new(),
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+            obs_hits: None,
+            obs_misses: None,
+        }
+    }
+
+    /// Mirrors hit/miss counts into `kv_cache_hits` / `kv_cache_misses`
+    /// counters of `registry`, labeled `cache="<name>"` (e.g. one series
+    /// per shard).
+    pub fn attach_obs(&mut self, registry: &Registry, name: &str) {
+        let label = Some(("cache", name));
+        self.obs_hits = Some(registry.counter_labeled(
+            "kv_cache_hits",
+            "reads served from the LRU read cache",
+            label,
+        ));
+        self.obs_misses = Some(registry.counter_labeled(
+            "kv_cache_misses",
+            "reads that went through to the backing store",
+            label,
+        ));
+    }
+
+    /// Reads served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Reads that went through to the backing store.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached keys.
+    pub fn cached(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The wrapped store.
+    pub fn inner_mut(&mut self) -> &mut K {
+        &mut self.inner
+    }
+
+    /// Unwraps the cache, returning the backing store.
+    pub fn into_inner(self) -> K {
+        self.inner
+    }
+
+    fn touch(&mut self, key: &[u8]) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+
+    fn invalidate(&mut self, key: &[u8]) {
+        if self.map.remove(key).is_some() {
+            if let Some(pos) = self.order.iter().position(|k| k == key) {
+                self.order.remove(pos);
+            }
+        }
+    }
+
+    fn insert(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        if self.map.len() >= self.capacity
+            && !self.map.contains_key(&key)
+            && !self.order.is_empty()
+        {
+            let evicted = self.order.remove(0);
+            self.map.remove(&evicted);
+        }
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push(key);
+        } else {
+            self.touch(&key);
+        }
+    }
+}
+
+impl<K: KeyValue> KeyValue for ReadCache<K> {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.inner.put(key, value)?;
+        self.invalidate(key);
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if let Some(cached) = self.map.get(key).cloned() {
+            self.hits += 1;
+            if let Some(c) = &self.obs_hits {
+                c.inc();
+            }
+            self.touch(key);
+            return Ok(cached);
+        }
+        self.misses += 1;
+        if let Some(c) = &self.obs_misses {
+            c.inc();
+        }
+        let value = self.inner.get(key)?;
+        self.insert(key.to_vec(), value.clone());
+        Ok(value)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.inner.delete(key)?;
+        self.invalidate(key);
+        Ok(())
+    }
+
+    fn scan_prefix(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.inner.scan_prefix(prefix)
+    }
+
+    fn write_batch(&mut self, batch: &[BatchOp]) -> Result<()> {
+        self.inner.write_batch(batch)?;
+        for op in batch {
+            match op {
+                BatchOp::Put { key, .. } | BatchOp::Delete { key } => self.invalidate(key),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+
+    #[test]
+    fn tenants_address_disjoint_key_ranges() {
+        let mut store = MemStore::new();
+        TenantView::new(&mut store, "t1").put(b"/f", b"one").unwrap();
+        TenantView::new(&mut store, "t2").put(b"/f", b"two").unwrap();
+        assert_eq!(
+            TenantView::new(&mut store, "t1").get(b"/f").unwrap(),
+            Some(b"one".to_vec())
+        );
+        assert_eq!(
+            TenantView::new(&mut store, "t2").get(b"/f").unwrap(),
+            Some(b"two".to_vec())
+        );
+        // Deleting through one tenant leaves the other untouched.
+        TenantView::new(&mut store, "t1").delete(b"/f").unwrap();
+        assert_eq!(TenantView::new(&mut store, "t1").get(b"/f").unwrap(), None);
+        assert_eq!(
+            TenantView::new(&mut store, "t2").get(b"/f").unwrap(),
+            Some(b"two".to_vec())
+        );
+    }
+
+    #[test]
+    fn tenant_scan_sees_only_its_namespace_and_strips_the_prefix() {
+        let mut store = MemStore::new();
+        TenantView::new(&mut store, "t1").put(b"f\0/a", b"1").unwrap();
+        TenantView::new(&mut store, "t1").put(b"f\0/b", b"2").unwrap();
+        TenantView::new(&mut store, "t2").put(b"f\0/c", b"3").unwrap();
+        let rows = TenantView::new(&mut store, "t1").scan_prefix(b"f\0").unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (b"f\0/a".to_vec(), b"1".to_vec()),
+                (b"f\0/b".to_vec(), b"2".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tenant_batches_stay_atomic_groups() {
+        let mut store = MemStore::new();
+        TenantView::new(&mut store, "t1")
+            .write_batch(&[BatchOp::put(&b"/a"[..], &b"1"[..]), BatchOp::delete(&b"/b"[..])])
+            .unwrap();
+        assert_eq!(
+            TenantView::new(&mut store, "t1").get(b"/a").unwrap(),
+            Some(b"1".to_vec())
+        );
+        assert_eq!(TenantView::new(&mut store, "t2").get(b"/a").unwrap(), None);
+    }
+
+    #[test]
+    fn cache_hits_and_evicts_lru() {
+        let mut store = MemStore::new();
+        store.put(b"a", b"1").unwrap();
+        store.put(b"b", b"2").unwrap();
+        store.put(b"c", b"3").unwrap();
+        let mut cache = ReadCache::new(store, 2);
+        assert_eq!(cache.get(b"a").unwrap(), Some(b"1".to_vec())); // miss
+        assert_eq!(cache.get(b"a").unwrap(), Some(b"1".to_vec())); // hit
+        assert_eq!(cache.get(b"b").unwrap(), Some(b"2".to_vec())); // miss
+        // `a` is more recent than nothing — touch it, then overflow.
+        assert_eq!(cache.get(b"a").unwrap(), Some(b"1".to_vec())); // hit
+        assert_eq!(cache.get(b"c").unwrap(), Some(b"3".to_vec())); // miss, evicts b
+        assert_eq!(cache.get(b"b").unwrap(), Some(b"2".to_vec())); // miss again
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 4);
+        assert!(cache.cached() <= 2);
+    }
+
+    #[test]
+    fn writes_invalidate_instead_of_serving_stale() {
+        let mut cache = ReadCache::new(MemStore::new(), 8);
+        cache.put(b"k", b"v1").unwrap();
+        assert_eq!(cache.get(b"k").unwrap(), Some(b"v1".to_vec()));
+        cache.put(b"k", b"v2").unwrap();
+        assert_eq!(cache.get(b"k").unwrap(), Some(b"v2".to_vec()));
+        cache.write_batch(&[BatchOp::delete(&b"k"[..])]).unwrap();
+        assert_eq!(cache.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn negative_results_are_cached_too() {
+        let mut cache = ReadCache::new(MemStore::new(), 8);
+        assert_eq!(cache.get(b"ghost").unwrap(), None); // miss
+        assert_eq!(cache.get(b"ghost").unwrap(), None); // hit
+        assert_eq!(cache.hits(), 1);
+        // A later write invalidates the negative entry.
+        cache.put(b"ghost", b"now real").unwrap();
+        assert_eq!(cache.get(b"ghost").unwrap(), Some(b"now real".to_vec()));
+    }
+}

@@ -25,6 +25,17 @@ impl LinkSpec {
         }
     }
 
+    /// The datacenter setting used by the scale bench: unconstrained
+    /// bandwidth with sub-millisecond latency, so thousands of simulated
+    /// clients measure hub dispatch cost rather than link waits.
+    pub fn datacenter() -> Self {
+        LinkSpec {
+            bandwidth_up: None,
+            bandwidth_down: None,
+            latency_ms: 0,
+        }
+    }
+
     /// The mobile setting: a phone on a slow WAN (the paper reports
     /// Dropsync "keeps transmitting data during the whole experiment").
     /// 1 MB/s up, 2 MB/s down, 80 ms latency.

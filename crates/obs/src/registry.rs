@@ -126,6 +126,34 @@ impl Histogram {
     pub fn max(&self) -> u64 {
         self.cell.max.load(Ordering::Relaxed)
     }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear
+    /// interpolation inside the bucket holding the target rank; the
+    /// overflow bucket reports the observed maximum (the upper bound a
+    /// fixed-bucket histogram actually knows). Returns `None` when the
+    /// histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (idx, c) in self.cell.counts.iter().enumerate() {
+            let in_bucket = c.load(Ordering::Relaxed);
+            if cumulative + in_bucket >= target {
+                if idx >= self.cell.bounds.len() {
+                    return Some(self.max());
+                }
+                let lo = if idx == 0 { 0 } else { self.cell.bounds[idx - 1] };
+                let hi = self.cell.bounds[idx];
+                let into = (target - cumulative) as f64 / in_bucket as f64;
+                return Some(lo + ((hi - lo) as f64 * into).round() as u64);
+            }
+            cumulative += in_bucket;
+        }
+        Some(self.max())
+    }
 }
 
 /// The shared metrics registry. Cloning yields a handle to the same
@@ -183,7 +211,19 @@ impl Registry {
     ///
     /// Panics if the name is already registered as a different kind.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
-        let key = make_key(name, None);
+        self.gauge_labeled(name, help, None)
+    }
+
+    /// Registers (or retrieves) a gauge carrying one `key="value"`
+    /// label — the same name may be registered under several labels
+    /// (e.g. one per shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name+label is already registered as a different
+    /// metric kind.
+    pub fn gauge_labeled(&self, name: &str, help: &str, label: Option<(&str, &str)>) -> Gauge {
+        let key = make_key(name, label);
         let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
         let entry = metrics.entry(key).or_insert_with(|| Entry::Gauge {
             help: help.to_string(),
@@ -550,6 +590,40 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn labeled_gauges_keep_series_separate() {
+        let reg = Registry::new();
+        reg.gauge_labeled("shard_queue_depth", "", Some(("shard", "0")))
+            .set(3);
+        reg.gauge_labeled("shard_queue_depth", "", Some(("shard", "1")))
+            .set(7);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get_labeled("shard_queue_depth", "0"),
+            Some(&MetricValue::Gauge(3))
+        );
+        assert_eq!(
+            snap.get_labeled("shard_queue_depth", "1"),
+            Some(&MetricValue::Gauge(7))
+        );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", "", &[100, 200, 400]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for v in [50, 150, 250, 350, 999] {
+            h.observe(v);
+        }
+        // Rank 3 of 5 lands in the (200, 400] bucket, halfway through it.
+        assert_eq!(h.quantile(0.5), Some(300));
+        // The tail lives in the overflow bucket: report the observed max.
+        assert_eq!(h.quantile(0.99), Some(999));
+        // Rank 1 interpolates inside the first bucket.
+        assert_eq!(h.quantile(0.0), Some(100));
     }
 
     #[test]

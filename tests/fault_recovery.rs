@@ -5,7 +5,7 @@
 //! Every assertion embeds the seed that reproduces the failing schedule:
 //! re-run with that seed pinned in a `FaultSpec` to replay it exactly.
 
-use deltacfs::core::{ApplyOutcome, DeltaCfsConfig, SyncHub};
+use deltacfs::core::{ApplyOutcome, DeltaCfsConfig, ShardRouter, SyncHub};
 use deltacfs::net::{CrashPhase, FaultSpec, LinkSpec, SimClock};
 
 const SETTLE_MS: u64 = 600_000;
@@ -31,7 +31,7 @@ fn pump_round(hub: &mut SyncHub, clock: &SimClock) {
 /// lacks.
 fn assert_converged(hub: &SyncHub, seed: u64) {
     for path in hub.server().paths() {
-        let server = hub.server().file(&path).unwrap().to_vec();
+        let server = hub.server().file(&path).unwrap();
         for idx in 0..hub.client_count() {
             let local = hub.fs(idx).peek_all(&path).unwrap_or_default();
             assert_eq!(
@@ -130,7 +130,7 @@ fn first_write_wins_when_losers_upload_is_delayed_by_loss() {
     hub.fs_mut(0).create("/doc").unwrap();
     hub.fs_mut(0).write("/doc", 0, &vec![b'x'; 50_000]).unwrap();
     pump_round(&mut hub, &clock);
-    assert_eq!(hub.server().file("/doc").map(<[u8]>::len), Some(50_000));
+    assert_eq!(hub.server().file("/doc").as_deref().map(<[u8]>::len), Some(50_000));
 
     // Upload attempt 1 (client 1's edit) is dropped; the retry arrives
     // only after client 0's competing edit has been applied.
@@ -194,7 +194,7 @@ fn client_crash_restart_replays_undo_log_as_delta() {
     let mut expect = vec![3u8; 40_000];
     expect[1_000..1_064].copy_from_slice(&[9u8; 64]);
     expect[30_000..30_032].copy_from_slice(&[8u8; 32]);
-    assert_eq!(hub.server().file("/db"), Some(&expect[..]), "seed {seed}");
+    assert_eq!(hub.server().file("/db").as_deref(), Some(&expect[..]), "seed {seed}");
     assert_converged(&hub, seed);
     // The replay shipped a delta against the cloud's base, not 40 KB.
     let up = hub.traffic(0).bytes_up - up_before;
@@ -218,7 +218,7 @@ fn client_crash_restart_ships_unsynced_file_whole() {
     let drained = hub.settle(SETTLE_MS);
     assert!(drained, "seed {seed}");
     assert_eq!(
-        hub.server().file("/fresh"),
+        hub.server().file("/fresh").as_deref(),
         Some(&b"never uploaded"[..]),
         "seed {seed}"
     );
@@ -335,7 +335,7 @@ fn late_rename_replay_after_recreate_is_deduped() {
     hub.fs_mut(0).create("/old").unwrap();
     hub.fs_mut(0).write("/old", 0, b"payload").unwrap();
     pump_round(&mut hub, &clock);
-    assert_eq!(hub.server().file("/old"), Some(&b"payload"[..]));
+    assert_eq!(hub.server().file("/old").as_deref(), Some(&b"payload"[..]));
 
     // Every delivery duplicated, every duplicate redelivered late.
     hub.enable_faults(
@@ -355,12 +355,12 @@ fn late_rename_replay_after_recreate_is_deduped() {
         "seed {seed}: dedup never engaged"
     );
     assert_eq!(
-        hub.server().file("/new"),
+        hub.server().file("/new").as_deref(),
         Some(&b"payload"[..]),
         "seed {seed}: late rename replay clobbered /new"
     );
     assert_eq!(
-        hub.server().file("/old"),
+        hub.server().file("/old").as_deref(),
         Some(&b"fresh"[..]),
         "seed {seed}: late rename replay removed the recreated /old"
     );
@@ -392,11 +392,168 @@ fn disconnect_window_defers_and_heals() {
     let drained = hub.settle(SETTLE_MS);
     assert!(drained, "seed {seed}");
     assert_eq!(
-        hub.server().file("/from1"),
+        hub.server().file("/from1").as_deref(),
         Some(&b"queued while offline"[..]),
         "seed {seed}"
     );
     assert_converged(&hub, seed);
+}
+
+// --- Sharded-hub fault matrix (DESIGN.md §13) ----------------------------
+
+/// A 4-shard hub whose two writers live in namespaces pinned to
+/// *different* shards, so every fault schedule below exercises striped
+/// locks, per-shard snapshots, and per-shard crash reloads.
+fn two_writer_sharded_hub() -> (SyncHub, SimClock, [String; 2]) {
+    let router = ShardRouter::new(4);
+    let ns_a = "alpha".to_string();
+    let ns_b = (0..)
+        .map(|i| format!("beta{i}"))
+        .find(|ns| router.shard_of_namespace(ns) != router.shard_of_namespace(&ns_a))
+        .unwrap();
+    let clock = SimClock::new();
+    let mut hub = SyncHub::with_shards(clock.clone(), 4);
+    hub.add_client_in(&ns_a, DeltaCfsConfig::new(), LinkSpec::pc());
+    hub.add_client_in(&ns_b, DeltaCfsConfig::new(), LinkSpec::pc());
+    assert_ne!(hub.home_shard(0), hub.home_shard(1), "writers share a shard");
+    hub.fs_mut(0).mkdir_all(&format!("/{ns_a}")).unwrap();
+    hub.fs_mut(1).mkdir_all(&format!("/{ns_b}")).unwrap();
+    (hub, clock, [ns_a, ns_b])
+}
+
+/// The disjoint workload of `run_disjoint_workload`, with each writer's
+/// paths under its own namespace (and therefore on its own shard).
+fn run_sharded_disjoint_workload(hub: &mut SyncHub, clock: &SimClock, ns: &[String; 2]) {
+    let a = |p: &str| format!("/{}/{p}", ns[0]);
+    let b = |p: &str| format!("/{}/{p}", ns[1]);
+    hub.fs_mut(0).create(&a("a.txt")).unwrap();
+    hub.fs_mut(0).write(&a("a.txt"), 0, b"alpha round one").unwrap();
+    hub.fs_mut(1).create(&b("b.txt")).unwrap();
+    hub.fs_mut(1).write(&b("b.txt"), 0, b"bravo round one").unwrap();
+    pump_round(hub, clock);
+
+    hub.fs_mut(0).write(&a("a.txt"), 6, b"ROUND TWO").unwrap();
+    hub.fs_mut(1).write(&b("b.txt"), 0, b"BRAVO").unwrap();
+    pump_round(hub, clock);
+
+    hub.fs_mut(0).create(&a("a2.txt")).unwrap();
+    hub.fs_mut(0).write(&a("a2.txt"), 0, &vec![7u8; 2_000]).unwrap();
+    hub.fs_mut(1).write(&b("b.txt"), 15, b" plus a tail").unwrap();
+    pump_round(hub, clock);
+}
+
+/// Namespace-aware convergence: each client agrees with the server on
+/// every path inside its own namespace, and holds no stray non-conflict
+/// files the server lacks.
+fn assert_converged_sharded(hub: &SyncHub, seed: u64) {
+    for idx in 0..hub.client_count() {
+        let ns = hub.namespace(idx).to_string();
+        for path in hub.server().paths_in_namespace(&ns) {
+            let server = hub.server().file(&path).unwrap();
+            let local = hub.fs(idx).peek_all(&path).unwrap_or_default();
+            assert_eq!(
+                local, server,
+                "seed {seed}: client {idx} diverged from server on {path}"
+            );
+        }
+        for path in hub.fs(idx).walk_files("/").unwrap_or_default() {
+            let path = path.to_string();
+            if !path.contains(".conflict-") {
+                assert!(
+                    hub.server().file(&path).is_some(),
+                    "seed {seed}: client {idx} holds {path} the server lacks"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_drop_matrix_converges() {
+    // The pinned-seed drop/dup/reorder matrix of `drop_matrix_converges`,
+    // against a sharded hub with the writers split across shards.
+    for seed in 0..8u64 {
+        let (mut hub, clock, ns) = two_writer_sharded_hub();
+        hub.enable_faults(
+            FaultSpec::clean(seed)
+                .with_rates(0.3, 0.2, 0.3)
+                .with_reorder(0.5),
+        );
+        run_sharded_disjoint_workload(&mut hub, &clock, &ns);
+        let drained = hub.settle(SETTLE_MS);
+        assert!(drained, "seed {seed}: a courier gave up or never drained");
+        assert_eq!(hub.given_up(0) + hub.given_up(1), 0, "seed {seed}");
+        assert_converged_sharded(&hub, seed);
+    }
+}
+
+#[test]
+fn sharded_multi_writer_fault_topology_converges() {
+    // `multi_writer_fault_matrix_converges` on a sharded hub: distinct
+    // per-writer schedules, server crashes on odd seeds (reloading every
+    // shard's snapshot), writers on different shards throughout.
+    for seed in 0..8u64 {
+        let (mut hub, clock, ns) = two_writer_sharded_hub();
+        let mut spec_b = FaultSpec::clean(seed ^ 0x00DE_C0DE)
+            .with_rates(0.25, 0.15, 0.5)
+            .with_reorder(1.0);
+        if seed % 2 == 1 {
+            spec_b = spec_b.with_crash(seed % 3 + 1, CrashPhase::AfterApply);
+        }
+        hub.enable_fault_topology(vec![
+            FaultSpec::clean(seed)
+                .with_rates(0.3, 0.2, 0.4)
+                .with_reorder(0.5),
+            spec_b,
+        ]);
+        run_sharded_disjoint_workload(&mut hub, &clock, &ns);
+        // Version-less rename groups on both shards while duplicates are
+        // being deferred.
+        let a_renamed = format!("/{}/a-renamed.txt", ns[0]);
+        let b_renamed = format!("/{}/b-renamed.txt", ns[1]);
+        hub.fs_mut(0)
+            .rename(&format!("/{}/a.txt", ns[0]), &a_renamed)
+            .unwrap();
+        hub.fs_mut(1)
+            .rename(&format!("/{}/b.txt", ns[1]), &b_renamed)
+            .unwrap();
+        pump_round(&mut hub, &clock);
+        let drained = hub.settle(SETTLE_MS);
+        assert!(drained, "seed {seed}: a courier gave up or never drained");
+        assert_eq!(hub.deferred_len(), 0, "seed {seed}: deferred queue leaked");
+        assert_converged_sharded(&hub, seed);
+        // Causal order per writer, independent of the other shard's
+        // interleaved retries.
+        for idx in 0..hub.client_count() {
+            let counters: Vec<u64> = hub
+                .acked()
+                .iter()
+                .filter(|(c, _, _)| *c == idx)
+                .map(|(_, _, v)| v.counter)
+                .collect();
+            for pair in counters.windows(2) {
+                assert!(
+                    pair[1] > pair[0],
+                    "seed {seed}: client {idx} acked v{} after v{}",
+                    pair[1],
+                    pair[0]
+                );
+            }
+        }
+        // Nothing the server acked was lost, crash or no crash — the
+        // per-shard snapshots must jointly cover every acked version.
+        for (client, path, version) in hub.acked() {
+            let survives = hub
+                .server()
+                .paths()
+                .iter()
+                .any(|p| hub.server().version_history(p).contains(version));
+            assert!(
+                survives,
+                "seed {seed}: acked version {version:?} from client {client} lost on {path}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -441,7 +441,7 @@ proptest! {
             let cb = hub.fs(b).peek_all(path.as_str()).unwrap();
             prop_assert_eq!(&ca, &cb, "{} diverged between clients", path);
             prop_assert_eq!(
-                hub.server().file(path.as_str()),
+                hub.server().file(path.as_str()).as_deref(),
                 Some(&ca[..]),
                 "{} diverged from cloud", path
             );
@@ -595,7 +595,7 @@ proptest! {
         // Convergence: the uploader, the passive peer, and the server
         // agree on every path the server holds.
         for path in hub.server().paths() {
-            let server = hub.server().file(&path).unwrap().to_vec();
+            let server = hub.server().file(&path).unwrap();
             for idx in 0..2 {
                 let local = hub.fs(idx).peek_all(&path).unwrap_or_default();
                 prop_assert_eq!(
@@ -710,7 +710,7 @@ proptest! {
         // Convergence: both writers and the server agree on every path
         // the server holds.
         for path in hub.server().paths() {
-            let server = hub.server().file(&path).unwrap().to_vec();
+            let server = hub.server().file(&path).unwrap();
             for idx in 0..2 {
                 let local = hub.fs(idx).peek_all(&path).unwrap_or_default();
                 prop_assert_eq!(
@@ -720,6 +720,300 @@ proptest! {
             }
         }
         // Causal order per writer, independent of the other writer's
+        // interleaved retries.
+        let mut last: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for (client, path, version) in hub.acked() {
+            let prev = last.insert(*client, version.counter);
+            prop_assert!(
+                prev.is_none_or(|p| version.counter > p),
+                "seeds {}/{}: client {} acked v{} after v{:?} ({})",
+                seed_a, seed_b, client, version.counter, prev, path
+            );
+        }
+    }
+}
+
+// --- Shard invariance (DESIGN.md §13) ------------------------------------
+
+use deltacfs::core::{ShardRouter, SyncHub};
+use deltacfs::net::{FaultSpec, LinkSpec};
+
+/// Drives a multi-tenant workload on a hub with `shards` shards: four
+/// tenants, two clients each, writes/renames/unlinks confined to each
+/// tenant's namespace. Returns everything shard count must not change.
+#[allow(clippy::type_complexity)]
+fn run_tenant_workload(
+    shards: usize,
+    ops: &[(u8, bool, u8, usize, u64, Vec<u8>)],
+) -> (
+    Vec<(String, Option<Vec<u8>>)>,      // server content
+    Vec<String>,                         // causal apply order
+    Vec<Vec<(String, Vec<u8>)>>,         // per-client file state
+    Vec<(u64, u64)>,                     // per-client traffic totals
+    Vec<(usize, String, u64)>,           // acked versions, in ack order
+    usize,                               // conflicts observed
+) {
+    use deltacfs::core::DeltaCfsConfig;
+
+    let clock = SimClock::new();
+    let mut hub = SyncHub::with_shards(clock.clone(), shards);
+    let mut clients = Vec::new();
+    for t in 0..4 {
+        let ns = format!("t{t}");
+        let a = hub.add_client_in(&ns, DeltaCfsConfig::new(), LinkSpec::pc());
+        let b = hub.add_client_in(&ns, DeltaCfsConfig::new(), LinkSpec::pc());
+        hub.fs_mut(a).mkdir_all(&format!("/{ns}")).unwrap();
+        clients.push((a, b));
+    }
+    let mut live: Vec<Vec<String>> = vec![Vec::new(); 4];
+    let mut next_name = 0usize;
+    for (tenant, second, kind, sel, offset, data) in ops {
+        let t = (*tenant as usize) % 4;
+        let idx = if *second { clients[t].1 } else { clients[t].0 };
+        match kind {
+            0..=2 => {
+                let path = if live[t].is_empty() || (*kind == 0 && live[t].len() < 4) {
+                    let p = format!("/t{t}/w{next_name}");
+                    next_name += 1;
+                    // Only the dir-owning writer may create before the
+                    // Mkdir forwards; both clients of a tenant share the
+                    // namespace dir made above by client a, which has
+                    // been forwarded by the first pump.
+                    if !hub.fs(idx).exists(&format!("/t{t}")) {
+                        hub.fs_mut(idx).mkdir_all(&format!("/t{t}")).unwrap();
+                    }
+                    hub.fs_mut(idx).create(&p).unwrap();
+                    live[t].push(p.clone());
+                    p
+                } else {
+                    live[t][sel % live[t].len()].clone()
+                };
+                if !hub.fs(idx).exists(&path) {
+                    continue; // peer hasn't received the create yet
+                }
+                let len = hub.fs_mut(idx).metadata(&path).map(|m| m.size).unwrap_or(0);
+                let off = offset.min(&len).to_owned();
+                if !data.is_empty() {
+                    hub.fs_mut(idx).write(&path, off, data).unwrap();
+                }
+            }
+            3 => {
+                if !live[t].is_empty() {
+                    let pick = sel % live[t].len();
+                    let src = live[t].remove(pick);
+                    if hub.fs(idx).exists(&src) {
+                        let dst = format!("/t{t}/r{next_name}");
+                        next_name += 1;
+                        hub.fs_mut(idx).rename(&src, &dst).unwrap();
+                        live[t].push(dst);
+                    }
+                }
+            }
+            _ => {
+                if !live[t].is_empty() {
+                    let pick = sel % live[t].len();
+                    let victim = live[t].remove(pick);
+                    if hub.fs(idx).exists(&victim) {
+                        hub.fs_mut(idx).unlink(&victim).unwrap();
+                    }
+                }
+            }
+        }
+        hub.pump();
+        clock.advance(2_500);
+        hub.pump();
+    }
+    clock.advance(10_000);
+    hub.pump();
+    hub.flush();
+
+    let server_content = hub
+        .server()
+        .paths()
+        .into_iter()
+        .map(|p| {
+            let c = hub.server().file(&p);
+            (p, c)
+        })
+        .collect();
+    let client_files = (0..hub.client_count())
+        .map(|idx| {
+            let mut files: Vec<(String, Vec<u8>)> = hub
+                .fs(idx)
+                .walk_files("/")
+                .unwrap_or_default()
+                .into_iter()
+                .map(|p| {
+                    let c = hub.fs(idx).peek_all(p.as_str()).unwrap();
+                    (p.to_string(), c)
+                })
+                .collect();
+            files.sort();
+            files
+        })
+        .collect();
+    let traffic = (0..hub.client_count())
+        .map(|idx| (hub.traffic(idx).bytes_up, hub.traffic(idx).bytes_down))
+        .collect();
+    let acked = hub
+        .acked()
+        .iter()
+        .map(|(c, p, v)| (*c, p.clone(), v.counter))
+        .collect();
+    (
+        server_content,
+        hub.server().apply_order(),
+        client_files,
+        traffic,
+        acked,
+        hub.conflicts().len(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sharding is a pure dispatch optimization (DESIGN.md §13): the same
+    /// multi-tenant workload run on 1-, 4- and 16-shard hubs produces
+    /// identical server content, identical per-client state, identical
+    /// traffic totals, and the identical causal apply order. The striped
+    /// locks, per-shard persistence and batched fan-out may only change
+    /// wall-clock time, never outcomes.
+    #[test]
+    fn sharded_hub_matches_single_shard(
+        ops in proptest::collection::vec(
+            (0u8..4, any::<bool>(), 0u8..5, 0usize..4, 0u64..2048, buffer(192)),
+            1..16
+        )
+    ) {
+        let baseline = run_tenant_workload(1, &ops);
+        for shards in [4usize, 16] {
+            let sharded = run_tenant_workload(shards, &ops);
+            prop_assert_eq!(&sharded.0, &baseline.0, "server content, {} shards", shards);
+            prop_assert_eq!(&sharded.1, &baseline.1, "apply order, {} shards", shards);
+            prop_assert_eq!(&sharded.2, &baseline.2, "client state, {} shards", shards);
+            prop_assert_eq!(&sharded.3, &baseline.3, "traffic, {} shards", shards);
+            prop_assert_eq!(&sharded.4, &baseline.4, "acked order, {} shards", shards);
+            prop_assert_eq!(sharded.5, baseline.5, "conflicts, {} shards", shards);
+        }
+    }
+
+    /// The multi-writer fault topology test, on a sharded hub: two
+    /// writers whose namespaces live on different shards of four, each
+    /// under its own independent drop/dup/reorder schedule, with a
+    /// passive reader per namespace so forwarded downloads stay in play.
+    /// Sharded dispatch, per-shard snapshots and replicated group
+    /// records must preserve convergence and per-writer causal order.
+    #[test]
+    fn sharded_multi_writer_fault_topology_converges(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        drop_a in 0.0f64..0.35,
+        drop_b in 0.0f64..0.35,
+        dup_a in 0.0f64..0.5,
+        dup_b in 0.0f64..0.5,
+        reorder in 0.0f64..1.0,
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u8..5, 0usize..4, 0u64..2048, buffer(192)),
+            1..16
+        )
+    ) {
+        use deltacfs::core::DeltaCfsConfig;
+
+        // Two namespaces guaranteed to live on different shards.
+        let router = ShardRouter::new(4);
+        let ns_a = "a".to_string();
+        let ns_b = (0..)
+            .map(|i| format!("b{i}"))
+            .find(|ns| router.shard_of_namespace(ns) != router.shard_of_namespace(&ns_a))
+            .unwrap();
+
+        let clock = SimClock::new();
+        let mut hub = SyncHub::with_shards(clock.clone(), 4);
+        let wa = hub.add_client_in(&ns_a, DeltaCfsConfig::new(), LinkSpec::pc());
+        let wb = hub.add_client_in(&ns_b, DeltaCfsConfig::new(), LinkSpec::pc());
+        let _ra = hub.add_client_in(&ns_a, DeltaCfsConfig::new(), LinkSpec::pc());
+        let _rb = hub.add_client_in(&ns_b, DeltaCfsConfig::new(), LinkSpec::pc());
+        prop_assert!(hub.home_shard(wa) != hub.home_shard(wb));
+        hub.fs_mut(wa).mkdir_all(&format!("/{ns_a}")).unwrap();
+        hub.fs_mut(wb).mkdir_all(&format!("/{ns_b}")).unwrap();
+        hub.enable_fault_topology(vec![
+            FaultSpec::clean(seed_a)
+                .with_rates(drop_a, 0.2, dup_a)
+                .with_reorder(reorder),
+            FaultSpec::clean(seed_b)
+                .with_rates(drop_b, 0.15, dup_b)
+                .with_reorder(1.0 - reorder),
+            FaultSpec::clean(seed_a ^ 0xA5A5)
+                .with_rates(0.0, 0.25, 0.0),
+            FaultSpec::clean(seed_b ^ 0x5A5A)
+                .with_rates(0.0, 0.25, 0.0),
+        ]);
+
+        let writers = [(wa, ns_a.clone()), (wb, ns_b.clone())];
+        let mut live: [Vec<String>; 2] = [Vec::new(), Vec::new()];
+        let mut next_name = 0usize;
+        for (who, kind, sel, offset, data) in ops {
+            let w = usize::from(who);
+            let (idx, ns) = (&writers[w].0, &writers[w].1);
+            match kind {
+                0..=2 => {
+                    let path = if live[w].is_empty() || (kind == 0 && live[w].len() < 4) {
+                        let p = format!("/{ns}/{next_name}");
+                        next_name += 1;
+                        hub.fs_mut(*idx).create(&p).unwrap();
+                        live[w].push(p.clone());
+                        p
+                    } else {
+                        live[w][sel % live[w].len()].clone()
+                    };
+                    let len = hub.fs_mut(*idx).metadata(&path).map(|m| m.size).unwrap_or(0);
+                    let off = offset.min(len);
+                    if !data.is_empty() {
+                        hub.fs_mut(*idx).write(&path, off, &data).unwrap();
+                    }
+                }
+                3 => {
+                    if !live[w].is_empty() {
+                        let src = live[w].remove(sel % live[w].len());
+                        let dst = format!("/{ns}/r{next_name}");
+                        next_name += 1;
+                        hub.fs_mut(*idx).rename(&src, &dst).unwrap();
+                        live[w].push(dst);
+                    }
+                }
+                _ => {
+                    if !live[w].is_empty() {
+                        let victim = live[w].remove(sel % live[w].len());
+                        hub.fs_mut(*idx).unlink(&victim).unwrap();
+                    }
+                }
+            }
+            hub.pump();
+            clock.advance(2_500);
+            hub.pump();
+        }
+        let drained = hub.settle(600_000);
+        prop_assert!(
+            drained,
+            "seeds {}/{}: a courier gave up or never drained", seed_a, seed_b
+        );
+        prop_assert_eq!(hub.deferred_len(), 0);
+
+        // Convergence per namespace: each client agrees with the server
+        // on every path inside its own namespace.
+        for idx in 0..hub.client_count() {
+            let ns = hub.namespace(idx).to_string();
+            for path in hub.server().paths_in_namespace(&ns) {
+                let server = hub.server().file(&path).unwrap();
+                let local = hub.fs(idx).peek_all(&path).unwrap_or_default();
+                prop_assert_eq!(
+                    &local, &server,
+                    "seeds {}/{}: client {} diverged on {}", seed_a, seed_b, idx, path
+                );
+            }
+        }
+        // Causal order per writer, independent of the other shard's
         // interleaved retries.
         let mut last: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
         for (client, path, version) in hub.acked() {

@@ -1,0 +1,214 @@
+//! Forward/download-direction streaming (BENCH_7).
+//!
+//! A transaction group a peer must receive — one large full-content
+//! message plus a delta-compressed edit — goes down the link two ways:
+//!
+//! * **materialized** — the whole group's wire image is downloaded in
+//!   one shot: the peer cannot apply anything until every byte landed,
+//!   and the in-flight buffer tracks the group size;
+//! * **streamed** — `pipeline::frame_group` slices the group into
+//!   budget-bounded `ChunkFrame`s, each downloaded with
+//!   `Link::download_part` (pure bandwidth occupancy) and reassembled
+//!   by the peer-side `ChunkStager`; one `download_end_msg` closes the
+//!   stream, exactly as `SyncHub` forwards groups to peers.
+//!
+//! Recorded into `BENCH_7.json`:
+//!
+//! * `max_inflight_bytes` — the largest single frame on the wire, the
+//!   peer's staging-buffer granularity, bounded by the same
+//!   `chunk_budget * pipeline_depth` cap CI smoke re-checks for the
+//!   upload direction (BENCH_5);
+//! * the in-flight reduction versus materializing the group (the full
+//!   64 MiB workload must clear 8x);
+//! * end-to-end download latency on the slow-link (mobile) profile for
+//!   both paths — per-frame accounting must not inflate byte totals or
+//!   lose more than integer-millisecond rounding per frame.
+//!
+//! Correctness is asserted before anything is timed: the streamed
+//! frames must reassemble to exactly the original group, with
+//! downloaded-byte accounting identical to the materialized image.
+//!
+//! Full mode writes `BENCH_7.json` at the repository root. Smoke mode
+//! (`cargo bench -p deltacfs-bench --bench forward_streaming -- --test`,
+//! or `DELTACFS_BENCH_SMOKE=1`) shrinks the file and writes
+//! `BENCH_7.smoke.json` instead, leaving the committed numbers alone.
+
+use deltacfs_core::pipeline::{self, ChunkStager, PipelineConfig};
+use deltacfs_core::{ClientId, GroupId, Payload, UpdateMsg, UpdatePayload, Version};
+use deltacfs_delta::{local, Cost, DeltaParams};
+use deltacfs_net::{Link, LinkSpec, SimTime};
+
+const MIB: usize = 1024 * 1024;
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var("DELTACFS_BENCH_SMOKE").is_ok()
+}
+
+/// Deterministic pseudo-random fill (xorshift-multiply LCG).
+fn fill_random(buf: &mut [u8], mut state: u64) {
+    for b in buf.iter_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *b = (state >> 33) as u8;
+    }
+}
+
+fn ver(n: u64) -> Version {
+    Version {
+        client: ClientId(1),
+        counter: n,
+    }
+}
+
+fn json_num(v: f64) -> serde_json::Value {
+    serde_json::to_value(&v).expect("finite float")
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let size = if smoke { 4 * MIB } else { 64 * MIB };
+    let cfg = PipelineConfig {
+        chunk_budget: if smoke { 64 * 1024 } else { 256 * 1024 },
+        pipeline_depth: 4,
+    };
+    let link_spec = LinkSpec::mobile();
+    let gid = GroupId {
+        client: ClientId(1),
+        seq: 9,
+    };
+
+    println!(
+        "# forward_streaming (smoke={smoke}, file={} MiB, budget={} KiB, depth={})\n",
+        size / MIB,
+        cfg.chunk_budget / 1024,
+        cfg.pipeline_depth
+    );
+
+    // The forwarded group: a big full-content file (a diverged peer's
+    // materialized heal) plus a delta-compressed edit riding along.
+    let mut full_body = vec![0u8; size];
+    fill_random(&mut full_body, 0x9E3779B97F4A7C15);
+    let mut small_old = vec![0u8; 256 * 1024];
+    fill_random(&mut small_old, 0xC0FFEE);
+    let mut small_new = small_old.clone();
+    small_new[10_000..30_000].fill(0x5A);
+    let delta = local::diff(&small_old, &small_new, &DeltaParams::new(), &mut Cost::new());
+    let group = vec![
+        UpdateMsg {
+            path: "/big".into(),
+            base: None,
+            version: Some(ver(2)),
+            payload: UpdatePayload::Full(Payload::from(full_body)),
+            txn: Some(9),
+            group: Some(gid),
+        },
+        UpdateMsg {
+            path: "/small".into(),
+            base: Some(ver(1)),
+            version: Some(ver(3)),
+            payload: UpdatePayload::Delta {
+                base_path: "/small".into(),
+                delta,
+            },
+            txn: Some(9),
+            group: Some(gid),
+        },
+    ];
+    let wire_bytes: u64 = group.iter().map(UpdateMsg::wire_size).sum();
+
+    // --- materialized reference: the whole group in one download ---------
+    let mat_done = {
+        let mut link = Link::new(link_spec);
+        let done = link.download(wire_bytes, SimTime::ZERO);
+        assert_eq!(link.stats().bytes_down, wire_bytes);
+        done
+    };
+
+    // --- streamed: frame → download_part per chunk → stage → commit ------
+    let mut link = Link::new(link_spec);
+    let mut stager = ChunkStager::new();
+    let mut committed = None;
+    let mut frames = 0u64;
+    let mut accounted = 0u64;
+    let mut max_inflight = 0u64;
+    pipeline::frame_group(&group, cfg.chunk_budget, |frame| {
+        frames += 1;
+        accounted += frame.accounted;
+        max_inflight = max_inflight.max(frame.byte_len());
+        link.download_part(frame.accounted, SimTime::ZERO);
+        if let Some(msgs) = stager.accept(&frame).expect("in-order stream stages") {
+            committed = Some(msgs);
+        }
+    });
+    let st_done = link.download_end_msg(SimTime::ZERO);
+    assert_eq!(
+        committed.as_deref(),
+        Some(&group[..]),
+        "streamed frames must reassemble to the original group"
+    );
+    assert_eq!(stager.staged_groups(), 0, "commit must clear the stage");
+    assert_eq!(
+        accounted, wire_bytes,
+        "per-frame accounting must sum to the materialized wire size"
+    );
+    assert_eq!(
+        link.stats().bytes_down,
+        wire_bytes,
+        "streamed download accounting must equal the one-shot image"
+    );
+
+    // Peak in-flight bytes are a configuration constant, not a function
+    // of the group size (the back-pressure contract CI smoke re-checks).
+    let cap = (cfg.chunk_budget * cfg.pipeline_depth) as u64;
+    assert!(
+        max_inflight <= cap,
+        "max_inflight {max_inflight} exceeds chunk_budget * pipeline_depth = {cap}"
+    );
+    let reduction = wire_bytes as f64 / max_inflight as f64;
+    // Per-part transfer time rounds up to whole milliseconds, so the
+    // streamed path may trail the one-shot by at most one ms per frame.
+    assert!(
+        st_done.as_millis() <= mat_done.as_millis() + frames,
+        "streamed download lost more than rounding: {} ms vs {} ms over {frames} frames",
+        st_done.as_millis(),
+        mat_done.as_millis()
+    );
+    if !smoke {
+        assert!(
+            reduction >= 8.0,
+            "in-flight reduction {reduction:.1}x below the 8x floor"
+        );
+    }
+
+    println!("group wire bytes      {wire_bytes:>12}");
+    println!("max in-flight bytes   {max_inflight:>12}");
+    println!("in-flight reduction   {reduction:>11.1}x");
+    println!("frames                {frames:>12}");
+    println!("e2e materialized      {:>10} ms", mat_done.as_millis());
+    println!("e2e streamed          {:>10} ms", st_done.as_millis());
+
+    let out = serde_json::json!({
+        "bench": "forward_streaming",
+        "smoke": smoke,
+        "file_bytes": size,
+        "chunk_budget": cfg.chunk_budget,
+        "pipeline_depth": cfg.pipeline_depth,
+        "group_wire_bytes": wire_bytes,
+        "max_inflight_bytes": max_inflight,
+        "inflight_reduction_x": json_num(reduction),
+        "frames": frames,
+        "e2e_materialized_ms": mat_done.as_millis(),
+        "e2e_streamed_ms": st_done.as_millis(),
+        "link": "mobile (1 MiB/s up, 80 ms latency)",
+        "notes": "same group both paths; streamed frames reassembled by ChunkStager and asserted byte-identical in accounting and committed content; e2e times are simulated link time",
+    });
+    let name = if smoke {
+        "BENCH_7.smoke.json"
+    } else {
+        "BENCH_7.json"
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../");
+    let path = format!("{path}{name}");
+    std::fs::write(&path, serde_json::to_string_pretty(&out).expect("serialize") + "\n")
+        .expect("write bench json");
+    println!("\nwrote {path}");
+}

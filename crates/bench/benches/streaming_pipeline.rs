@@ -32,7 +32,9 @@
 //! `BENCH_5.smoke.json` instead, leaving the committed numbers alone.
 
 use deltacfs_core::pipeline::{self, PipelineConfig};
-use deltacfs_core::{ClientId, CloudServer, GroupId, Payload, UpdateMsg, UpdatePayload, Version};
+use deltacfs_core::{
+    ClientId, CloudServer, GroupId, Payload, UpdateMsg, UpdatePayload, Version, ACK_WIRE_BYTES,
+};
 use deltacfs_delta::{local, Cost, DeltaParams};
 use deltacfs_net::{Link, LinkSpec, SimTime};
 use deltacfs_obs::Obs;
@@ -143,7 +145,7 @@ fn main() {
             SimTime::ZERO.plus_millis(encode_ms.ceil() as u64),
         );
         server.apply_txn(std::slice::from_ref(&msg));
-        link.download(32, SimTime::ZERO);
+        link.download(ACK_WIRE_BYTES, SimTime::ZERO);
         assert_eq!(server.file("/f"), Some(&new[..]), "materialized apply");
         assert_eq!(link.stats().bytes_up, wire_bytes);
         done

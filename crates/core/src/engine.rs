@@ -14,7 +14,7 @@ use deltacfs_vfs::{OpEvent, Vfs};
 use crate::client::DeltaCfsClient;
 use crate::config::DeltaCfsConfig;
 use crate::pipeline;
-use crate::protocol::{ApplyOutcome, ClientId, UpdateMsg};
+use crate::protocol::{ApplyOutcome, ClientId, UpdateMsg, ACK_WIRE_BYTES};
 use crate::server::CloudServer;
 
 /// Summary of an engine's resource usage after a run.
@@ -139,7 +139,7 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
                 let outcomes = self.server.apply_txn(&group);
                 self.outcomes.extend(outcomes);
                 // Acknowledgement.
-                self.link.download(32, now);
+                self.link.download(ACK_WIRE_BYTES, now);
             }
         }
     }
@@ -182,7 +182,7 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
         );
         link.upload_end_msg(now);
         // Acknowledgement.
-        link.download(32, now);
+        link.download(ACK_WIRE_BYTES, now);
     }
 }
 

@@ -79,7 +79,7 @@ pub use inline::{InlineInterceptor, InlineMode};
 pub use multi::SyncHub;
 pub use protocol::{
     ApplyOutcome, ClientId, FileOpItem, GroupId, Payload, UpdateMsg, UpdatePayload, Version,
-    MSG_HEADER_BYTES, OP_ITEM_HEADER_BYTES,
+    ACK_WIRE_BYTES, MSG_HEADER_BYTES, OP_ITEM_HEADER_BYTES,
 };
 pub use relation_table::{OldVersion, Preserved, RelationTable};
 pub use retry::{Courier, Flight, RetryPolicy, BACKOFF_BUCKETS_MS};

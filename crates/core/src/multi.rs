@@ -16,19 +16,23 @@
 //! hub with root clients reproduces the original single-instance hub
 //! byte for byte — the shard-invariance property suite pins this.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use deltacfs_kvstore::MemStore;
 use deltacfs_net::{
-    FaultSpec, FaultStats, FaultTopology, Link, LinkSpec, SimClock, SimTime, UploadVerdict,
+    FaultPlan, FaultSpec, FaultStats, FaultTopology, Link, LinkSpec, SimClock, SimTime,
+    UploadVerdict,
 };
 use deltacfs_obs::{Histogram, Obs, Snapshot};
 use deltacfs_vfs::Vfs;
 
 use crate::client::{DeltaCfsClient, RemoteConflict};
 use crate::config::{DeltaCfsConfig, HubConfig};
-use crate::protocol::{ApplyOutcome, ClientId, Payload, UpdateMsg, UpdatePayload, Version};
+use crate::pipeline::{frame_group, ChunkStager};
+use crate::protocol::{
+    ApplyOutcome, ClientId, GroupId, Payload, UpdateMsg, UpdatePayload, Version, ACK_WIRE_BYTES,
+};
 use crate::retry::{Courier, RetryPolicy, BACKOFF_BUCKETS_MS};
 use crate::shard::ShardedServer;
 
@@ -43,6 +47,24 @@ struct Slot {
     /// The server shard the namespace hashes to — the client's pump lane
     /// and queue-depth gauge bucket.
     home_shard: usize,
+    /// Client-side staging for chunk-streamed forwards and recovery
+    /// downloads — the mirror of the server's upload stage. A group
+    /// whose stream was cut sits here, uncommitted, until a resend
+    /// resets it or a client crash drops it.
+    forward: ChunkStager,
+    /// Stream group ids this client already committed — the idempotent
+    /// commit record symmetric to the server's `<CliID, GroupSeq>`
+    /// replay index.
+    forward_seen: HashSet<GroupId>,
+    /// Chunk frames streamed to this client (forward/download
+    /// direction).
+    forward_chunks: u64,
+    /// Chunk-streamed groups fully delivered to this client.
+    forward_groups: u64,
+    /// Largest single frame seen on this client's downlink — with an
+    /// inline (unbuffered) forward loop this is also the peak in-flight
+    /// byte count of the direction.
+    forward_max_frame_bytes: u64,
 }
 
 /// A cloud server with any number of attached DeltaCFS clients, all
@@ -95,6 +117,11 @@ pub struct SyncHub {
     /// Every `(client, path, version)` the server acknowledged as
     /// applied — the commit record fault tests check against.
     acked: Vec<(usize, String, Version)>,
+    /// Counter stamping synthetic download streams (full sync,
+    /// anti-entropy) with unique `<ClientId(0), seq>` group ids —
+    /// client ids are 1-based, so these can never collide with a real
+    /// upload group.
+    synthetic_groups: u64,
     /// Observability bundle shared with every client. Default-disabled
     /// tracer; [`SyncHub::enable_observability`] installs a live one.
     obs: Obs,
@@ -136,6 +163,7 @@ impl SyncHub {
             stores: (0..cfg.shards).map(|_| MemStore::new()).collect(),
             deferred: Vec::new(),
             acked: Vec::new(),
+            synthetic_groups: 0,
             obs: Obs::new(),
         }
     }
@@ -215,6 +243,11 @@ impl SyncHub {
             courier,
             namespace: namespace.to_string(),
             home_shard,
+            forward: ChunkStager::new(),
+            forward_seen: HashSet::new(),
+            forward_chunks: 0,
+            forward_groups: 0,
+            forward_max_frame_bytes: 0,
         });
         idx
     }
@@ -374,7 +407,10 @@ impl SyncHub {
 
     /// Pushes the cloud's current state — filtered to the client's
     /// namespace — to client `idx`: the initial sync a device performs
-    /// when it joins an already-populated shared folder.
+    /// when it joins an already-populated shared folder. The whole
+    /// recovery download streams as one synthetic chunked group, so a
+    /// multi-gigabyte folder arrives in bounded frames and commits
+    /// atomically on the client.
     pub fn full_sync(&mut self, idx: usize) {
         let now = self.clock.now();
         let ns = self.slots[idx].namespace.clone();
@@ -408,11 +444,27 @@ impl SyncHub {
                 group: None,
             });
         }
-        for msg in msgs {
-            let wire = msg.wire_size();
-            self.slots[idx].link.download(wire, now);
-            let slot = &mut self.slots[idx];
-            slot.client.apply_remote(&msg, &mut slot.fs);
+        let gid = self.next_synthetic_group();
+        deliver_group_streaming(
+            &self.obs,
+            now,
+            idx,
+            &mut self.slots[idx],
+            gid,
+            &msgs,
+            None,
+            &mut self.conflicts,
+        );
+    }
+
+    /// Stamps the next synthetic download-stream group id (full sync,
+    /// anti-entropy). `ClientId(0)` is reserved: attached clients are
+    /// 1-based, so synthetic streams never collide with upload groups.
+    fn next_synthetic_group(&mut self) -> GroupId {
+        self.synthetic_groups += 1;
+        GroupId {
+            client: ClientId(0),
+            seq: self.synthetic_groups,
         }
     }
 
@@ -568,7 +620,7 @@ impl SyncHub {
                             )
                         });
                     self.server_outcomes.extend(outcomes);
-                    self.slots[idx].link.download(32, now);
+                    self.slots[idx].link.download(ACK_WIRE_BYTES, now);
                     if all_applied {
                         self.forward(idx, &group, now, &mut None);
                     }
@@ -723,7 +775,7 @@ impl SyncHub {
                         self.trace_backoff(idx, now_ms, delay);
                     } else if self.slots[idx]
                         .link
-                        .download_faulty(32, now, idx, topo.plan_for(idx))
+                        .download_faulty(ACK_WIRE_BYTES, now, idx, topo.plan_for(idx))
                         .is_some()
                     {
                         self.obs.tracer.event(now_ms, &actor, "wire.ack", || {
@@ -870,25 +922,38 @@ impl SyncHub {
             } else {
                 self.server.paths_in_namespace(&ns)
             };
+            let mut repairs: Vec<UpdateMsg> = Vec::new();
             for path in paths {
                 let server_content = self.server.file(&path).expect("listed path exists");
                 let local = self.slots[idx].fs.peek_all(&path).ok();
                 if local.as_deref() == Some(&server_content[..]) {
                     continue;
                 }
-                let msg = UpdateMsg {
+                repairs.push(UpdateMsg {
                     path: path.clone(),
                     base: None,
                     version: self.server.version(&path),
                     payload: UpdatePayload::Full(Payload::from(server_content)),
                     txn: None,
                     group: None,
-                };
-                self.slots[idx].link.download(msg.wire_size(), now);
-                let slot = &mut self.slots[idx];
-                if let Some(conflict) = slot.client.apply_remote(&msg, &mut slot.fs) {
-                    self.conflicts.push((idx, conflict));
-                }
+                });
+            }
+            if !repairs.is_empty() {
+                // One synthetic chunked stream per client: the same
+                // bounded download framing the forward path uses, so
+                // anti-entropy of a large folder never materializes as
+                // one whole-group link shot.
+                let gid = self.next_synthetic_group();
+                deliver_group_streaming(
+                    &self.obs,
+                    now,
+                    idx,
+                    &mut self.slots[idx],
+                    gid,
+                    &repairs,
+                    None,
+                    &mut self.conflicts,
+                );
             }
             // Files the server does not have (e.g. an unlink whose
             // forward was lost) disappear locally too.
@@ -950,6 +1015,30 @@ impl SyncHub {
                 label,
             )
             .set(slot.courier.given_up().len() as u64);
+            reg.counter_labeled(
+                "forward_chunks",
+                "chunk frames streamed to this client (forward/download direction)",
+                label,
+            )
+            .set(slot.forward_chunks);
+            reg.counter_labeled(
+                "forward_groups",
+                "chunk-streamed groups committed on this client",
+                label,
+            )
+            .set(slot.forward_groups);
+            reg.gauge_labeled(
+                "forward_max_frame_bytes",
+                "largest single chunk frame on this client's downlink",
+                label,
+            )
+            .set(slot.forward_max_frame_bytes as i64);
+            reg.gauge_labeled(
+                "forward_staged_groups",
+                "forwarded groups staged but not yet committed",
+                label,
+            )
+            .set(slot.forward.staged_groups() as i64);
             queued += slot.client.queued_nodes() as i64;
             shard_queue[slot.home_shard] += slot.client.queued_nodes() as i64;
         }
@@ -1004,10 +1093,22 @@ impl SyncHub {
             slot.client.handle_event(e, &slot.fs);
         }
         self.slots[idx].courier.clear();
+        // In-flight forwarded chunk streams die with the process: a
+        // staged (uncommitted) group is volatile by design, so nothing
+        // half-applied can survive the restart. Settle re-converges the
+        // client through anti-entropy.
+        self.slots[idx].forward.clear();
         let server = &self.server;
         let slot = &mut self.slots[idx];
         slot.client
             .restart_from_undo_log(&slot.fs, |p| server.version(p))
+    }
+
+    /// Forwarded groups currently staged — received in part, not yet
+    /// committed — on client `idx`. Non-zero after a forward stream was
+    /// cut mid-group by a lost downlink.
+    pub fn forward_stage_depth(&self, idx: usize) -> usize {
+        self.slots[idx].forward.staged_groups()
     }
 }
 
@@ -1067,7 +1168,7 @@ fn run_lane(
                     )
                 });
             out.outcomes.extend(outcomes);
-            lane[i].1.link.download(32, now);
+            lane[i].1.link.download(ACK_WIRE_BYTES, now);
             if all_applied {
                 for (j, (peer_idx, peer)) in lane.iter_mut().enumerate() {
                     if j == i || peer.namespace != ns {
@@ -1093,9 +1194,11 @@ fn run_lane(
 
 /// Delivers one group to one peer — the per-peer forward batch shared by
 /// the sequential pump and the parallel lanes. Messages outside the
-/// peer's namespace are filtered; the rest keep today's per-message
+/// peer's namespace are filtered; the rest keep the per-message
 /// divergence check (a diverged peer gets materialized Full content, an
-/// in-sync peer the verbatim incremental data).
+/// in-sync peer the verbatim incremental data), resolved up front by
+/// [`plan_forward_group`] so the whole batch streams through the
+/// chunked download pipeline and commits atomically on the peer.
 #[allow(clippy::too_many_arguments)]
 fn forward_group_to_peer(
     server: &ShardedServer,
@@ -1108,43 +1211,62 @@ fn forward_group_to_peer(
     fault: &mut Option<&mut FaultTopology>,
     conflicts: &mut Vec<(usize, RemoteConflict)>,
 ) {
-    let visible = group
-        .iter()
-        .filter(|m| msg_visible(&peer.namespace, m))
-        .count();
-    if visible == 0 {
+    let planned = plan_forward_group(server, peer, group);
+    if planned.is_empty() {
         return;
     }
+    let gid = group
+        .iter()
+        .find_map(|m| m.group)
+        .expect("upload groups are stamped");
     obs.tracer
         .event(now.as_millis(), "server", "wire.forward", || {
             format!(
                 "forwarding group of {} msgs from {} to {}",
-                visible,
+                planned.len(),
                 actor_name(from),
                 actor_name(peer_idx)
             )
         });
+    let plan = fault.as_mut().map(|topo| topo.plan_for(peer_idx));
+    deliver_group_streaming(obs, now, peer_idx, peer, gid, &planned, plan, conflicts);
+}
+
+/// Plans what one peer receives for a forwarded group: messages outside
+/// the peer's namespace are dropped, and each survivor's divergence
+/// check resolves against a virtual version view that tracks how the
+/// *earlier planned messages* will move the peer's version table once
+/// the stream commits — the same decisions the old message-at-a-time
+/// delivery made interleaved with application, now computable up front.
+///
+/// The paper's key multi-client property (§III-D): "the same
+/// incremental data can be directly sent to client B without additional
+/// computation". A delta is forwarded verbatim when the peer's base
+/// matches (it applies it to its own copy of the base path); only a
+/// diverged peer — e.g. one holding unsynced local edits, which is
+/// about to conflict anyway, or one that missed an earlier forward on a
+/// lost downlink — receives the materialized content, which also heals
+/// the earlier gap. An ops batch likewise assumes the peer holds the
+/// base the uploader built on; a stale peer would otherwise silently
+/// apply the ops to the wrong content.
+fn plan_forward_group(server: &ShardedServer, peer: &Slot, group: &[UpdateMsg]) -> Vec<UpdateMsg> {
+    // `None` entries are tombstones (unlinked / renamed away); absent
+    // paths fall back to the peer's real version table.
+    let mut view: HashMap<String, Option<Version>> = HashMap::new();
+    let ver = |view: &HashMap<String, Option<Version>>, path: &str| -> Option<Version> {
+        match view.get(path) {
+            Some(v) => *v,
+            None => peer.client.version_of(path),
+        }
+    };
+    let mut planned = Vec::new();
     for msg in group {
         if !msg_visible(&peer.namespace, msg) {
             continue;
         }
-        // The paper's key multi-client property (§III-D): "the
-        // same incremental data can be directly sent to client B
-        // without additional computation". A delta is forwarded
-        // verbatim when the peer's base matches (it applies it to
-        // its own copy of the base path); only a diverged peer —
-        // e.g. one holding unsynced local edits, which is about to
-        // conflict anyway — receives the materialized content.
         let peer_diverged = match &msg.payload {
-            UpdatePayload::Delta { base_path, .. } => {
-                peer.client.version_of(base_path) != msg.base
-            }
-            // An ops batch assumes the peer holds the base the
-            // uploader built on. A peer that missed an earlier
-            // forward (lost downlink) would silently apply the
-            // ops to stale content — materialize instead, which
-            // also heals the earlier gap.
-            UpdatePayload::Ops(_) => peer.client.version_of(&msg.path) != msg.base,
+            UpdatePayload::Delta { base_path, .. } => ver(&view, base_path) != msg.base,
+            UpdatePayload::Ops(_) => ver(&view, &msg.path) != msg.base,
             _ => false,
         };
         let forwarded = if peer_diverged {
@@ -1159,24 +1281,129 @@ fn forward_group_to_peer(
         } else {
             msg.clone()
         };
-        let wire = forwarded.wire_size();
-        let arrived = match fault.as_mut() {
-            Some(topo) => peer
-                .link
-                .download_faulty(wire, now, peer_idx, topo.plan_for(peer_idx))
-                .is_some(),
-            None => {
-                peer.link.download(wire, now);
-                true
+        // Mirror `apply_remote`'s version bookkeeping exactly: the
+        // payload moves versions (rename rekeys src→dst when src had
+        // one, unlink removes), then a versioned message stamps
+        // `msg.path` — the rename *source*, matching the client.
+        match &forwarded.payload {
+            UpdatePayload::Rename { to } => {
+                let moved = ver(&view, &forwarded.path);
+                view.insert(forwarded.path.clone(), None);
+                if moved.is_some() {
+                    view.insert(to.clone(), moved);
+                }
             }
-        };
-        if !arrived {
-            // A lost forward leaves the peer behind; the next
-            // forward's divergence check (or a settle pass)
-            // re-materializes the content.
-            continue;
+            UpdatePayload::Unlink => {
+                view.insert(forwarded.path.clone(), None);
+            }
+            _ => {}
         }
-        if let Some(conflict) = peer.client.apply_remote(&forwarded, &mut peer.fs) {
+        if let Some(v) = forwarded.version {
+            view.insert(forwarded.path.clone(), Some(v));
+        }
+        planned.push(forwarded);
+    }
+    planned
+}
+
+/// Streams one planned group to one receiving client as bounded chunk
+/// frames — the forward/download mirror of the upload pipeline. Each
+/// frame occupies the peer's downlink as a part
+/// ([`Link::download_part`]), the per-message latency settles once per
+/// group ([`Link::download_end_msg`]), and the peer stages frames in
+/// its [`ChunkStager`], committing the whole group atomically when the
+/// final frame lands (idempotently: a group id the peer has already
+/// committed is not applied twice).
+///
+/// In fault mode each message draws its loss verdict from the peer's
+/// own plan exactly as the unframed path did — one draw per message, in
+/// message order, draws continuing after a loss so pinned-seed
+/// schedules are unchanged — but a single lost message now cuts the
+/// stream: the remaining frames still occupy the wire (the server did
+/// transmit them), nothing commits, and the partially staged group sits
+/// in the peer's stager until a fresh stream resets it or a client
+/// crash drops it. The old path could apply the tail of a group whose
+/// head was lost; whole-group atomicity removes that hazard class.
+#[allow(clippy::too_many_arguments)]
+fn deliver_group_streaming(
+    obs: &Obs,
+    now: SimTime,
+    peer_idx: usize,
+    peer: &mut Slot,
+    gid: GroupId,
+    msgs: &[UpdateMsg],
+    mut plan: Option<&mut FaultPlan>,
+    conflicts: &mut Vec<(usize, RemoteConflict)>,
+) {
+    if msgs.is_empty() {
+        return;
+    }
+    // Restamp with the stream's group id so every frame keys one stage
+    // (synthetic streams — full sync, anti-entropy — carry no group id
+    // of their own).
+    let stamped: Vec<UpdateMsg> = msgs
+        .iter()
+        .map(|m| UpdateMsg {
+            group: Some(gid),
+            ..m.clone()
+        })
+        .collect();
+    let budget = peer.client.config().chunk_budget;
+    let mut lost = false;
+    let mut committed: Option<Vec<UpdateMsg>> = None;
+    let Slot {
+        link,
+        forward,
+        forward_chunks,
+        forward_max_frame_bytes,
+        ..
+    } = peer;
+    frame_group(&stamped, budget, |frame| {
+        if frame.chunk_idx == 0 {
+            // One loss draw per message, in message order — the same
+            // RNG consumption as the old per-message delivery, so
+            // pinned fault seeds fire identical schedules.
+            if let Some(plan) = plan.as_deref_mut() {
+                if plan.download_lost(peer_idx, now) {
+                    lost = true;
+                }
+            }
+        }
+        link.download_part(frame.accounted, now);
+        *forward_chunks += 1;
+        *forward_max_frame_bytes = (*forward_max_frame_bytes).max(frame.byte_len());
+        obs.tracer
+            .event(now.as_millis(), "server", "wire.forward.chunk", || {
+                format!(
+                    "msg {} chunk {}{} to {}: {} bytes",
+                    frame.msg_idx,
+                    frame.chunk_idx,
+                    if frame.last_in_group { " [group end]" } else { "" },
+                    actor_name(peer_idx),
+                    frame.byte_len(),
+                )
+            });
+        if !lost {
+            if let Some(group_msgs) = forward
+                .accept(&frame)
+                .expect("in-process chunk stream cannot be malformed")
+            {
+                committed = Some(group_msgs);
+            }
+        }
+    });
+    link.download_end_msg(now);
+    let Some(group_msgs) = committed else {
+        return;
+    };
+    peer.forward_groups += 1;
+    if !peer.forward_seen.insert(gid) {
+        // Duplicate stream: the commit record absorbs it, exactly like
+        // the server's replay index on the upload direction.
+        return;
+    }
+    for msg in &group_msgs {
+        if let Some(conflict) = peer.client.apply_remote(msg, &mut peer.fs) {
             conflicts.push((peer_idx, conflict));
         }
     }

@@ -29,6 +29,7 @@
 //! split are charged one header, just as the receiver's
 //! [`Delta::from_ops`](deltacfs_delta::Delta) re-merge produces one op.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
@@ -41,10 +42,10 @@ use deltacfs_net::{Link, SimTime};
 use deltacfs_obs::Obs;
 
 use crate::protocol::{
-    ApplyOutcome, GroupId, Payload, UpdateMsg, UpdatePayload, MSG_HEADER_BYTES,
+    ApplyOutcome, GroupId, Payload, UpdateMsg, UpdatePayload, ACK_WIRE_BYTES, MSG_HEADER_BYTES,
 };
 use crate::server::CloudServer;
-use crate::wire::{self, FrameSeg};
+use crate::wire::{self, FrameSeg, WireError};
 
 /// One scatter-gather piece of a [`ChunkFrame`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,6 +107,100 @@ impl ChunkFrame {
                 FramePiece::Control(_) => 0,
             })
             .sum()
+    }
+}
+
+/// Assembly state of one streamed group: decoded messages so far plus
+/// the bytes of the message currently arriving.
+#[derive(Debug, Clone, Default)]
+struct StageState {
+    msgs: Vec<UpdateMsg>,
+    cur: Vec<u8>,
+    next_msg: usize,
+    next_chunk: usize,
+}
+
+/// Per-`<CliID, GroupSeq>` chunk staging, shared by both stream
+/// directions: the cloud stages client uploads
+/// ([`CloudServer::receive_chunk`]) and each client stages the server's
+/// forwarded groups through the same state machine, so the commit
+/// semantics are symmetric by construction.
+///
+/// Frames stage per-message bytes (the receiver's single "NIC landing"
+/// copy); a `last_in_msg` frame freezes and decodes the message, and
+/// the `last_in_group` frame releases the whole group at once — so a
+/// group whose stream is cut mid-way releases *nothing*, and a
+/// whole-group resend restarts cleanly: chunk `(0, 0)` always resets a
+/// stale stage for its group.
+#[derive(Debug, Default)]
+pub struct ChunkStager {
+    stages: HashMap<GroupId, StageState>,
+}
+
+impl ChunkStager {
+    /// An empty stager.
+    pub fn new() -> Self {
+        ChunkStager::default()
+    }
+
+    /// Stages one frame. Returns `Ok(Some(msgs))` — the group's decoded
+    /// messages, in order — when the group completes, `Ok(None)` for an
+    /// intermediate frame. The caller owns commit (idempotency,
+    /// application): the stager only assembles.
+    ///
+    /// # Errors
+    ///
+    /// An out-of-order or unknown frame (a prior chunk was lost) drops
+    /// the stage and returns [`WireError::Malformed`]; staged bytes
+    /// that fail to decode are reported likewise. Either way the group
+    /// is untouched and a full resend recovers.
+    pub fn accept(&mut self, frame: &ChunkFrame) -> Result<Option<Vec<UpdateMsg>>, WireError> {
+        if frame.msg_idx == 0 && frame.chunk_idx == 0 {
+            self.stages.insert(frame.group, StageState::default());
+        }
+        let Some(stage) = self.stages.get_mut(&frame.group) else {
+            return Err(WireError::Malformed("chunk for unknown group stream"));
+        };
+        if frame.msg_idx != stage.next_msg || frame.chunk_idx != stage.next_chunk {
+            self.stages.remove(&frame.group);
+            return Err(WireError::Malformed("chunk out of order"));
+        }
+        for piece in &frame.pieces {
+            stage.cur.extend_from_slice(piece.as_slice());
+        }
+        if frame.last_in_msg {
+            let buf = Bytes::from(std::mem::take(&mut stage.cur));
+            match wire::decode_shared(&buf) {
+                Ok(msg) => stage.msgs.push(msg),
+                Err(e) => {
+                    self.stages.remove(&frame.group);
+                    return Err(e);
+                }
+            }
+            stage.next_msg += 1;
+            stage.next_chunk = 0;
+        } else {
+            stage.next_chunk += 1;
+        }
+        if frame.last_in_group {
+            let stage = self
+                .stages
+                .remove(&frame.group)
+                .expect("stage exists: we just appended to it");
+            return Ok(Some(stage.msgs));
+        }
+        Ok(None)
+    }
+
+    /// How many groups are currently staged (incomplete streams).
+    pub fn staged_groups(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Drops every staged group — what a crash does to in-flight
+    /// streams on the receiving side.
+    pub fn clear(&mut self) {
+        self.stages.clear();
     }
 }
 
@@ -288,44 +383,78 @@ fn split_delta_ops(delta: &Delta, budget: usize, mut emit: impl FnMut(DeltaChunk
 }
 
 /// Frames every message of a materialized transaction group as a chunk
-/// stream: Delta payloads are split into budget-bounded frames, other
-/// payloads become one scatter-gather frame each (payload bodies stay
-/// shared either way). Per group, the `accounted` fields sum exactly to
-/// `Σ wire_size()`.
+/// stream: Delta payloads are split into budget-bounded frames via
+/// [`DeltaFramer`]; other payloads are scatter-gather packed with their
+/// shared bodies sliced at the budget, so a group-sized `Full` body
+/// streams as many bounded frames instead of one group-sized unit
+/// (payload bytes stay shared either way — slicing is an `Arc` bump).
+/// Per group, the `accounted` fields sum exactly to `Σ wire_size()`:
+/// a split message charges its model header on the first frame and
+/// payload bytes where they travel.
 ///
 /// # Panics
 ///
 /// Panics if any message lacks a group id or the group is empty.
 pub fn frame_group(msgs: &[UpdateMsg], chunk_budget: usize, mut emit: impl FnMut(ChunkFrame)) {
     assert!(!msgs.is_empty(), "cannot frame an empty group");
+    let budget = chunk_budget.max(1);
     let mut scratch = Vec::new();
     for (msg_idx, msg) in msgs.iter().enumerate() {
         let last_in_group = msg_idx == msgs.len() - 1;
         let group = msg.group.expect("streamed messages carry a group id");
         if let UpdatePayload::Delta { delta, .. } = &msg.payload {
             let mut framer = DeltaFramer::new(msg, msg_idx, last_in_group);
-            split_delta_ops(delta, chunk_budget, |chunk| emit(framer.frame(&chunk)));
+            split_delta_ops(delta, budget, |chunk| emit(framer.frame(&chunk)));
         } else {
             let wire_frame = wire::encode_vectored(msg, &mut scratch);
-            let pieces = wire_frame
-                .segs
-                .into_iter()
-                .map(|seg| match seg {
-                    FrameSeg::Scratch(r) => {
-                        FramePiece::Control(Bytes::copy_from_slice(&scratch[r]))
+            // Greedy packing: shared payload bytes count against the
+            // budget (control framing rides along, as in the delta
+            // path); a new frame opens only when payload bytes remain.
+            let mut packed: Vec<Vec<FramePiece>> = vec![Vec::new()];
+            let mut used = 0usize;
+            let mut payload_total = 0u64;
+            for seg in wire_frame.segs {
+                match seg {
+                    FrameSeg::Scratch(r) => packed
+                        .last_mut()
+                        .expect("packed starts non-empty")
+                        .push(FramePiece::Control(Bytes::copy_from_slice(&scratch[r]))),
+                    FrameSeg::Shared(p) => {
+                        payload_total += p.len() as u64;
+                        let mut off = 0;
+                        while off < p.len() {
+                            if used >= budget {
+                                packed.push(Vec::new());
+                                used = 0;
+                            }
+                            let take = (budget - used).min(p.len() - off);
+                            packed
+                                .last_mut()
+                                .expect("packed starts non-empty")
+                                .push(FramePiece::Shared(p.slice(off..off + take)));
+                            used += take;
+                            off += take;
+                        }
                     }
-                    FrameSeg::Shared(p) => FramePiece::Shared(p),
-                })
-                .collect();
-            emit(ChunkFrame {
-                group,
-                msg_idx,
-                chunk_idx: 0,
-                last_in_msg: true,
-                last_in_group,
-                pieces,
-                accounted: msg.wire_size(),
-            });
+                }
+            }
+            let header_share = msg.wire_size() - payload_total;
+            let chunks = packed.len();
+            for (chunk_idx, pieces) in packed.into_iter().enumerate() {
+                let last = chunk_idx == chunks - 1;
+                let mut frame = ChunkFrame {
+                    group,
+                    msg_idx,
+                    chunk_idx,
+                    last_in_msg: last,
+                    last_in_group: last_in_group && last,
+                    pieces,
+                    accounted: 0,
+                };
+                frame.accounted =
+                    frame.payload_bytes() + if chunk_idx == 0 { header_share } else { 0 };
+                emit(frame);
+            }
         }
     }
 }
@@ -529,7 +658,7 @@ pub fn upload_delta_streaming(
         },
     );
     report.done = link.upload_end_msg(report.done);
-    link.download(32, now);
+    link.download(ACK_WIRE_BYTES, now);
     (report, outcomes)
 }
 
@@ -625,6 +754,46 @@ mod tests {
         // The receiver's from_ops re-merge makes the chunk splits
         // invisible: the decoded message equals the materialized one.
         assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn full_payload_splits_at_budget_and_restages_losslessly() {
+        let msg = UpdateMsg {
+            path: "/f".into(),
+            base: None,
+            version: Some(ver(1)),
+            payload: UpdatePayload::Full(Payload::from(vec![0xA5u8; 5_000])),
+            txn: Some(1),
+            group: Some(gid()),
+        };
+        let mut frames = Vec::new();
+        frame_group(std::slice::from_ref(&msg), 1024, |f| frames.push(f));
+        assert!(
+            frames.len() >= 5,
+            "a 5000-byte body at a 1 KiB budget must span frames, got {}",
+            frames.len()
+        );
+        for f in &frames {
+            assert!(
+                f.payload_bytes() <= 1024,
+                "frame payload {} exceeds the budget",
+                f.payload_bytes()
+            );
+        }
+        assert_eq!(
+            frames.iter().map(|f| f.accounted).sum::<u64>(),
+            msg.wire_size(),
+            "split accounting must sum to the materialized wire size"
+        );
+        let mut stager = ChunkStager::new();
+        let mut committed = None;
+        for f in &frames {
+            if let Some(msgs) = stager.accept(f).expect("in-order stream stages") {
+                committed = Some(msgs);
+            }
+        }
+        assert_eq!(committed, Some(vec![msg]));
+        assert_eq!(stager.staged_groups(), 0, "commit must clear the stage");
     }
 
     #[test]

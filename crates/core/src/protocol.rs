@@ -247,6 +247,14 @@ pub const MSG_HEADER_BYTES: u64 = 64;
 /// Per-file-op framing inside an [`UpdatePayload::Ops`] payload.
 pub const OP_ITEM_HEADER_BYTES: u64 = 16;
 
+/// Bytes one server acknowledgement occupies on the wire — the encoded
+/// size of [`wire::WireAck`](crate::wire::WireAck) (magic, ack opcode +
+/// padding, group id, outcome tallies). Every simulated ack download
+/// charges this constant, so changing the ack header changes traffic
+/// stats everywhere at once instead of silently skewing them; a wire
+/// test pins the two together.
+pub const ACK_WIRE_BYTES: u64 = 32;
+
 /// One versioned incremental update for one file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UpdateMsg {

@@ -15,9 +15,9 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use bytes::Bytes;
 use deltacfs_delta::Cost;
 
-use crate::pipeline::ChunkFrame;
+use crate::pipeline::{ChunkFrame, ChunkStager};
 use crate::protocol::{ApplyOutcome, GroupId, UpdateMsg, UpdatePayload, Version};
-use crate::wire::{self, WireError};
+use crate::wire::WireError;
 
 /// How many past versions the server retains per file.
 const DEFAULT_HISTORY: usize = 8;
@@ -82,17 +82,7 @@ pub struct CloudServer {
     /// In-progress streamed group uploads, keyed by group id. Nothing
     /// in a stage is visible to reads or applied until the group's
     /// final chunk commits it atomically.
-    stages: HashMap<GroupId, ChunkStage>,
-}
-
-/// Assembly state of one streamed group: decoded messages so far plus
-/// the bytes of the message currently arriving.
-#[derive(Debug, Clone, Default)]
-struct ChunkStage {
-    msgs: Vec<UpdateMsg>,
-    cur: Vec<u8>,
-    next_msg: usize,
-    next_chunk: usize,
+    stager: ChunkStager,
 }
 
 impl Default for CloudServer {
@@ -113,7 +103,7 @@ impl CloudServer {
             seen: HashMap::new(),
             group_seen: HashMap::new(),
             duplicate_groups: 0,
-            stages: HashMap::new(),
+            stager: ChunkStager::new(),
         }
     }
 
@@ -379,13 +369,13 @@ impl CloudServer {
 
     /// Receives one frame of a streamed group upload.
     ///
-    /// Frames stage per-message bytes (the receiver's single
-    /// "NIC landing" copy); a `last_in_msg` frame freezes and decodes
-    /// the message, and the `last_in_group` frame commits the whole
-    /// group through [`apply_txn_idempotent`] — so a group whose stream
-    /// is cut mid-way applies *nothing*, and the client's whole-group
-    /// retry restarts cleanly: chunk `(0, 0)` always resets a stale
-    /// stage for its group.
+    /// Staging goes through the shared [`ChunkStager`] (the same state
+    /// machine clients use for forwarded groups); when the group's
+    /// final frame lands the decoded messages commit atomically through
+    /// [`apply_txn_idempotent`] — so a group whose stream is cut
+    /// mid-way applies *nothing*, and the client's whole-group retry
+    /// restarts cleanly: chunk `(0, 0)` always resets a stale stage for
+    /// its group.
     ///
     /// Returns `Ok(Some(outcomes))` when the group commits, `Ok(None)`
     /// for an intermediate frame.
@@ -402,42 +392,13 @@ impl CloudServer {
         &mut self,
         frame: &ChunkFrame,
     ) -> Result<Option<Vec<ApplyOutcome>>, WireError> {
-        if frame.msg_idx == 0 && frame.chunk_idx == 0 {
-            self.stages.insert(frame.group, ChunkStage::default());
-        }
-        let Some(stage) = self.stages.get_mut(&frame.group) else {
-            return Err(WireError::Malformed("chunk for unknown group stream"));
-        };
-        if frame.msg_idx != stage.next_msg || frame.chunk_idx != stage.next_chunk {
-            self.stages.remove(&frame.group);
-            return Err(WireError::Malformed("chunk out of order"));
-        }
-        for piece in &frame.pieces {
-            stage.cur.extend_from_slice(piece.as_slice());
-        }
-        if frame.last_in_msg {
-            let buf = Bytes::from(std::mem::take(&mut stage.cur));
-            match wire::decode_shared(&buf) {
-                Ok(msg) => stage.msgs.push(msg),
-                Err(e) => {
-                    self.stages.remove(&frame.group);
-                    return Err(e);
-                }
+        match self.stager.accept(frame)? {
+            Some(msgs) => {
+                let (outcomes, _duplicate) = self.apply_txn_idempotent(&msgs);
+                Ok(Some(outcomes))
             }
-            stage.next_msg += 1;
-            stage.next_chunk = 0;
-        } else {
-            stage.next_chunk += 1;
+            None => Ok(None),
         }
-        if frame.last_in_group {
-            let stage = self
-                .stages
-                .remove(&frame.group)
-                .expect("stage exists: we just appended to it");
-            let (outcomes, _duplicate) = self.apply_txn_idempotent(&stage.msgs);
-            return Ok(Some(outcomes));
-        }
-        Ok(None)
     }
 
     /// Whether a `<CliID, GroupSeq>` group has already been applied here.

@@ -134,11 +134,32 @@ impl Link {
     /// Sends `bytes` cloud → client starting no earlier than `now`;
     /// returns the completion time.
     pub fn download(&mut self, bytes: u64, now: SimTime) -> SimTime {
+        self.download_part(bytes, now);
+        self.download_end_msg(now)
+    }
+
+    /// Streams one part of a larger logical download: the bytes occupy
+    /// download bandwidth (and are accounted) but no per-message latency
+    /// or message count is charged — that happens once, in
+    /// [`download_end_msg`](Link::download_end_msg). The forwarding
+    /// server calls this as each chunk frame becomes ready, mirroring
+    /// [`upload_part`](Link::upload_part) on the other direction.
+    pub fn download_part(&mut self, bytes: u64, now: SimTime) -> SimTime {
         self.stats.bytes_down += bytes;
+        let start = now.max(self.down_busy_until);
+        self.down_busy_until = start.plus_millis(transfer_ms(bytes, self.spec.bandwidth_down));
+        self.down_busy_until
+    }
+
+    /// Closes a logical download made of
+    /// [`download_part`](Link::download_part) calls: charges the one-way
+    /// latency once and counts one message. `download(bytes, now)` and
+    /// `download_part(bytes, now)` + `download_end_msg(now)` produce
+    /// identical timing and accounting.
+    pub fn download_end_msg(&mut self, now: SimTime) -> SimTime {
         self.stats.msgs_down += 1;
         let start = now.max(self.down_busy_until);
-        let duration = transfer_ms(bytes, self.spec.bandwidth_down) + self.spec.latency_ms;
-        self.down_busy_until = start.plus_millis(duration);
+        self.down_busy_until = start.plus_millis(self.spec.latency_ms);
         self.down_busy_until
     }
 
@@ -280,6 +301,86 @@ mod tests {
         assert_eq!(link.stats().msgs_up, 0);
         assert_eq!(link.upload_end_msg(SimTime::ZERO), SimTime(80));
         assert_eq!(link.stats().msgs_up, 1);
+    }
+
+    #[test]
+    fn chunked_download_matches_single_shot_timing_and_accounting() {
+        let spec = LinkSpec {
+            bandwidth_up: None,
+            bandwidth_down: Some(1000),
+            latency_ms: 40,
+        };
+        let mut whole = Link::new(spec);
+        let done_whole = whole.download(3000, SimTime::ZERO);
+
+        let mut parts = Link::new(spec);
+        parts.download_part(1000, SimTime::ZERO);
+        parts.download_part(1000, SimTime(100));
+        parts.download_part(1000, SimTime(1900));
+        let done_parts = parts.download_end_msg(SimTime(1900));
+
+        assert_eq!(done_parts, done_whole);
+        assert_eq!(parts.stats(), whole.stats());
+        assert_eq!(parts.stats().msgs_down, 1);
+    }
+
+    #[test]
+    fn download_parts_only_charge_latency_at_end_of_message() {
+        let mut link = Link::new(LinkSpec {
+            bandwidth_up: None,
+            bandwidth_down: None,
+            latency_ms: 80,
+        });
+        assert_eq!(link.download_part(4096, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(link.stats().msgs_down, 0);
+        assert_eq!(link.download_end_msg(SimTime::ZERO), SimTime(80));
+        assert_eq!(link.stats().msgs_down, 1);
+    }
+
+    #[test]
+    fn upload_and_download_timing_parity_per_profile() {
+        // For identical byte counts on a link whose two directions share
+        // a bandwidth figure, upload and download must finish at the same
+        // time and charge symmetric counters — whether sent whole or as
+        // parts with an end-of-message settle. Guards the forward-path
+        // asymmetry where downloads charged latency per part.
+        let symmetric = LinkSpec {
+            bandwidth_up: Some(512 * 1024),
+            bandwidth_down: Some(512 * 1024),
+            latency_ms: 25,
+        };
+        for spec in [
+            LinkSpec::pc(),
+            LinkSpec::datacenter(),
+            symmetric,
+        ] {
+            for bytes in [0u64, 1, 4096, 3 * 1024 * 1024] {
+                let mut up = Link::new(spec);
+                let mut down = Link::new(spec);
+                let done_up = up.upload(bytes, SimTime::ZERO);
+                let done_down = down.download(bytes, SimTime::ZERO);
+                assert_eq!(done_up, done_down, "single-shot, {bytes} bytes");
+                assert_eq!(up.stats().bytes_up, down.stats().bytes_down);
+                assert_eq!(up.stats().msgs_up, down.stats().msgs_down);
+
+                // Same message split into three parts: parity must hold
+                // part-for-part too.
+                let mut up = Link::new(spec);
+                let mut down = Link::new(spec);
+                let part = bytes / 3;
+                let rest = bytes - 2 * part;
+                for b in [part, part, rest] {
+                    let u = up.upload_part(b, SimTime::ZERO);
+                    let d = down.download_part(b, SimTime::ZERO);
+                    assert_eq!(u, d, "part of {b} bytes");
+                }
+                let done_up = up.upload_end_msg(SimTime::ZERO);
+                let done_down = down.download_end_msg(SimTime::ZERO);
+                assert_eq!(done_up, done_down, "chunked, {bytes} bytes");
+                assert_eq!(up.stats().bytes_up, down.stats().bytes_down);
+                assert_eq!(up.stats().msgs_up, down.stats().msgs_down);
+            }
+        }
     }
 
     #[test]

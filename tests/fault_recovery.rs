@@ -669,3 +669,144 @@ fn dropped_mid_group_chunk_never_commits_and_whole_group_resend_recovers() {
     assert_eq!(server.file("/f"), Some(&new[..]));
     assert_eq!(server.version("/f"), Some(v2));
 }
+
+// --- Forward/download-direction streaming (DESIGN.md §14) -----------------
+
+#[test]
+fn lost_forward_then_diverged_peer_materializes_full_never_stale_delta() {
+    // Regression for the forward-direction stale-base hazard: a peer
+    // that missed an earlier forwarded group on a dropped downlink
+    // holds an older base than the next group's incremental payload
+    // assumes. The forward planner must detect the divergence against
+    // the peer's version table and materialize full content; silently
+    // applying the delta/ops to the stale base would corrupt the peer.
+    // With whole-group atomic commit the peer is always at exactly one
+    // of the writer's published versions — never a blend.
+    let mut v1 = vec![7u8; 4_000];
+    v1[..16].copy_from_slice(b"baseline-content");
+    let mut v2 = v1.clone();
+    v2[1_000..1_100].fill(0x22);
+    let mut v3 = v2.clone();
+    v3[2_500..2_600].fill(0x33);
+    let states: [&[u8]; 3] = [&v1, &v2, &v3];
+
+    let mut saw_materialized_heal = false;
+    for seed in 0..16u64 {
+        let (mut hub, clock) = two_client_hub();
+        hub.fs_mut(0).create("/f").unwrap();
+        hub.fs_mut(0).write("/f", 0, &v1).unwrap();
+        pump_round(&mut hub, &clock);
+        assert_eq!(hub.fs(1).peek_all("/f").unwrap(), v1, "seed {seed}: baseline");
+
+        // The writer uploads cleanly; the peer's downlink drops about
+        // half of the forwarded streams.
+        hub.enable_fault_topology(vec![
+            FaultSpec::clean(seed),
+            FaultSpec::clean(seed ^ 0x0D09).with_rates(0.0, 0.5, 0.0),
+        ]);
+        hub.fs_mut(0).write("/f", 1_000, &[0x22u8; 100]).unwrap();
+        pump_round(&mut hub, &clock);
+        let after2 = hub.fs(1).peek_all("/f").unwrap();
+        assert!(
+            states.contains(&&after2[..]),
+            "seed {seed}: torn state after round 2"
+        );
+
+        hub.fs_mut(0).write("/f", 2_500, &[0x33u8; 100]).unwrap();
+        pump_round(&mut hub, &clock);
+        let after3 = hub.fs(1).peek_all("/f").unwrap();
+        assert!(
+            states.contains(&&after3[..]),
+            "seed {seed}: stale incremental payload applied to the wrong base"
+        );
+        if after2 == v1 && after3 == v3 {
+            // Round 2's forward was lost yet round 3 landed intact: the
+            // only correct way there is the planner's materialized Full.
+            saw_materialized_heal = true;
+        }
+
+        let drained = hub.settle(SETTLE_MS);
+        assert!(drained, "seed {seed}: courier never drained");
+        assert_eq!(
+            hub.server().file("/f").as_deref(),
+            Some(&v3[..]),
+            "seed {seed}"
+        );
+        assert_converged(&hub, seed);
+    }
+    assert!(
+        saw_materialized_heal,
+        "no seed in 0..16 exercised the lost-then-diverged heal path"
+    );
+}
+
+#[test]
+fn crash_drops_staged_forward_group_and_settle_reconverges() {
+    // A forwarded group whose stream is cut mid-group leaves the frames
+    // received before the loss staged in the peer's stager (visible as
+    // a non-zero forward stage depth). A client crash must not leak or
+    // later resurrect that partial group: restart drops the stage, and
+    // the anti-entropy settle pass brings the peer back to the server's
+    // content through a fresh stream.
+    let mut exercised = false;
+    for seed in 0..64u64 {
+        let (mut hub, clock) = two_client_hub();
+        hub.fs_mut(0).create("/doc").unwrap();
+        hub.fs_mut(0).write("/doc", 0, &[1u8; 700]).unwrap();
+        pump_round(&mut hub, &clock);
+        hub.enable_fault_topology(vec![
+            FaultSpec::clean(seed),
+            FaultSpec::clean(seed ^ 0x57A6).with_rates(0.0, 0.5, 0.0),
+        ]);
+        // Interleaved writes to two fresh files form one multi-message
+        // transaction group: /u's second write batches into its still
+        // open write node after /w entered the queue, and the FIFO
+        // violation's backindex fuses [write /u, create /w, write /w]
+        // into a single group. The forward then streams three messages
+        // under one `GroupId`, so a loss drawn on a later message
+        // leaves the earlier, already streamed ones staged but
+        // uncommitted. (Events are ingested per operation, as a real
+        // synchronous interception layer would deliver them.)
+        hub.fs_mut(0).create("/u").unwrap();
+        hub.ingest(0);
+        hub.fs_mut(0).write("/u", 0, &[1u8; 700]).unwrap();
+        hub.ingest(0);
+        hub.fs_mut(0).create("/w").unwrap();
+        hub.ingest(0);
+        hub.fs_mut(0).write("/w", 0, &[2u8; 700]).unwrap();
+        hub.ingest(0);
+        hub.fs_mut(0).write("/u", 700, &[3u8; 700]).unwrap();
+        hub.ingest(0);
+        pump_round(&mut hub, &clock);
+        if hub.forward_stage_depth(1) == 0 {
+            continue; // this seed lost the head message (or nothing)
+        }
+        exercised = true;
+        hub.crash_and_restart_client(1);
+        assert_eq!(
+            hub.forward_stage_depth(1),
+            0,
+            "seed {seed}: restart left staged forward frames"
+        );
+        let drained = hub.settle(SETTLE_MS);
+        assert!(drained, "seed {seed}: courier never drained");
+        assert_converged(&hub, seed);
+        let mut u = vec![1u8; 700];
+        u.extend_from_slice(&[3u8; 700]);
+        assert_eq!(
+            hub.fs(1).peek_all("/u").unwrap(),
+            u,
+            "seed {seed}: peer missing the batched writes after settle"
+        );
+        assert_eq!(
+            hub.fs(1).peek_all("/w").unwrap(),
+            vec![2u8; 700],
+            "seed {seed}: peer missing the interleaved file after settle"
+        );
+        break;
+    }
+    assert!(
+        exercised,
+        "no seed in 0..64 left a partially staged forward group"
+    );
+}

@@ -1026,3 +1026,233 @@ proptest! {
         }
     }
 }
+
+// --- Bidirectional sync (DESIGN.md §14) -----------------------------------
+
+/// Two replicas of one shared namespace editing concurrently under a
+/// seeded fault topology: every group either replica uploads is planned
+/// against the other's version table and streamed back out as chunked
+/// forward frames, so the download-direction framing, staging and
+/// atomic group commit run in both directions at once. Returns
+/// everything the shard count must not change.
+#[allow(clippy::type_complexity)]
+fn run_bidirectional_workload(
+    shards: usize,
+    seeds: (u64, u64),
+    rates: (f64, f64, f64, f64),
+    ops: &[(bool, u8, usize, u64, Vec<u8>)],
+) -> (
+    bool,                           // settled without give-up
+    usize,                          // deferred duplicates left
+    usize,                          // conflicts observed
+    Vec<(String, Option<Vec<u8>>)>, // server content
+    Vec<Vec<(String, Vec<u8>)>>,    // per-replica file state
+    Vec<(u64, u64)>,                // per-replica traffic totals
+) {
+    use deltacfs::core::DeltaCfsConfig;
+
+    let clock = SimClock::new();
+    let mut hub = SyncHub::with_shards(clock.clone(), shards);
+    let a = hub.add_client_in("shared", DeltaCfsConfig::new(), LinkSpec::pc());
+    let b = hub.add_client_in("shared", DeltaCfsConfig::new(), LinkSpec::pc());
+    hub.fs_mut(a).mkdir_all("/shared").unwrap();
+    let (up_a, down_a, up_b, down_b) = rates;
+    hub.enable_fault_topology(vec![
+        FaultSpec::clean(seeds.0)
+            .with_rates(up_a, down_a, 0.3)
+            .with_reorder(0.5),
+        FaultSpec::clean(seeds.1)
+            .with_rates(up_b, down_b, 0.4)
+            .with_reorder(0.5),
+    ]);
+
+    // Each replica edits its own files, but inside the one shared
+    // namespace — so every committed group fans back out to the other
+    // replica and both downlinks carry streamed forwards concurrently.
+    let replicas = [a, b];
+    let mut live: [Vec<String>; 2] = [Vec::new(), Vec::new()];
+    let mut next_name = 0usize;
+    for (who, kind, sel, offset, data) in ops {
+        let w = usize::from(*who);
+        let idx = replicas[w];
+        let prefix = if w == 0 { "a" } else { "b" };
+        match kind {
+            0..=2 => {
+                let path = if live[w].is_empty() || (*kind == 0 && live[w].len() < 4) {
+                    let p = format!("/shared/{prefix}{next_name}");
+                    next_name += 1;
+                    if !hub.fs(idx).exists("/shared") {
+                        // The Mkdir forward was lost on this replica's
+                        // downlink; recreate the namespace dir locally.
+                        hub.fs_mut(idx).mkdir_all("/shared").unwrap();
+                    }
+                    hub.fs_mut(idx).create(&p).unwrap();
+                    live[w].push(p.clone());
+                    p
+                } else {
+                    live[w][sel % live[w].len()].clone()
+                };
+                let len = hub.fs_mut(idx).metadata(&path).map(|m| m.size).unwrap_or(0);
+                let off = (*offset).min(len);
+                if !data.is_empty() {
+                    hub.fs_mut(idx).write(&path, off, data).unwrap();
+                }
+            }
+            3 => {
+                if !live[w].is_empty() {
+                    let src = live[w].remove(sel % live[w].len());
+                    let dst = format!("/shared/{prefix}r{next_name}");
+                    next_name += 1;
+                    hub.fs_mut(idx).rename(&src, &dst).unwrap();
+                    live[w].push(dst);
+                }
+            }
+            _ => {
+                if !live[w].is_empty() {
+                    let victim = live[w].remove(sel % live[w].len());
+                    hub.fs_mut(idx).unlink(&victim).unwrap();
+                }
+            }
+        }
+        hub.pump();
+        clock.advance(2_500);
+        hub.pump();
+    }
+    let settled = hub.settle(600_000);
+
+    let mut server_content: Vec<(String, Option<Vec<u8>>)> = hub
+        .server()
+        .paths()
+        .into_iter()
+        .map(|p| {
+            let c = hub.server().file(&p);
+            (p, c)
+        })
+        .collect();
+    server_content.sort();
+    let replica_state = replicas
+        .iter()
+        .map(|&idx| {
+            let mut files: Vec<(String, Vec<u8>)> = hub
+                .fs(idx)
+                .walk_files("/")
+                .unwrap_or_default()
+                .into_iter()
+                .map(|p| {
+                    let c = hub.fs(idx).peek_all(p.as_str()).unwrap();
+                    (p.to_string(), c)
+                })
+                .collect();
+            files.sort();
+            files
+        })
+        .collect();
+    let traffic = replicas
+        .iter()
+        .map(|&idx| (hub.traffic(idx).bytes_up, hub.traffic(idx).bytes_down))
+        .collect();
+    (
+        settled,
+        hub.deferred_len(),
+        hub.conflicts().len(),
+        server_content,
+        replica_state,
+        traffic,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Bidirectional sync: two replicas of one namespace exchanging
+    /// concurrent edits under independent per-replica fault schedules
+    /// always converge — each replica ends holding exactly the server's
+    /// file set byte for byte, with no deferred duplicates and no
+    /// conflict copies (the replicas edit disjoint files; only the
+    /// fault layer and the forwarded streams contend).
+    #[test]
+    fn bidirectional_replicas_converge_under_fault_topology(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        up_a in 0.0f64..0.3,
+        down_a in 0.0f64..0.3,
+        up_b in 0.0f64..0.3,
+        down_b in 0.0f64..0.3,
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u8..5, 0usize..4, 0u64..2048, buffer(192)),
+            1..16
+        )
+    ) {
+        let (settled, deferred, conflicts, server, replicas, _traffic) =
+            run_bidirectional_workload(1, (seed_a, seed_b), (up_a, down_a, up_b, down_b), &ops);
+        prop_assert!(
+            settled,
+            "seeds {}/{}: a courier gave up or never drained", seed_a, seed_b
+        );
+        prop_assert_eq!(deferred, 0);
+        prop_assert_eq!(conflicts, 0);
+        for (path, content) in &server {
+            let content = content.as_ref().expect("listed path exists");
+            for (idx, files) in replicas.iter().enumerate() {
+                let local = files.iter().find(|(p, _)| p == path).map(|(_, c)| c);
+                prop_assert_eq!(
+                    local, Some(content),
+                    "seeds {}/{}: replica {} diverged on {}", seed_a, seed_b, idx, path
+                );
+            }
+        }
+        for (idx, files) in replicas.iter().enumerate() {
+            for (path, _) in files {
+                if !path.contains(".conflict-") {
+                    prop_assert!(
+                        server.iter().any(|(p, _)| p == path),
+                        "seeds {}/{}: replica {} holds {} the server lacks",
+                        seed_a, seed_b, idx, path
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The bidirectional scenario is shard-invariant: the same pinned-seed
+/// concurrent-edit workload run on 1-, 2-, 4- and 8-shard hubs lands
+/// byte-identical server content, replica states and traffic totals —
+/// forwarded chunk streams cross the sharded server without perturbing
+/// any outcome.
+#[test]
+fn bidirectional_sync_is_byte_identical_for_any_shard_count() {
+    let ops: Vec<(bool, u8, usize, u64, Vec<u8>)> = (0..24usize)
+        .map(|i| {
+            let data = vec![(i * 17 % 251) as u8; 48 + (i * 29) % 160];
+            (
+                i % 2 == 0,
+                (i * 7 % 5) as u8,
+                i * 3,
+                (i as u64 * 137) % 1024,
+                data,
+            )
+        })
+        .collect();
+    let seeds = (0xB1D1u64, 0xB1D2u64);
+    let rates = (0.25, 0.25, 0.2, 0.3);
+
+    let baseline = run_bidirectional_workload(1, seeds, rates, &ops);
+    assert!(baseline.0, "single-shard baseline never drained");
+    assert_eq!(baseline.1, 0, "deferred duplicates leaked");
+    assert_eq!(baseline.2, 0, "disjoint-file replicas must not conflict");
+    for (path, content) in &baseline.3 {
+        let content = content.as_ref().expect("listed path exists");
+        for (idx, files) in baseline.4.iter().enumerate() {
+            let local = files.iter().find(|(p, _)| p == path).map(|(_, c)| c);
+            assert_eq!(local, Some(content), "replica {idx} diverged on {path}");
+        }
+    }
+    for shards in [2usize, 4, 8] {
+        let run = run_bidirectional_workload(shards, seeds, rates, &ops);
+        assert_eq!(
+            run, baseline,
+            "{shards}-shard run diverged from the single-shard baseline"
+        );
+    }
+}

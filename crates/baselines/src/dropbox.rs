@@ -25,7 +25,8 @@
 use std::collections::HashMap;
 
 use deltacfs_core::{EngineReport, SyncEngine};
-use deltacfs_delta::{compress, dedup, rsync, Cost, DeltaParams};
+use deltacfs_core::codec::compressed_wire_size;
+use deltacfs_delta::{dedup, rsync, Cost, DeltaParams};
 use deltacfs_net::{Link, LinkSpec, SimClock};
 use deltacfs_vfs::{OpEvent, Vfs};
 
@@ -175,31 +176,17 @@ impl DropboxEngine {
                             })
                             .collect::<Vec<_>>()
                             .concat();
-                        let payload = if self.cfg.compress {
-                            compress::compressed_size(&literals, &mut self.cost)
-                        } else {
-                            literals.len() as u64
-                        };
-                        upload +=
-                            payload + (delta.ops().len() as u64) * deltacfs_delta::OP_HEADER_BYTES;
+                        upload += wire_payload(self.cfg.compress, &literals, &mut self.cost)
+                            + (delta.ops().len() as u64) * deltacfs_delta::OP_HEADER_BYTES;
                     } else {
-                        let payload = if self.cfg.compress {
-                            compress::compressed_size(new_block, &mut self.cost)
-                        } else {
-                            new_block.len() as u64
-                        };
-                        upload += payload;
+                        upload += wire_payload(self.cfg.compress, new_block, &mut self.cost);
                     }
                 }
             }
             _ => {
                 // Initial upload: all blocks, compressed.
-                let payload = if self.cfg.compress {
-                    compress::compressed_size(&current, &mut self.cost)
-                } else {
-                    current.len() as u64
-                };
-                upload += payload + 40 * new_ids.len() as u64;
+                upload += wire_payload(self.cfg.compress, &current, &mut self.cost)
+                    + 40 * new_ids.len() as u64;
             }
         }
         self.link.upload(upload, now);
@@ -208,6 +195,19 @@ impl DropboxEngine {
         self.link.download(128, now);
         self.shadow.insert(path.to_string(), current);
         self.shadow_ids.insert(path.to_string(), new_ids);
+    }
+}
+
+/// Bytes `data` occupies on the wire — priced through the codec's
+/// shared [`compressed_wire_size`] entry point when the engine
+/// compresses, raw otherwise. Every payload in `sync_file` goes through
+/// here, so the baseline and the adaptive wire codec agree byte for
+/// byte on what "compressed size" means.
+fn wire_payload(compress_on: bool, data: &[u8], cost: &mut Cost) -> u64 {
+    if compress_on {
+        compressed_wire_size(data, cost)
+    } else {
+        data.len() as u64
     }
 }
 

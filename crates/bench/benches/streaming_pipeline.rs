@@ -167,6 +167,7 @@ fn main() {
         SimTime::ZERO,
         &Obs::new(),
         &mut cost,
+        None,
     );
     assert_eq!(server.file("/f"), Some(&new[..]), "streamed apply");
     assert_eq!(

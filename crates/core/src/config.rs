@@ -73,6 +73,14 @@ pub struct DeltaCfsConfig {
     /// [`chunk_budget`](DeltaCfsConfig::chunk_budget) it caps the bytes
     /// in flight between the delta encoder and the wire.
     pub pipeline_depth: usize,
+    /// Run streamed chunk frames through the adaptive wire codec: a
+    /// cost-benefit controller compresses a frame when the link's
+    /// byte savings beat the platform's compression CPU, and ships it
+    /// raw otherwise (never worse than raw — an incompressible frame
+    /// crosses the wire byte-identical to a codec-less run). Off by
+    /// default; applied content, costs, and outcomes are identical
+    /// either way, only traffic and timing improve.
+    pub wire_compression: bool,
 }
 
 impl DeltaCfsConfig {
@@ -91,6 +99,7 @@ impl DeltaCfsConfig {
             streaming: false,
             chunk_budget: 256 * 1024,
             pipeline_depth: 4,
+            wire_compression: false,
         }
     }
 
@@ -153,6 +162,12 @@ impl DeltaCfsConfig {
     pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
         assert!(depth > 0, "pipeline depth must be positive");
         self.pipeline_depth = depth;
+        self
+    }
+
+    /// Enables the adaptive wire codec on streamed chunk frames.
+    pub fn with_wire_compression(mut self, on: bool) -> Self {
+        self.wire_compression = on;
         self
     }
 }
@@ -228,6 +243,8 @@ mod tests {
         assert_eq!(c.chunk_budget, 256 * 1024);
         assert_eq!(c.pipeline_depth, 4);
         assert_eq!(c.min_parallel_bytes, 8 << 20);
+        assert!(!c.wire_compression, "the wire codec is opt-in");
+        assert!(c.with_wire_compression(true).wire_compression);
     }
 
     #[test]

@@ -8,10 +8,11 @@
 
 use deltacfs_delta::Cost;
 use deltacfs_kvstore::KeyValue;
-use deltacfs_net::{Link, LinkSpec, SimClock, SimTime, TrafficStats};
+use deltacfs_net::{Link, LinkSpec, PlatformProfile, SimClock, SimTime, TrafficStats};
 use deltacfs_vfs::{OpEvent, Vfs};
 
 use crate::client::DeltaCfsClient;
+use crate::codec::{CodecPolicy, WireCodec};
 use crate::config::DeltaCfsConfig;
 use crate::pipeline;
 use crate::protocol::{ApplyOutcome, ClientId, UpdateMsg, ACK_WIRE_BYTES};
@@ -60,6 +61,19 @@ pub struct DeltaCfsSystem<K: KeyValue = deltacfs_kvstore::MemStore> {
     clock: SimClock,
     outcomes: Vec<ApplyOutcome>,
     obs: deltacfs_obs::Obs,
+    wire_codec: WireCodec,
+}
+
+/// The upload-direction codec a config and link imply: adaptive when
+/// `wire_compression` is on, a raw-passthrough otherwise. The platform
+/// defaults to PC until [`DeltaCfsSystem::set_platform`] overrides it.
+fn upload_codec(cfg: &DeltaCfsConfig, link_spec: LinkSpec) -> WireCodec {
+    let policy = if cfg.wire_compression {
+        CodecPolicy::Adaptive
+    } else {
+        CodecPolicy::Never
+    };
+    WireCodec::for_upload(policy, PlatformProfile::pc(), link_spec)
 }
 
 impl DeltaCfsSystem<deltacfs_kvstore::MemStore> {
@@ -72,6 +86,7 @@ impl DeltaCfsSystem<deltacfs_kvstore::MemStore> {
             clock,
             outcomes: Vec::new(),
             obs: deltacfs_obs::Obs::new(),
+            wire_codec: upload_codec(&cfg, link_spec),
         }
     }
 }
@@ -91,6 +106,7 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
             clock,
             outcomes: Vec::new(),
             obs: deltacfs_obs::Obs::new(),
+            wire_codec: upload_codec(&cfg, link_spec),
         }
     }
 
@@ -98,7 +114,32 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
     /// [`DeltaCfsClient::set_obs`]).
     pub fn enable_observability(&mut self, obs: deltacfs_obs::Obs) {
         self.obs = obs.clone();
+        self.wire_codec.attach_obs(&obs);
         self.client.set_obs(obs);
+    }
+
+    /// Declares which platform this client runs on: the wire codec's
+    /// cost model charges that platform's compression CPU, and the link
+    /// charges the same work as simulated time on codec-tagged parts.
+    pub fn set_platform(&mut self, profile: PlatformProfile) {
+        self.wire_codec.set_profile(profile);
+        self.link.set_compute(profile);
+    }
+
+    /// The upload-direction wire codec's own work accumulator
+    /// (compression CPU; kept out of the client [`Cost`] so raw and
+    /// compressed runs report identical client/server totals).
+    pub fn codec_cost(&self) -> Cost {
+        self.wire_codec.cost()
+    }
+
+    /// Overrides the wire codec's decision policy. Property tests use
+    /// this to force arbitrary compress/raw schedules through a stream;
+    /// production code configures the codec through
+    /// [`DeltaCfsConfig::wire_compression`] instead.
+    #[doc(hidden)]
+    pub fn set_codec_policy(&mut self, policy: CodecPolicy) {
+        self.wire_codec.set_policy(policy);
     }
 
     /// The client engine.
@@ -156,6 +197,8 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
         let link = &mut self.link;
         let server = &mut self.server;
         let outcomes = &mut self.outcomes;
+        let codec = &mut self.wire_codec;
+        let at_ms = now.as_millis();
         pipeline::run_pipeline(
             pipeline::PipelineConfig {
                 chunk_budget: cfg.chunk_budget,
@@ -166,11 +209,11 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
             &self.obs,
             |sender| {
                 pipeline::frame_group(group, cfg.chunk_budget, |frame| {
-                    sender.send(frame);
+                    sender.send(codec.encode_frame(frame, at_ms));
                 });
             },
             |frame, ready| {
-                let done = link.upload_part(frame.accounted, ready);
+                let done = link.upload_part_codec(frame.accounted, frame.compressed_from(), ready);
                 if let Some(out) = server
                     .receive_chunk(&frame)
                     .expect("in-process chunk stream cannot be malformed")

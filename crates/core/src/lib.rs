@@ -53,6 +53,7 @@
 
 mod checksum_store;
 mod client;
+pub mod codec;
 mod config;
 mod engine;
 mod event_buffer;
@@ -72,6 +73,7 @@ pub mod wire;
 
 pub use checksum_store::ChecksumStore;
 pub use client::{DeltaCfsClient, IntegrityIssue, IssueKind, RemoteConflict};
+pub use codec::{CodecPolicy, WireCodec};
 pub use config::{CausalMode, DeltaCfsConfig, HubConfig};
 pub use engine::{DeltaCfsSystem, EngineReport, SyncEngine};
 pub use event_buffer::{BufferObserver, EventBuffer};

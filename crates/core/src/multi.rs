@@ -21,13 +21,14 @@ use std::time::Instant;
 
 use deltacfs_kvstore::MemStore;
 use deltacfs_net::{
-    FaultPlan, FaultSpec, FaultStats, FaultTopology, Link, LinkSpec, SimClock, SimTime,
-    UploadVerdict,
+    FaultPlan, FaultSpec, FaultStats, FaultTopology, Link, LinkSpec, PlatformProfile, SimClock,
+    SimTime, UploadVerdict,
 };
 use deltacfs_obs::{Histogram, Obs, Snapshot};
 use deltacfs_vfs::Vfs;
 
 use crate::client::{DeltaCfsClient, RemoteConflict};
+use crate::codec::{CodecPolicy, WireCodec};
 use crate::config::{DeltaCfsConfig, HubConfig};
 use crate::pipeline::{frame_group, ChunkStager};
 use crate::protocol::{
@@ -65,6 +66,11 @@ struct Slot {
     /// inline (unbuffered) forward loop this is also the peak in-flight
     /// byte count of the direction.
     forward_max_frame_bytes: u64,
+    /// Adaptive wire codec for the forward/download direction: frames
+    /// fanned out to this client are compressed when the downlink's
+    /// byte savings beat the hub's compression CPU. Policy follows the
+    /// client's `wire_compression` knob.
+    forward_codec: WireCodec,
 }
 
 /// A cloud server with any number of attached DeltaCFS clients, all
@@ -183,6 +189,7 @@ impl SyncHub {
         for slot in &mut self.slots {
             slot.client.set_obs(self.obs.clone());
             slot.courier.set_backoff_histogram(hist.clone());
+            slot.forward_codec.attach_obs(&self.obs);
         }
     }
 
@@ -236,10 +243,23 @@ impl SyncHub {
                 .push(idx);
         }
         let home_shard = self.server.router().shard_of_namespace(namespace);
+        let policy = if cfg.wire_compression {
+            CodecPolicy::Adaptive
+        } else {
+            CodecPolicy::Never
+        };
+        let mut forward_codec = WireCodec::for_forward(policy, link_spec);
+        forward_codec.attach_obs(&self.obs);
+        let mut link = Link::new(link_spec);
+        if cfg.wire_compression {
+            // The hub compresses forwards, so its (pc-class) CPU rate is
+            // what the downlink timing charges.
+            link.set_compute(PlatformProfile::pc());
+        }
         self.slots.push(Slot {
             client,
             fs,
-            link: Link::new(link_spec),
+            link,
             courier,
             namespace: namespace.to_string(),
             home_shard,
@@ -248,6 +268,7 @@ impl SyncHub {
             forward_chunks: 0,
             forward_groups: 0,
             forward_max_frame_bytes: 0,
+            forward_codec,
         });
         idx
     }
@@ -1356,9 +1377,11 @@ fn deliver_group_streaming(
         forward,
         forward_chunks,
         forward_max_frame_bytes,
+        forward_codec,
         ..
     } = peer;
     frame_group(&stamped, budget, |frame| {
+        let frame = forward_codec.encode_frame(frame, now.as_millis());
         if frame.chunk_idx == 0 {
             // One loss draw per message, in message order — the same
             // RNG consumption as the old per-message delivery, so
@@ -1369,7 +1392,7 @@ fn deliver_group_streaming(
                 }
             }
         }
-        link.download_part(frame.accounted, now);
+        link.download_part_codec(frame.accounted, frame.compressed_from(), now);
         *forward_chunks += 1;
         *forward_max_frame_bytes = (*forward_max_frame_bytes).max(frame.byte_len());
         obs.tracer

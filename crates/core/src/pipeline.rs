@@ -44,8 +44,9 @@ use deltacfs_obs::Obs;
 use crate::protocol::{
     ApplyOutcome, GroupId, Payload, UpdateMsg, UpdatePayload, ACK_WIRE_BYTES, MSG_HEADER_BYTES,
 };
+use crate::codec::WireCodec;
 use crate::server::CloudServer;
-use crate::wire::{self, FrameSeg, WireError};
+use crate::wire::{self, Codec, FrameSeg, WireError};
 
 /// One scatter-gather piece of a [`ChunkFrame`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,16 +87,32 @@ pub struct ChunkFrame {
     pub last_in_group: bool,
     /// Scatter-gather contents, in wire order.
     pub pieces: Vec<FramePiece>,
-    /// Model bytes this frame contributes to the traffic accounting;
-    /// per group these sum exactly to the materialized
-    /// `Σ wire_size()`.
+    /// Model bytes this frame contributes to the traffic accounting.
+    /// For raw frames these sum per group exactly to the materialized
+    /// `Σ wire_size()`; a compressed frame accounts its (smaller)
+    /// envelope instead, so back-pressure and traffic both track the
+    /// bytes that actually cross the wire.
     pub accounted: u64,
+    /// How the pieces are encoded — [`Codec::Raw`] pieces are message
+    /// bytes, [`Codec::Lz77`] pieces form a compressed envelope the
+    /// receiver inflates back into the identical message bytes.
+    pub codec: Codec,
 }
 
 impl ChunkFrame {
     /// Real bytes across all pieces.
     pub fn byte_len(&self) -> u64 {
         self.pieces.iter().map(|p| p.as_slice().len() as u64).sum()
+    }
+
+    /// For a compressed frame, the raw byte count its envelope inflates
+    /// back to; `None` for raw frames. The link's codec-aware part
+    /// methods charge the modeled compression CPU against this.
+    pub fn compressed_from(&self) -> Option<u64> {
+        match self.codec {
+            Codec::Raw => None,
+            Codec::Lz77 { raw_len } => Some(raw_len),
+        }
     }
 
     /// Bytes carried by shared payload pieces (the zero-copy part).
@@ -165,8 +182,40 @@ impl ChunkStager {
             self.stages.remove(&frame.group);
             return Err(WireError::Malformed("chunk out of order"));
         }
-        for piece in &frame.pieces {
-            stage.cur.extend_from_slice(piece.as_slice());
+        match frame.codec {
+            Codec::Raw => {
+                for piece in &frame.pieces {
+                    stage.cur.extend_from_slice(piece.as_slice());
+                }
+            }
+            Codec::Lz77 { raw_len } => {
+                // Inflate the envelope back into the exact message bytes
+                // a raw frame would have carried; `raw_len` caps the
+                // allocation, so a corrupt frame cannot balloon memory.
+                let mut env = Vec::with_capacity(frame.byte_len() as usize);
+                for piece in &frame.pieces {
+                    env.extend_from_slice(piece.as_slice());
+                }
+                let restored = wire::decode_codec_envelope(&env)
+                    .ok()
+                    .and_then(|(declared, body)| {
+                        if declared != raw_len {
+                            return None;
+                        }
+                        let out = deltacfs_delta::compress::decompress_limited(
+                            body,
+                            usize::try_from(raw_len).ok()?,
+                        )?;
+                        (out.len() as u64 == raw_len).then_some(out)
+                    });
+                match restored {
+                    Some(bytes) => stage.cur.extend_from_slice(&bytes),
+                    None => {
+                        self.stages.remove(&frame.group);
+                        return Err(WireError::Malformed("codec frame"));
+                    }
+                }
+            }
         }
         if frame.last_in_msg {
             let buf = Bytes::from(std::mem::take(&mut stage.cur));
@@ -346,6 +395,7 @@ impl DeltaFramer {
             last_in_group: self.last_in_group && chunk.last,
             pieces,
             accounted,
+            codec: Codec::Raw,
         };
         self.chunk_idx += 1;
         frame
@@ -450,6 +500,7 @@ pub fn frame_group(msgs: &[UpdateMsg], chunk_budget: usize, mut emit: impl FnMut
                     last_in_group: last_in_group && last,
                     pieces,
                     accounted: 0,
+                    codec: Codec::Raw,
                 };
                 frame.accounted =
                     frame.payload_bytes() + if chunk_idx == 0 { header_share } else { 0 };
@@ -617,6 +668,12 @@ where
 /// [`Cost`] are identical to materializing the delta and uploading it
 /// in one shot.
 ///
+/// With a codec attached (`codec: Some(..)`) each frame runs through
+/// the [`WireCodec`]'s cost-benefit decision on the encoder thread; a
+/// frame that compresses ships its (smaller) envelope and pays the
+/// link's modeled compression CPU, and the server's stager inflates it
+/// back — applied content and outcomes are identical either way.
+///
 /// # Panics
 ///
 /// Panics if `msg.payload` is not a Delta or `msg.group` is `None`.
@@ -633,21 +690,29 @@ pub fn upload_delta_streaming(
     now: SimTime,
     obs: &Obs,
     cost: &mut Cost,
+    codec: Option<&mut WireCodec>,
 ) -> (PipelineReport, Vec<ApplyOutcome>) {
     let mut framer = DeltaFramer::new(msg, 0, true);
     let mut outcomes = Vec::new();
+    let at_ms = now.as_millis();
     let mut report = run_pipeline(
         *cfg,
         Pace::Measured,
         now,
         obs,
         move |sender| {
+            let mut codec = codec;
             local::diff_streaming(old, new, params, workers, cost, cfg.chunk_budget, |chunk| {
-                sender.send(framer.frame(&chunk));
+                let frame = framer.frame(&chunk);
+                let frame = match codec.as_deref_mut() {
+                    Some(codec) => codec.encode_frame(frame, at_ms),
+                    None => frame,
+                };
+                sender.send(frame);
             });
         },
         |frame, ready| {
-            let done = link.upload_part(frame.accounted, ready);
+            let done = link.upload_part_codec(frame.accounted, frame.compressed_from(), ready);
             if let Some(out) = server
                 .receive_chunk(&frame)
                 .expect("in-process chunk stream cannot be malformed")

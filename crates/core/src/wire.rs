@@ -537,6 +537,94 @@ pub fn decode_shared(buf: &Bytes) -> Result<UpdateMsg, WireError> {
     })
 }
 
+/// Per-frame codec tag: how a chunk frame's bytes are encoded on the
+/// wire.
+///
+/// Raw frames carry **no** tag — they are byte-identical to the
+/// pre-codec wire format, so a stream that never compresses is
+/// indistinguishable from one produced before the codec existed, and
+/// incompressible traffic pays zero overhead. Only compressed frames
+/// wrap their bytes in a [`encode_codec_envelope`] envelope; the tag
+/// travels out-of-band on the frame header
+/// (`ChunkFrame::codec`), the same way `last_in_msg`/`last_in_group`
+/// do.
+///
+/// [`ChunkFrame::codec`]: crate::pipeline::ChunkFrame
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// Untagged frame: pieces are the message bytes themselves.
+    #[default]
+    Raw,
+    /// LZ77-compressed envelope (`tag | varint raw_len | compressed`).
+    Lz77 {
+        /// Decompressed length — doubles as the receiver's hard
+        /// decompression cap, so a corrupt envelope cannot balloon
+        /// memory.
+        raw_len: u64,
+    },
+}
+
+/// Envelope tag byte for an LZ77-compressed chunk frame.
+pub const CODEC_LZ77: u8 = 0x01;
+
+fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+fn get_uvarint(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift == 63 && b & 0x7e != 0 {
+            return None; // bits past the 64th
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+    None
+}
+
+/// Builds the compressed-frame envelope:
+/// `CODEC_LZ77 | varint raw_len | compressed bytes`.
+///
+/// The envelope is what crosses the wire for a compressed frame; the
+/// sender only ships it when it is strictly smaller than the raw frame,
+/// so raw traffic is never inflated by the tag.
+pub fn encode_codec_envelope(raw_len: u64, compressed: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(compressed.len() + 11);
+    buf.push(CODEC_LZ77);
+    put_uvarint(&mut buf, raw_len);
+    buf.extend_from_slice(compressed);
+    buf
+}
+
+/// Splits a compressed-frame envelope into its declared raw length and
+/// the compressed body.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on a wrong tag or an unterminated /
+/// overlong length varint; never panics on untrusted input.
+pub fn decode_codec_envelope(buf: &[u8]) -> Result<(u64, &[u8]), WireError> {
+    if buf.first() != Some(&CODEC_LZ77) {
+        return Err(WireError::Malformed("codec envelope tag"));
+    }
+    let rest = &buf[1..];
+    let (raw_len, used) =
+        get_uvarint(rest).ok_or(WireError::Malformed("codec envelope length"))?;
+    Ok((raw_len, &rest[used..]))
+}
+
 /// Opcode tag distinguishing an acknowledgement frame from update
 /// messages (which use the low opcode range).
 const ACK_OPCODE: u8 = 0x40;
@@ -913,5 +1001,34 @@ mod tests {
         let mut buf = encode(&sample_msgs()[0]);
         buf.push(0);
         assert_eq!(decode(&buf), Err(WireError::Malformed("trailing bytes")));
+    }
+
+    #[test]
+    fn codec_envelope_roundtrips() {
+        for raw_len in [0u64, 1, 127, 128, 300_000, u64::MAX] {
+            let body = b"compressed-bytes";
+            let env = encode_codec_envelope(raw_len, body);
+            assert_eq!(env[0], CODEC_LZ77);
+            assert_eq!(decode_codec_envelope(&env), Ok((raw_len, &body[..])));
+        }
+        // Empty body is legal at the framing layer.
+        let env = encode_codec_envelope(5, b"");
+        assert_eq!(decode_codec_envelope(&env), Ok((5, &b""[..])));
+    }
+
+    #[test]
+    fn malformed_codec_envelopes_are_rejected() {
+        // Empty buffer, wrong tag, unterminated varint, overlong varint.
+        assert!(decode_codec_envelope(&[]).is_err());
+        assert!(decode_codec_envelope(&[0x02, 0x00]).is_err());
+        assert!(decode_codec_envelope(&[CODEC_LZ77, 0x80]).is_err());
+        let mut overlong = vec![CODEC_LZ77];
+        overlong.extend_from_slice(&[0xff; 10]);
+        assert!(decode_codec_envelope(&overlong).is_err());
+        // 10-byte varint whose top byte spills past bit 63.
+        let mut edge = vec![CODEC_LZ77];
+        edge.extend_from_slice(&[0x80; 9]);
+        edge.push(0x02);
+        assert!(decode_codec_envelope(&edge).is_err());
     }
 }

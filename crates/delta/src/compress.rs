@@ -38,10 +38,15 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 
 fn get_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
     let mut v: u64 = 0;
-    let mut shift = 0;
+    let mut shift = 0u32;
     loop {
         let byte = *data.get(*pos)?;
         *pos += 1;
+        // A continuation byte whose payload bits would be shifted past
+        // bit 63 encodes a value outside u64 — malformed, not wrapped.
+        if shift == 63 && byte & 0x7e != 0 {
+            return None;
+        }
         v |= ((byte & 0x7f) as u64) << shift;
         if byte & 0x80 == 0 {
             return Some(v);
@@ -118,23 +123,48 @@ pub fn compress(data: &[u8], cost: &mut Cost) -> Vec<u8> {
     out
 }
 
+/// Hard ceiling on [`decompress`]'s output. A malformed token stream can
+/// declare astronomically long back-references with a handful of input
+/// bytes; without a ceiling, decompression of untrusted input is an
+/// allocation bomb. Callers that know the expected size should prefer
+/// [`decompress_limited`], which enforces it exactly.
+pub const MAX_DECOMPRESSED: usize = 1 << 30;
+
 /// Decompresses a buffer produced by [`compress`].
 ///
-/// Returns `None` if the input is malformed.
+/// Returns `None` if the input is malformed or the output would exceed
+/// [`MAX_DECOMPRESSED`]. Never panics or over-allocates on untrusted
+/// input: every length is bounds-checked with overflow-safe arithmetic
+/// before any byte is produced.
 pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
-    let mut out = Vec::with_capacity(data.len() * 2);
+    decompress_limited(data, MAX_DECOMPRESSED)
+}
+
+/// Decompresses a buffer produced by [`compress`], refusing to produce
+/// more than `max_len` output bytes.
+///
+/// This is the entry point for wire-facing callers: a codec-tagged chunk
+/// frame carries its raw length, so the receiver passes it here and a
+/// frame whose token stream tries to inflate past the declared size is
+/// rejected as malformed instead of ballooning memory.
+pub fn decompress_limited(data: &[u8], max_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len().min(max_len).saturating_mul(2).min(max_len));
     let mut pos = 0usize;
     while pos < data.len() {
         let token = get_varint(data, &mut pos)?;
-        let len = (token >> 1) as usize;
+        let len = usize::try_from(token >> 1).ok()?;
+        if out.len().checked_add(len)? > max_len {
+            return None;
+        }
         if token & 1 == 0 {
-            if pos + len > data.len() {
+            let end = pos.checked_add(len)?;
+            if end > data.len() {
                 return None;
             }
-            out.extend_from_slice(&data[pos..pos + len]);
-            pos += len;
+            out.extend_from_slice(&data[pos..end]);
+            pos = end;
         } else {
-            let dist = get_varint(data, &mut pos)? as usize;
+            let dist = usize::try_from(get_varint(data, &mut pos)?).ok()?;
             if dist == 0 || dist > out.len() {
                 return None;
             }
@@ -153,6 +183,56 @@ pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
 /// modelling when the compressed bytes themselves are not needed.
 pub fn compressed_size(data: &[u8], cost: &mut Cost) -> u64 {
     compress(data, cost).len() as u64
+}
+
+/// How many bytes [`probe_ratio`] samples at most. The probe is the cheap
+/// side of a cost-benefit decision; it must stay orders of magnitude
+/// cheaper than compressing the chunk it judges.
+pub const PROBE_SAMPLE_BYTES: usize = 2048;
+
+/// Estimates the achievable compression ratio (`compressed / raw`, in
+/// `0.0..=1.0`) of `data` from the byte-value entropy of a strided
+/// sample.
+///
+/// The probe reads at most [`PROBE_SAMPLE_BYTES`] bytes regardless of
+/// input size: it strides evenly across the input so a file whose head
+/// is text and whose tail is random is judged on both. Shannon entropy
+/// of the byte histogram, divided by 8, approximates the ratio an
+/// order-0 coder would reach; LZ back-references usually beat it on
+/// repetitive data, which is why the adaptive controller layers an
+/// observed-outcome bias on top rather than trusting the probe alone.
+///
+/// Deterministic: same input, same estimate — no RNG, no thread
+/// dependence. Returns `1.0` (incompressible) for empty input.
+pub fn probe_ratio(data: &[u8]) -> f64 {
+    probe_ratio_sampled(data.len(), |i| data[i])
+}
+
+/// [`probe_ratio`] over a virtual byte string of length `len` addressed
+/// by `byte_at` — lets scatter-gather callers probe a frame without
+/// first concatenating its pieces.
+pub fn probe_ratio_sampled(len: usize, byte_at: impl Fn(usize) -> u8) -> f64 {
+    if len == 0 {
+        return 1.0;
+    }
+    let stride = len.div_ceil(PROBE_SAMPLE_BYTES).max(1);
+    let mut hist = [0u32; 256];
+    let mut sampled = 0u32;
+    let mut i = 0;
+    while i < len {
+        hist[byte_at(i) as usize] += 1;
+        sampled += 1;
+        i += stride;
+    }
+    let n = f64::from(sampled);
+    let mut entropy_bits = 0.0;
+    for &count in &hist {
+        if count > 0 {
+            let p = f64::from(count) / n;
+            entropy_bits -= p * p.log2();
+        }
+    }
+    (entropy_bits / 8.0).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -240,5 +320,139 @@ mod tests {
         let mut cost = Cost::new();
         compressed_size(&vec![0u8; 1234], &mut cost);
         assert_eq!(cost.bytes_compressed, 1234);
+    }
+
+    #[test]
+    fn zero_and_one_byte_inputs_never_panic() {
+        assert_eq!(decompress(&[]), Some(Vec::new()));
+        // Every single-byte input is either a valid empty-literal token
+        // or malformed — never a panic.
+        for b in 0..=255u8 {
+            let _ = decompress(&[b]);
+        }
+        // A literal run of 0 bytes decodes to nothing.
+        assert_eq!(decompress(&[0x00]), Some(Vec::new()));
+    }
+
+    #[test]
+    fn truncated_tokens_are_rejected() {
+        let data = b"hello world hello world hello world ".repeat(50);
+        let full = compress(&data, &mut Cost::new());
+        // Every proper prefix either decodes to a prefix-consistent
+        // output or is rejected; it must never panic. Prefixes that cut
+        // a token mid-varint or mid-literal must return None.
+        for cut in 0..full.len() {
+            let _ = decompress(&full[..cut]);
+        }
+        // Explicit truncations: literal promising more bytes than remain,
+        // and a match token whose distance varint is missing.
+        assert!(decompress(&[0x0a, b'a']).is_none());
+        assert!(decompress(&[0x05]).is_none());
+    }
+
+    #[test]
+    fn varint_overflow_is_rejected() {
+        // Ten continuation bytes push past 63 bits of shift.
+        let overlong = [0xff; 10];
+        assert!(decompress(&overlong).is_none());
+        // Exactly at the boundary: a 10th byte with any bit above the
+        // 64th set is malformed, not silently wrapped.
+        let mut edge = [0x80u8; 10];
+        edge[9] = 0x02;
+        assert!(decompress(&edge).is_none());
+    }
+
+    #[test]
+    fn giant_declared_match_cannot_balloon_memory() {
+        // A back-reference declaring a near-u64::MAX length with dist 1:
+        // two literal bytes then the bomb token. Must be rejected by the
+        // output ceiling without allocating the declared length.
+        let mut bomb = vec![0x04, b'a', b'b'];
+        put_varint(&mut bomb, (u64::MAX >> 1 << 1) | 1); // match, huge len
+        put_varint(&mut bomb, 1); // dist 1
+        assert!(decompress(&bomb).is_none());
+        assert!(decompress_limited(&bomb, 1 << 16).is_none());
+    }
+
+    #[test]
+    fn decompress_limited_enforces_the_exact_cap() {
+        let data = b"abcdabcdabcdabcd".repeat(64);
+        let compressed = compress(&data, &mut Cost::new());
+        assert_eq!(
+            decompress_limited(&compressed, data.len()),
+            Some(data.clone())
+        );
+        assert!(decompress_limited(&compressed, data.len() - 1).is_none());
+        assert!(decompress_limited(&compressed, 0).is_none());
+    }
+
+    #[test]
+    fn fuzz_random_inputs_never_panic_and_respect_the_limit() {
+        // Fuzz-style sweep: decompress arbitrary byte soup at many
+        // lengths. The property is total safety — no panic, no output
+        // beyond the declared cap — not any particular decode result.
+        let mut state = 0x123456789abcdef0u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        for round in 0..500 {
+            let len = (round * 7) % 257;
+            let buf: Vec<u8> = (0..len).map(|_| next()).collect();
+            if let Some(out) = decompress_limited(&buf, 4096) {
+                assert!(out.len() <= 4096);
+            }
+        }
+    }
+
+    mod prop {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            // Decompression is total over arbitrary byte soup: never a
+            // panic, and any accepted output honors the caller's cap.
+            #[test]
+            fn decompress_is_total_on_random_bytes(
+                data in proptest::collection::vec(any::<u8>(), 0..512),
+                cap in 0usize..8192,
+            ) {
+                if let Some(out) = decompress_limited(&data, cap) {
+                    prop_assert!(out.len() <= cap);
+                }
+            }
+
+            // Real compressor output always round-trips exactly, and the
+            // tight cap (exactly the original length) is sufficient.
+            #[test]
+            fn roundtrip_any_buffer(
+                data in proptest::collection::vec(any::<u8>(), 0..4096),
+            ) {
+                let compressed = compress(&data, &mut Cost::new());
+                let restored = decompress_limited(&compressed, data.len());
+                prop_assert_eq!(restored, Some(data));
+            }
+        }
+    }
+
+    #[test]
+    fn probe_separates_text_from_noise() {
+        let text = b"the quick brown fox jumps over the lazy dog ".repeat(200);
+        let mut state = 7u64;
+        let noise: Vec<u8> = (0..8192)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        let rt = probe_ratio(&text);
+        let rn = probe_ratio(&noise);
+        assert!(rt < 0.65, "text probe {rt}");
+        assert!(rn > 0.9, "noise probe {rn}");
+        assert_eq!(probe_ratio(&[]), 1.0);
+        // The sampled variant over the same bytes agrees.
+        assert_eq!(rt, probe_ratio_sampled(text.len(), |i| text[i]));
     }
 }

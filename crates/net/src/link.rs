@@ -1,5 +1,6 @@
 use crate::clock::SimTime;
 use crate::fault::{FaultPlan, UploadVerdict};
+use crate::profile::PlatformProfile;
 use crate::traffic::TrafficStats;
 
 /// Static characteristics of a simulated link.
@@ -67,6 +68,7 @@ pub struct Link {
     stats: TrafficStats,
     up_busy_until: SimTime,
     down_busy_until: SimTime,
+    compute: Option<PlatformProfile>,
 }
 
 impl Link {
@@ -77,6 +79,29 @@ impl Link {
             stats: TrafficStats::new(),
             up_busy_until: SimTime::ZERO,
             down_busy_until: SimTime::ZERO,
+            compute: None,
+        }
+    }
+
+    /// Attaches the sender-side compute profile so codec-tagged parts
+    /// charge the modeled compression CPU (`w_compressed`) before the
+    /// bytes occupy the wire. Without a profile, codec-tagged parts
+    /// time exactly like raw ones (bytes only).
+    pub fn set_compute(&mut self, profile: PlatformProfile) {
+        self.compute = Some(profile);
+    }
+
+    /// The attached compute profile, if any.
+    pub fn compute(&self) -> Option<PlatformProfile> {
+        self.compute
+    }
+
+    /// Earliest time a part whose payload was compressed from
+    /// `compressed_from` raw bytes can start occupying the wire.
+    fn codec_ready(&self, compressed_from: Option<u64>, now: SimTime) -> SimTime {
+        match (self.compute, compressed_from) {
+            (Some(p), Some(raw)) => now.plus_millis(p.compress_ms(raw)),
+            _ => now,
         }
     }
 
@@ -131,6 +156,22 @@ impl Link {
         self.up_busy_until
     }
 
+    /// Codec-aware twin of [`upload_part`](Link::upload_part): when the
+    /// part is a compressed frame (`compressed_from = Some(raw_len)`)
+    /// and a compute profile is attached, the sender first pays
+    /// `compress_ms(raw_len)` of CPU, then the (smaller) compressed
+    /// bytes occupy upload bandwidth. Raw parts are byte-for-byte and
+    /// tick-for-tick identical to `upload_part`.
+    pub fn upload_part_codec(
+        &mut self,
+        bytes: u64,
+        compressed_from: Option<u64>,
+        now: SimTime,
+    ) -> SimTime {
+        let ready = self.codec_ready(compressed_from, now);
+        self.upload_part(bytes, ready)
+    }
+
     /// Sends `bytes` cloud → client starting no earlier than `now`;
     /// returns the completion time.
     pub fn download(&mut self, bytes: u64, now: SimTime) -> SimTime {
@@ -149,6 +190,20 @@ impl Link {
         let start = now.max(self.down_busy_until);
         self.down_busy_until = start.plus_millis(transfer_ms(bytes, self.spec.bandwidth_down));
         self.down_busy_until
+    }
+
+    /// Codec-aware twin of [`download_part`](Link::download_part): the
+    /// forwarding server pays `compress_ms(raw_len)` of CPU for a
+    /// compressed frame before its bytes occupy download bandwidth.
+    /// Raw parts time exactly like `download_part`.
+    pub fn download_part_codec(
+        &mut self,
+        bytes: u64,
+        compressed_from: Option<u64>,
+        now: SimTime,
+    ) -> SimTime {
+        let ready = self.codec_ready(compressed_from, now);
+        self.download_part(bytes, ready)
     }
 
     /// Closes a logical download made of
@@ -381,6 +436,45 @@ mod tests {
                 assert_eq!(up.stats().msgs_up, down.stats().msgs_down);
             }
         }
+    }
+
+    #[test]
+    fn codec_parts_without_profile_or_tag_match_raw_parts() {
+        let spec = LinkSpec::mobile();
+        // No compute profile: codec-tagged parts time like raw parts.
+        let mut raw = Link::new(spec);
+        let mut codec = Link::new(spec);
+        let a = raw.upload_part(4096, SimTime::ZERO);
+        let b = codec.upload_part_codec(4096, Some(1 << 20), SimTime::ZERO);
+        assert_eq!(a, b);
+        // Profile attached but the frame ships raw: still identical.
+        let mut codec = Link::new(spec);
+        codec.set_compute(PlatformProfile::mobile());
+        let c = codec.upload_part_codec(4096, None, SimTime::ZERO);
+        assert_eq!(a, c);
+        assert_eq!(raw.stats(), codec.stats());
+    }
+
+    #[test]
+    fn compressed_parts_pay_compression_cpu_before_the_wire() {
+        let mut link = Link::new(LinkSpec {
+            bandwidth_up: Some(1024 * 1024),
+            bandwidth_down: Some(1024 * 1024),
+            latency_ms: 0,
+        });
+        link.set_compute(PlatformProfile::mobile());
+        let raw_len = 1u64 << 20;
+        let cpu = PlatformProfile::mobile().compress_ms(raw_len);
+        assert!(cpu > 0);
+        // Half-ratio compressed frame: CPU first, then the smaller
+        // transfer; the total is compress_ms + 512 KiB at 1 MiB/s.
+        let done = link.upload_part_codec(raw_len / 2, Some(raw_len), SimTime::ZERO);
+        assert_eq!(done, SimTime(cpu + 500));
+        // Download direction mirrors it.
+        let done = link.download_part_codec(raw_len / 2, Some(raw_len), SimTime::ZERO);
+        assert_eq!(done, SimTime(cpu + 500));
+        // Mobile codec CPU is dearer than PC's, same work.
+        assert!(cpu > PlatformProfile::pc().compress_ms(raw_len));
     }
 
     #[test]

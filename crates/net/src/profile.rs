@@ -86,6 +86,16 @@ impl PlatformProfile {
         }
     }
 
+    /// Simulated milliseconds of codec CPU to compress `raw_bytes` on
+    /// this platform, interpreting ticks as milliseconds (the convention
+    /// the engine already uses when mapping tick totals onto the
+    /// simulated clock). This is the link-side charge for a
+    /// codec-tagged frame: the wire cannot start shipping the chunk
+    /// before the compressor has finished with it.
+    pub fn compress_ms(&self, raw_bytes: u64) -> u64 {
+        (raw_bytes as f64 * self.w_compressed * self.scale).round() as u64
+    }
+
     /// Converts a work accumulator plus network volume into ticks.
     pub fn ticks(&self, cost: &Cost, net_bytes: u64) -> u64 {
         let raw = cost.bytes_rolled as f64 * self.w_rolled

@@ -90,6 +90,32 @@ fn drop_matrix_converges() {
 }
 
 #[test]
+fn drop_matrix_converges_with_wire_compression() {
+    // The reliability layer is codec-agnostic: the same loss /
+    // duplication / reorder matrix converges with the adaptive wire
+    // codec compressing forwarded chunk frames. Retries replay whole
+    // groups, the replay index dedups on group ids, and a frame's codec
+    // decision never leaks into any of it.
+    let cfg = DeltaCfsConfig::new().with_wire_compression(true);
+    for seed in 0..8u64 {
+        let clock = SimClock::new();
+        let mut hub = SyncHub::new(clock.clone());
+        hub.add_client(cfg, LinkSpec::pc());
+        hub.add_client(cfg, LinkSpec::mobile());
+        hub.enable_faults(
+            FaultSpec::clean(seed)
+                .with_rates(0.3, 0.2, 0.3)
+                .with_reorder(0.5),
+        );
+        run_disjoint_workload(&mut hub, &clock);
+        let drained = hub.settle(SETTLE_MS);
+        assert!(drained, "seed {seed}: a courier gave up or never drained");
+        assert_eq!(hub.given_up(0) + hub.given_up(1), 0, "seed {seed}");
+        assert_converged(&hub, seed);
+    }
+}
+
+#[test]
 fn server_crash_matrix_loses_no_committed_version() {
     for seed in 0..8u64 {
         for phase in [CrashPhase::BeforeApply, CrashPhase::AfterApply] {

@@ -1256,3 +1256,100 @@ fn bidirectional_sync_is_byte_identical_for_any_shard_count() {
         );
     }
 }
+
+/// Runs one streamed two-group workload through a [`DeltaCfsSystem`]
+/// with the given codec policy (`None` = wire compression off) and
+/// returns everything the codec must NOT perturb — synced content,
+/// client cost, group outcomes — plus the uplink bytes it may only
+/// shrink.
+fn run_codec_workload(
+    policy: Option<deltacfs::core::CodecPolicy>,
+    base: &[u8],
+    edit: &[u8],
+    offset: usize,
+    budget: usize,
+) -> (
+    Option<Vec<u8>>,
+    Cost,
+    Vec<deltacfs::core::ApplyOutcome>,
+    u64,
+) {
+    use deltacfs::core::{DeltaCfsSystem, SyncEngine};
+    use deltacfs::net::LinkSpec;
+
+    let clock = SimClock::new();
+    let cfg = DeltaCfsConfig::new()
+        .with_streaming(true)
+        .with_chunk_budget(budget)
+        .with_pipeline_depth(2)
+        .with_min_parallel_bytes(0)
+        .with_wire_compression(policy.is_some());
+    let mut sys = DeltaCfsSystem::new(cfg, clock.clone(), LinkSpec::mobile());
+    if let Some(policy) = policy {
+        sys.set_codec_policy(policy);
+        sys.set_platform(deltacfs::net::PlatformProfile::mobile());
+    }
+    let mut fs = Vfs::new();
+    fs.enable_event_log();
+    fs.create("/f").unwrap();
+    fs.write("/f", 0, base).unwrap();
+    for e in fs.drain_events() {
+        sys.on_event(&e, &fs);
+    }
+    clock.advance(4_000);
+    sys.tick(&fs);
+    fs.write("/f", offset as u64, edit).unwrap();
+    for e in fs.drain_events() {
+        sys.on_event(&e, &fs);
+    }
+    clock.advance(4_000);
+    sys.finish(&fs);
+    let report = sys.report();
+    (
+        sys.server().file("/f").map(<[u8]>::to_vec),
+        report.client_cost,
+        sys.outcomes().to_vec(),
+        report.traffic.bytes_up,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The adaptive wire codec is invisible to everything but traffic:
+    /// for any workload, any chunk budget, and ANY per-chunk
+    /// compress/raw decision schedule — including schedules the
+    /// cost-benefit controller would never pick — the synced content,
+    /// the client `Cost` totals, and the group outcomes are
+    /// byte-identical to a raw-wire run, and the compressed uplink
+    /// never exceeds the raw uplink (DESIGN.md §15). The controller can
+    /// only ever trade wire bytes against codec-side CPU; it has no
+    /// channel through which to perturb state.
+    #[test]
+    fn compressed_wire_is_state_identical(
+        base in buffer(16 * 1024),
+        edit in buffer(4 * 1024),
+        offset in 0usize..8 * 1024,
+        budget in 64usize..2048,
+        schedule in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        use deltacfs::core::CodecPolicy;
+
+        let raw = run_codec_workload(None, &base, &edit, offset, budget);
+        for policy in [
+            CodecPolicy::Schedule(schedule.clone()),
+            CodecPolicy::Adaptive,
+            CodecPolicy::Always,
+        ] {
+            let tag = format!("{policy:?}");
+            let run = run_codec_workload(Some(policy), &base, &edit, offset, budget);
+            prop_assert_eq!(&run.0, &raw.0, "content diverged under {}", &tag);
+            prop_assert_eq!(&run.1, &raw.1, "client cost diverged under {}", &tag);
+            prop_assert_eq!(&run.2, &raw.2, "outcomes diverged under {}", &tag);
+            prop_assert!(
+                run.3 <= raw.3,
+                "{}: compressed uplink {} exceeds raw {}", &tag, run.3, raw.3
+            );
+        }
+    }
+}

@@ -19,6 +19,7 @@ fn main() {
     let mut scale = 0.25f64;
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,6 +44,14 @@ fn main() {
                     args.get(i)
                         .cloned()
                         .unwrap_or_else(|| die("--metrics expects a path")),
+                );
+            }
+            "--profile" => {
+                i += 1;
+                profile_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--profile expects a trace output path")),
                 );
             }
             other if !other.starts_with('-') => which.push(other.to_string()),
@@ -122,6 +131,33 @@ fn main() {
             println!("(prometheus metrics written to {path})");
         }
     }
+    if wants("profile") || profile_path.is_some() {
+        let run = experiments::profile_run();
+        println!("## Sync profile (pinned-seed faulty two-writer run)\n");
+        println!("{}", run.report);
+        let trace: serde_json::Value = serde_json::from_str(&run.chrome_trace)
+            .unwrap_or_else(|e| die(&format!("chrome trace is not valid JSON: {e}")));
+        let metrics: serde_json::Value = serde_json::from_str(&run.snapshot.to_json())
+            .unwrap_or_else(|e| die(&format!("profiled snapshot is not valid JSON: {e}")));
+        json.insert(
+            "profile".into(),
+            serde_json::json!({ "report": run.report, "metrics": metrics }),
+        );
+        if let Some(path) = &profile_path {
+            std::fs::write(path, &run.chrome_trace)
+                .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+            println!(
+                "(chrome trace with {} events written to {path} — open in Perfetto)",
+                match &trace {
+                    serde_json::Value::Object(map) => match map.get("traceEvents") {
+                        Some(serde_json::Value::Array(events)) => events.len(),
+                        _ => 0,
+                    },
+                    _ => 0,
+                }
+            );
+        }
+    }
 
     if let Some(path) = json_path {
         std::fs::write(
@@ -136,8 +172,8 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [all|fig1|fig2|table2|fig8|fig9|table3|table4|table5|metrics]... \
-         [--scale F] [--json PATH] [--metrics PATH]"
+        "usage: repro [all|fig1|fig2|table2|fig8|fig9|table3|table4|table5|metrics|profile]... \
+         [--scale F] [--json PATH] [--metrics PATH] [--profile TRACE_PATH]"
     );
     std::process::exit(2);
 }

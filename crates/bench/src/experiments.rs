@@ -2,7 +2,7 @@
 
 use deltacfs_baselines::{DropboxConfig, DropboxEngine, DropsyncEngine, NfsEngine, SeafileEngine};
 use deltacfs_core::{
-    DeltaCfsConfig, DeltaCfsSystem, InlineInterceptor, InlineMode, SyncEngine, SyncHub,
+    DeltaCfsConfig, DeltaCfsSystem, HubConfig, InlineInterceptor, InlineMode, SyncEngine, SyncHub,
 };
 use deltacfs_net::{CrashPhase, FaultSpec, LinkSpec, PlatformProfile, SimClock};
 use deltacfs_vfs::Vfs;
@@ -644,12 +644,21 @@ pub fn table5(seeds: &[u64]) -> Vec<FaultCellResult> {
 /// Deterministic: same snapshot (byte-identical JSON and Prometheus
 /// renderings) on every run.
 pub fn metrics_snapshot() -> deltacfs_obs::Snapshot {
+    faulty_word_save_run(HubConfig::new(), deltacfs_obs::Obs::with_tracing(8192)).export_metrics()
+}
+
+/// The pinned-seed faulty two-writer workload behind
+/// [`metrics_snapshot`] and [`profile_run`]: a PC and a mobile client
+/// under independent fault schedules, disjoint first-round writes, then
+/// a Word-style transactional save on the mobile client so the relation
+/// table triggers and the parallel delta encoder runs.
+fn faulty_word_save_run(cfg: HubConfig, obs: deltacfs_obs::Obs) -> SyncHub {
     let seed = 7u64;
     let clock = SimClock::new();
-    let mut hub = SyncHub::new(clock.clone());
+    let mut hub = SyncHub::with_config(clock.clone(), cfg);
     hub.add_client(DeltaCfsConfig::new(), LinkSpec::pc());
     hub.add_client(DeltaCfsConfig::new(), LinkSpec::mobile());
-    hub.enable_observability(deltacfs_obs::Obs::with_tracing(8192));
+    hub.enable_observability(obs);
     hub.enable_fault_topology(vec![
         FaultSpec::clean(seed)
             .with_rates(0.25, 0.15, 0.25)
@@ -684,7 +693,38 @@ pub fn metrics_snapshot() -> deltacfs_obs::Snapshot {
     clock.advance(4_000);
     hub.pump();
     hub.settle(600_000);
-    hub.export_metrics()
+    hub
+}
+
+/// Output of the profiled pinned-seed run (the `repro --profile`
+/// section): the critical-path text report, the Perfetto-loadable
+/// Chrome trace-event JSON, and the unified metrics snapshot with the
+/// profiler's `span_stage_ms` / lag gauges folded in.
+pub struct ProfileRun {
+    /// Per-group critical-path attribution plus SLO gauges, as text.
+    pub report: String,
+    /// Chrome trace-event JSON (open in Perfetto / `chrome://tracing`).
+    pub chrome_trace: String,
+    /// The unified metrics snapshot of the profiled run.
+    pub snapshot: deltacfs_obs::Snapshot,
+}
+
+/// Runs the [`metrics_snapshot`] workload with causal span profiling
+/// armed ([`HubConfig::with_profiling`] + [`deltacfs_obs::Obs::with_profiling`])
+/// and returns the assembled profile. Deterministic: byte-identical
+/// report and trace JSON on every run.
+pub fn profile_run() -> ProfileRun {
+    let hub = faulty_word_save_run(
+        HubConfig::new().with_profiling(true),
+        deltacfs_obs::Obs::with_profiling(8192),
+    );
+    let snapshot = hub.export_metrics();
+    let profiler = hub.profiler();
+    ProfileRun {
+        report: profiler.text_report(),
+        chrome_trace: profiler.chrome_trace(),
+        snapshot,
+    }
 }
 
 #[cfg(test)]

@@ -102,6 +102,21 @@ pub struct DeltaCfsClient<K: KeyValue = MemStore> {
     obs: Obs,
     /// Actor name under which this client's trace events are recorded.
     actor: String,
+    /// Span timestamps observed per path before the path's nodes were
+    /// packed into an upload group — the `<CliID, GroupSeq>` span
+    /// context only exists once `convert_groups` stamps the group, so
+    /// relation triggers and delta encodes mark here and drain into
+    /// parented spans at pack time.
+    span_marks: HashMap<String, PathSpanMarks>,
+}
+
+/// Pending span marks for one path (see `DeltaCfsClient::span_marks`).
+#[derive(Debug, Clone, Copy, Default)]
+struct PathSpanMarks {
+    /// When a relation-table trigger fired for the path.
+    relation_ms: Option<u64>,
+    /// Start/end of the local delta encode for the path.
+    encode: Option<(u64, u64)>,
 }
 
 impl DeltaCfsClient<MemStore> {
@@ -139,6 +154,18 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             cost: Cost::new(),
             obs: Obs::new(),
             actor: format!("client-{}", id.0),
+            span_marks: HashMap::new(),
+        }
+    }
+
+    /// Marks a relation-table trigger on `path` for span assembly; a
+    /// single relaxed atomic load while profiling is off.
+    fn mark_relation(&mut self, path: &str, now: SimTime) {
+        if self.obs.spans.enabled() {
+            self.span_marks
+                .entry(path.to_string())
+                .or_default()
+                .relation_ms = Some(now.as_millis());
         }
     }
 
@@ -313,6 +340,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                 .event(now.as_millis(), &self.actor, "relation.trigger", || {
                     format!("delete-then-rewrite matched on {path}; delta deferred to close")
                 });
+            self.mark_relation(path, now);
             self.pending_delta.insert(path.to_string(), pre);
         }
         self.sizes.insert(path.to_string(), 0);
@@ -534,6 +562,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                 .event(now.as_millis(), &self.actor, "relation.trigger", || {
                     format!("rename-recreate (word pattern) matched on {dst}")
                 });
+            self.mark_relation(dst, now);
             self.execute_delta(dst, pre, Some(src), fs, now);
         } else if let Some(old_content) = replaced {
             self.obs
@@ -541,6 +570,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                 .event(now.as_millis(), &self.actor, "relation.trigger", || {
                     format!("rename-over-existing (gedit pattern) matched on {dst}")
                 });
+            self.mark_relation(dst, now);
             let pre = Preserved {
                 old: OldVersion::Content(old_content),
                 base_version: replaced_version,
@@ -625,6 +655,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                 .event(now.as_millis(), &self.actor, "relation.trigger", || {
                     format!("close fired deferred delta on {path}")
                 });
+            self.mark_relation(path, now);
             self.execute_delta(path, pre, None, fs, now);
         }
     }
@@ -708,6 +739,13 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             self.cfg.parallelism,
             &mut self.cost,
         );
+        if self.obs.spans.enabled() {
+            // Encode CPU never advances the simulated clock, so the
+            // span is zero-width at `now`; the streaming bench path
+            // (Pace::Measured) is where encode time becomes visible.
+            self.span_marks.entry(path.to_string()).or_default().encode =
+                Some((now.as_millis(), now.as_millis()));
+        }
         let chose_delta = delta.wire_size() < new_content.len() as u64;
         self.obs
             .tracer
@@ -850,6 +888,62 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                             wire
                         )
                     });
+                if self.obs.spans.enabled() {
+                    // The group's root span: first VFS write entering
+                    // the queue through pack time — the NFS-style
+                    // upload-delay dwell. Everything downstream (the
+                    // server side included) parents under this root via
+                    // the group key riding the wire headers.
+                    let origin_ms = group
+                        .iter()
+                        .filter(|n| !n.deleted)
+                        .map(|n| n.enqueued_at.as_millis())
+                        .min()
+                        .unwrap_or(now_ms);
+                    let key = gid.span_key();
+                    let root = self.obs.spans.record(
+                        key,
+                        &self.actor,
+                        "vfs.write",
+                        origin_ms,
+                        now_ms,
+                        None,
+                        || {
+                            format!(
+                                "{} msg(s) packed after {}ms queue dwell",
+                                msgs.len(),
+                                now_ms - origin_ms
+                            )
+                        },
+                    );
+                    for m in &msgs {
+                        let Some(marks) = self.span_marks.remove(&m.path) else {
+                            continue;
+                        };
+                        if let Some(t) = marks.relation_ms {
+                            self.obs.spans.record(
+                                key,
+                                &self.actor,
+                                "relation.trigger",
+                                t,
+                                t,
+                                Some(root),
+                                || m.path.clone(),
+                            );
+                        }
+                        if let Some((s, e)) = marks.encode {
+                            self.obs.spans.record(
+                                key,
+                                &self.actor,
+                                "delta.encode",
+                                s,
+                                e,
+                                Some(root),
+                                || m.path.clone(),
+                            );
+                        }
+                    }
+                }
                 out.push(msgs);
             }
         }

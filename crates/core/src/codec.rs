@@ -240,6 +240,24 @@ impl WireCodec {
                     frame.msg_idx, frame.chunk_idx, raw_len, envelope_len, probe, observed,
                 )
             });
+        // The compression CPU is charged on the link's timeline; the
+        // span models it at the encode point with the platform's
+        // deterministic `compress_ms` cost, so the profiler can weigh
+        // compress CPU against the wire time it buys.
+        self.obs.spans.record(
+            frame.group.span_key(),
+            "codec",
+            "wire.compress",
+            at_ms,
+            at_ms + self.profile.compress_ms(raw_len),
+            None,
+            || {
+                format!(
+                    "msg {} chunk {}: {} -> {} bytes",
+                    frame.msg_idx, frame.chunk_idx, raw_len, envelope_len
+                )
+            },
+        );
         ChunkFrame {
             pieces: vec![crate::pipeline::FramePiece::Control(Bytes::from(envelope))],
             accounted: envelope_len,

@@ -191,6 +191,13 @@ pub struct HubConfig {
     /// wall-clock timing is nondeterministic, and the deterministic
     /// tests compare metric snapshots.
     pub latency_histogram: bool,
+    /// Record causal per-group spans (the critical-path sync profiler's
+    /// input). Off by default: every span site then costs one relaxed
+    /// atomic load. When on, `enable_observability` turns the shared
+    /// span recorder on even if the bundle was built tracing-only, and
+    /// `export_metrics` folds the profiler's per-stage histograms and
+    /// SLO lag gauges into the unified snapshot.
+    pub profiling: bool,
 }
 
 impl HubConfig {
@@ -199,6 +206,7 @@ impl HubConfig {
         HubConfig {
             shards: 1,
             latency_histogram: false,
+            profiling: false,
         }
     }
 
@@ -216,6 +224,12 @@ impl HubConfig {
     /// Enables the wall-clock apply-latency histogram.
     pub fn with_latency_histogram(mut self, on: bool) -> Self {
         self.latency_histogram = on;
+        self
+    }
+
+    /// Enables causal span recording and the critical-path profiler.
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
         self
     }
 }
@@ -263,6 +277,13 @@ mod tests {
     #[test]
     fn parallelism_builder() {
         assert_eq!(DeltaCfsConfig::new().with_parallelism(4).parallelism, 4);
+    }
+
+    #[test]
+    fn hub_profiling_is_opt_in() {
+        let h = HubConfig::new();
+        assert!(!h.profiling, "span recording is opt-in");
+        assert!(h.with_profiling(true).profiling);
     }
 
     #[test]

@@ -176,7 +176,26 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
                 self.upload_group_streaming(&group, &cfg, now);
             } else {
                 let wire: u64 = group.iter().map(|m| m.wire_size()).sum();
-                self.link.upload(wire, now);
+                let busy_before = self.link.upload_busy_until();
+                let arrival = self.link.upload(wire, now);
+                if self.obs.spans.enabled() {
+                    if let Some(gid) = group.first().and_then(|m| m.group) {
+                        let key = gid.span_key();
+                        self.obs.spans.record(
+                            key,
+                            "link",
+                            "wire.upload",
+                            now.max(busy_before).as_millis(),
+                            arrival.as_millis(),
+                            None,
+                            || format!("{wire} wire bytes (materialized)"),
+                        );
+                        let a = arrival.as_millis();
+                        self.obs.spans.record(key, "server", "server.apply", a, a, None, || {
+                            format!("{} msg(s)", group.len())
+                        });
+                    }
+                }
                 let outcomes = self.server.apply_txn(&group);
                 self.outcomes.extend(outcomes);
                 // Acknowledgement.
@@ -199,6 +218,10 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
         let outcomes = &mut self.outcomes;
         let codec = &mut self.wire_codec;
         let at_ms = now.as_millis();
+        let spans = self.obs.spans.clone();
+        let span_on = spans.enabled();
+        let gkey = group.iter().find_map(|m| m.group).map(|g| g.span_key());
+        let mut stage_first_ms: Option<u64> = None;
         pipeline::run_pipeline(
             pipeline::PipelineConfig {
                 chunk_budget: cfg.chunk_budget,
@@ -213,17 +236,67 @@ impl<K: KeyValue> DeltaCfsSystem<K> {
                 });
             },
             |frame, ready| {
+                let busy_before = link.upload_busy_until();
                 let done = link.upload_part_codec(frame.accounted, frame.compressed_from(), ready);
+                if span_on {
+                    if let Some(key) = gkey {
+                        spans.record(
+                            key,
+                            "link",
+                            "wire.upload",
+                            ready.max(busy_before).as_millis(),
+                            done.as_millis(),
+                            None,
+                            || {
+                                format!(
+                                    "msg {} chunk {}: {} wire bytes",
+                                    frame.msg_idx, frame.chunk_idx, frame.accounted
+                                )
+                            },
+                        );
+                        if stage_first_ms.is_none() {
+                            stage_first_ms = Some(done.as_millis());
+                        }
+                    }
+                }
                 if let Some(out) = server
                     .receive_chunk(&frame)
                     .expect("in-process chunk stream cannot be malformed")
                 {
+                    if span_on {
+                        if let Some(key) = gkey {
+                            let d = done.as_millis();
+                            spans.record(key, "server", "server.stage", d, d, None, || {
+                                format!(
+                                    "committed after a {}ms staging window",
+                                    d - stage_first_ms.unwrap_or(d)
+                                )
+                            });
+                            spans.record(key, "server", "server.apply", d, d, None, || {
+                                format!("{} outcome(s)", out.len())
+                            });
+                        }
+                    }
                     outcomes.extend(out);
                 }
                 done
             },
         );
-        link.upload_end_msg(now);
+        let busy_before_end = link.upload_busy_until();
+        let end_done = link.upload_end_msg(now);
+        if span_on {
+            if let Some(key) = gkey {
+                spans.record(
+                    key,
+                    "link",
+                    "wire.upload",
+                    now.max(busy_before_end).as_millis(),
+                    end_done.as_millis(),
+                    None,
+                    || "end-of-message latency".into(),
+                );
+            }
+        }
         // Acknowledgement.
         link.download(ACK_WIRE_BYTES, now);
     }

@@ -24,7 +24,7 @@ use deltacfs_net::{
     FaultPlan, FaultSpec, FaultStats, FaultTopology, Link, LinkSpec, PlatformProfile, SimClock,
     SimTime, UploadVerdict,
 };
-use deltacfs_obs::{Histogram, Obs, Snapshot};
+use deltacfs_obs::{Histogram, Obs, Profiler, Snapshot};
 use deltacfs_vfs::Vfs;
 
 use crate::client::{DeltaCfsClient, RemoteConflict};
@@ -182,6 +182,9 @@ impl SyncHub {
     /// later inherit it.
     pub fn enable_observability(&mut self, obs: Obs) {
         self.obs = obs;
+        if self.cfg.profiling {
+            self.obs.spans.set_enabled(true);
+        }
         let hist = self
             .obs
             .registry
@@ -628,7 +631,24 @@ impl SyncHub {
                         .event(now.as_millis(), &actor_name(idx), "wire.upload", || {
                             format!("group of {} msgs, {wire} wire bytes", group.len())
                         });
-                    self.slots[idx].link.upload(wire, now);
+                    let busy_before = self.slots[idx].link.upload_busy_until();
+                    let arrival = self.slots[idx].link.upload(wire, now);
+                    let gkey = group
+                        .iter()
+                        .find_map(|m| m.group)
+                        .filter(|_| self.obs.spans.enabled())
+                        .map(|g| g.span_key());
+                    if let Some(key) = gkey {
+                        self.obs.spans.record(
+                            key,
+                            "link",
+                            "wire.upload",
+                            now.max(busy_before).as_millis(),
+                            arrival.as_millis(),
+                            None,
+                            || format!("group of {} msgs, {wire} wire bytes", group.len()),
+                        );
+                    }
                     let outcomes = self.timed_apply(&group);
                     let all_applied = outcomes.iter().all(|o| *o == ApplyOutcome::Applied);
                     self.obs
@@ -640,6 +660,14 @@ impl SyncHub {
                                 group.len()
                             )
                         });
+                    if let Some(key) = gkey {
+                        // Zero-width on the simulated clock: apply CPU is
+                        // accounted in cost counters, not link time.
+                        let at = arrival.as_millis();
+                        self.obs.spans.record(key, "server", "server.apply", at, at, None, || {
+                            format!("{} outcome(s), all_applied={all_applied}", outcomes.len())
+                        });
+                    }
                     self.server_outcomes.extend(outcomes);
                     self.slots[idx].link.download(ACK_WIRE_BYTES, now);
                     if all_applied {
@@ -710,10 +738,30 @@ impl SyncHub {
                     group.len()
                 )
             });
-            let (_, verdict) =
+            let gkey = group
+                .iter()
+                .find_map(|m| m.group)
+                .filter(|_| self.obs.spans.enabled())
+                .map(|g| g.span_key());
+            let busy_before = self.slots[idx].link.upload_busy_until();
+            let (done, verdict) =
                 self.slots[idx]
                     .link
                     .upload_faulty(wire, now, idx, topo.plan_for(idx));
+            // One span per attempt. An attempt the fault plan kills
+            // (dropped on the wire, or a disconnected client) leaves its
+            // span open on purpose: the profile shows in-flight work
+            // that never completed.
+            let attempt_span = gkey.map(|key| {
+                self.obs.spans.start(
+                    key,
+                    "link",
+                    "wire.upload",
+                    now.max(busy_before).as_millis(),
+                    None,
+                )
+            });
+            let done_ms = done.map(|d| d.as_millis()).unwrap_or(now_ms);
             match verdict {
                 UploadVerdict::Disconnected => {
                     // The reconnection time is known: park until then.
@@ -741,6 +789,13 @@ impl SyncHub {
                     self.obs.tracer.event(now_ms, "server", "fault.inject", || {
                         "server crash before apply; restored from snapshot".to_string()
                     });
+                    if let Some(span) = attempt_span {
+                        // The bytes did arrive — the wire span closes; the
+                        // missing server.apply is what marks the loss.
+                        self.obs.spans.end_detail(span, done_ms, || {
+                            format!("attempt {attempt} arrived; server crashed before apply")
+                        });
+                    }
                     self.server
                         .reload_all(&mut self.stores)
                         .expect("snapshot loads");
@@ -760,6 +815,25 @@ impl SyncHub {
                             format!("group from {actor} applied ({} msgs)", group.len())
                         }
                     });
+                    if let Some(span) = attempt_span {
+                        self.obs.spans.end_detail(span, done_ms, || {
+                            format!("attempt {attempt}: {wire} wire bytes delivered")
+                        });
+                    }
+                    if !was_dup {
+                        if let Some(key) = gkey {
+                            // Zero-width: apply CPU lives in cost counters.
+                            self.obs.spans.record(
+                                key,
+                                "server",
+                                "server.apply",
+                                done_ms,
+                                done_ms,
+                                None,
+                                || format!("{} outcome(s) after {attempt} attempt(s)", outcomes.len()),
+                            );
+                        }
+                    }
                     self.server
                         .save_group(&group, &mut self.stores)
                         .expect("MemStore save");
@@ -1096,7 +1170,22 @@ impl SyncHub {
             )
             .set(stats.total_fired());
         }
+        reg.counter(
+            "trace_events_dropped",
+            "flight-recorder events dropped because the ring was full",
+        )
+        .set(self.obs.tracer.dropped());
+        if !self.obs.spans.is_empty() {
+            self.profiler().export(reg);
+        }
         reg.snapshot()
+    }
+
+    /// A critical-path profiler over the span table recorded so far
+    /// (requires [`HubConfig::with_profiling`] / an
+    /// [`Obs::with_profiling`] bundle — otherwise the table is empty).
+    pub fn profiler(&self) -> Profiler {
+        Profiler::new(self.obs.spans.records())
     }
 
     /// Simulates a crash of client `idx`: the volatile sync queue and
@@ -1173,7 +1262,24 @@ fn run_lane(
                 .event(now.as_millis(), &actor_name(from), "wire.upload", || {
                     format!("group of {} msgs, {wire} wire bytes", group.len())
                 });
-            lane[i].1.link.upload(wire, now);
+            let busy_before = lane[i].1.link.upload_busy_until();
+            let arrival = lane[i].1.link.upload(wire, now);
+            let gkey = group
+                .iter()
+                .find_map(|m| m.group)
+                .filter(|_| obs.spans.enabled())
+                .map(|g| g.span_key());
+            if let Some(key) = gkey {
+                obs.spans.record(
+                    key,
+                    "link",
+                    "wire.upload",
+                    now.max(busy_before).as_millis(),
+                    arrival.as_millis(),
+                    None,
+                    || format!("group of {} msgs, {wire} wire bytes", group.len()),
+                );
+            }
             let t0 = hist.map(|_| Instant::now());
             let outcomes = server.apply_txn(&group);
             if let (Some(h), Some(t0)) = (hist, t0) {
@@ -1188,6 +1294,12 @@ fn run_lane(
                         group.len()
                     )
                 });
+            if let Some(key) = gkey {
+                let at = arrival.as_millis();
+                obs.spans.record(key, "server", "server.apply", at, at, None, || {
+                    format!("{} outcome(s), all_applied={all_applied}", outcomes.len())
+                });
+            }
             out.outcomes.extend(outcomes);
             lane[i].1.link.download(ACK_WIRE_BYTES, now);
             if all_applied {
@@ -1372,6 +1484,22 @@ fn deliver_group_streaming(
     let budget = peer.client.config().chunk_budget;
     let mut lost = false;
     let mut committed: Option<Vec<UpdateMsg>> = None;
+    // The forward span covers the whole download-direction delivery —
+    // from when the peer's downlink picks the stream up to the commit
+    // of its final frame. A stream a fault plan cuts leaves the span
+    // open on purpose: the profile shows the delivery that never
+    // committed.
+    let fwd_span = if obs.spans.enabled() {
+        Some(obs.spans.start(
+            gid.span_key(),
+            &actor_name(peer_idx),
+            "forward",
+            now.max(peer.link.download_busy_until()).as_millis(),
+            None,
+        ))
+    } else {
+        None
+    };
     let Slot {
         link,
         forward,
@@ -1415,7 +1543,15 @@ fn deliver_group_streaming(
             }
         }
     });
-    link.download_end_msg(now);
+    let delivered = link.download_end_msg(now);
+    if committed.is_some() {
+        if let Some(span) = fwd_span {
+            let n = stamped.len();
+            obs.spans.end_detail(span, delivered.as_millis(), || {
+                format!("group of {n} msgs committed on {}", actor_name(peer_idx))
+            });
+        }
+    }
     let Some(group_msgs) = committed else {
         return;
     };

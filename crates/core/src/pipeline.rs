@@ -695,6 +695,18 @@ pub fn upload_delta_streaming(
     let mut framer = DeltaFramer::new(msg, 0, true);
     let mut outcomes = Vec::new();
     let at_ms = now.as_millis();
+    let gkey = msg
+        .group
+        .expect("streamed messages carry a group id")
+        .span_key();
+    let spans = &obs.spans;
+    let span_on = spans.enabled();
+    // The encode span closes at the last frame's ready time — under
+    // Pace::Measured that is when the encoder actually finished, so the
+    // profiler sees the true encode/upload overlap.
+    let encode_span = spans.start(gkey, "pipeline", "delta.encode", at_ms, None);
+    let mut encode_end_ms = at_ms;
+    let mut stage_first_ms: Option<u64> = None;
     let mut report = run_pipeline(
         *cfg,
         Pace::Measured,
@@ -712,18 +724,69 @@ pub fn upload_delta_streaming(
             });
         },
         |frame, ready| {
+            let busy_before = link.upload_busy_until();
             let done = link.upload_part_codec(frame.accounted, frame.compressed_from(), ready);
+            if span_on {
+                encode_end_ms = encode_end_ms.max(ready.as_millis());
+                spans.record(
+                    gkey,
+                    "link",
+                    "wire.upload",
+                    ready.max(busy_before).as_millis(),
+                    done.as_millis(),
+                    None,
+                    || {
+                        format!(
+                            "msg {} chunk {}: {} wire bytes",
+                            frame.msg_idx, frame.chunk_idx, frame.accounted
+                        )
+                    },
+                );
+                if stage_first_ms.is_none() {
+                    stage_first_ms = Some(done.as_millis());
+                }
+            }
             if let Some(out) = server
                 .receive_chunk(&frame)
                 .expect("in-process chunk stream cannot be malformed")
             {
+                if span_on {
+                    // Staging and apply are memory movement the clock
+                    // does not model: zero-width spans at commit time,
+                    // with the staging window in the detail.
+                    let d = done.as_millis();
+                    spans.record(gkey, "server", "server.stage", d, d, None, || {
+                        format!(
+                            "committed after a {}ms staging window",
+                            d - stage_first_ms.unwrap_or(d)
+                        )
+                    });
+                    spans.record(gkey, "server", "server.apply", d, d, None, || {
+                        format!("{} outcome(s)", out.len())
+                    });
+                }
                 outcomes.extend(out);
             }
             done
         },
     );
+    let parts_done = report.done;
     report.done = link.upload_end_msg(report.done);
     link.download(ACK_WIRE_BYTES, now);
+    if span_on {
+        spans.end_detail(encode_span, encode_end_ms, || {
+            format!("{} frame(s) emitted", report.frames)
+        });
+        spans.record(
+            gkey,
+            "link",
+            "wire.upload",
+            parts_done.as_millis(),
+            report.done.as_millis(),
+            None,
+            || "end-of-message latency".into(),
+        );
+    }
     (report, outcomes)
 }
 

@@ -152,6 +152,20 @@ pub struct GroupId {
     pub seq: u64,
 }
 
+impl GroupId {
+    /// The span-context key this group id defines: every chunk frame
+    /// already carries the `<CliID, GroupSeq>` pair in its wire header
+    /// (upload, forward, and recovery-download directions alike), so
+    /// causal spans recorded on either side of a link join the same
+    /// tree without any extra bytes on the wire.
+    pub fn span_key(&self) -> deltacfs_obs::GroupKey {
+        deltacfs_obs::GroupKey {
+            client: self.client.0,
+            seq: self.seq,
+        }
+    }
+}
+
 impl fmt::Display for GroupId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "<{},g{}>", self.client, self.seq)

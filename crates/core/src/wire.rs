@@ -108,6 +108,14 @@ impl Writer<'_> {
         }
     }
 
+    /// The `<CliID, GroupSeq>` group header. Besides keying the
+    /// server's replay index and chunk staging, this doubles as the
+    /// *span context* of the causal profiler: every side that handles
+    /// the frame — codec, link, server stage/apply, forward fan-out —
+    /// derives its [`GroupKey`](deltacfs_obs::GroupKey) from this
+    /// header via [`GroupId::span_key`], so spans recorded on both
+    /// sides of the wire join one per-group trace tree with zero extra
+    /// bytes on the wire.
     fn group_opt(&mut self, g: Option<GroupId>) {
         match g {
             Some(g) => {
@@ -865,6 +873,24 @@ mod tests {
             let decoded = decode(&encoded).expect("decode");
             assert_eq!(decoded, msg);
         }
+    }
+
+    #[test]
+    fn group_header_carries_the_span_context_across_the_wire() {
+        // The receiving side must derive the exact same profiler group
+        // key the sender stamped — the span context rides the existing
+        // `<CliID, GroupSeq>` header, no extra bytes.
+        for msg in sample_msgs() {
+            let decoded = decode(&encode(&msg)).expect("decode");
+            assert_eq!(
+                decoded.group.map(|g| g.span_key()),
+                msg.group.map(|g| g.span_key()),
+            );
+        }
+        let key = g(2, 7).span_key();
+        assert_eq!(key.client, 2);
+        assert_eq!(key.seq, 7);
+        assert_eq!(key.to_string(), "<c2,g7>");
     }
 
     #[test]

@@ -125,6 +125,11 @@ impl Link {
         self.up_busy_until
     }
 
+    /// When the download direction becomes free.
+    pub fn download_busy_until(&self) -> SimTime {
+        self.down_busy_until
+    }
+
     /// Sends `bytes` client → cloud starting no earlier than `now`;
     /// returns the completion time.
     pub fn upload(&mut self, bytes: u64, now: SimTime) -> SimTime {

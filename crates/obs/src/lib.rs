@@ -51,36 +51,57 @@
 
 mod merge;
 mod registry;
+mod spans;
 mod trace;
 
 pub use merge::Merge;
 pub use registry::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
+pub use spans::{
+    GroupKey, GroupProfile, Profiler, SpanId, SpanRecord, SpanRecorder, STAGE_ORDER, WAIT_STAGE,
+};
 pub use trace::{DumpGuard, TraceEvent, TraceKind, Tracer};
 
 /// The observability bundle one simulated deployment shares: a metrics
-/// registry plus a tracer/flight-recorder. Cloning yields handles to the
-/// *same* registry and ring buffer.
+/// registry, a tracer/flight-recorder, and a causal span recorder.
+/// Cloning yields handles to the *same* registry, ring buffer, and
+/// span table.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     /// The shared metrics registry.
     pub registry: Registry,
     /// The shared tracer (disabled by default; see [`Obs::with_tracing`]).
     pub tracer: Tracer,
+    /// The shared causal span recorder (disabled by default; see
+    /// [`Obs::with_profiling`]).
+    pub spans: SpanRecorder,
 }
 
 impl Obs {
-    /// A bundle whose tracer is disabled: metrics record normally, trace
-    /// call sites cost one relaxed atomic load each.
+    /// A bundle whose tracer and span recorder are disabled: metrics
+    /// record normally, trace and span call sites cost one relaxed
+    /// atomic load each.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// A bundle with tracing enabled and a flight-recorder ring holding
-    /// the most recent `capacity` events.
+    /// the most recent `capacity` events. Span recording stays off.
     pub fn with_tracing(capacity: usize) -> Self {
         Obs {
             registry: Registry::new(),
             tracer: Tracer::new(capacity),
+            spans: SpanRecorder::default(),
+        }
+    }
+
+    /// A bundle with both tracing and causal span recording enabled:
+    /// the tracer ring keeps `capacity` events, the span table holds up
+    /// to `capacity` spans (further spans are counted as dropped).
+    pub fn with_profiling(capacity: usize) -> Self {
+        Obs {
+            registry: Registry::new(),
+            tracer: Tracer::new(capacity),
+            spans: SpanRecorder::new(capacity),
         }
     }
 }
@@ -95,6 +116,21 @@ mod tests {
         assert!(!obs.tracer.enabled());
         obs.tracer.event(0, "a", "stage", || unreachable!("lazy detail"));
         assert_eq!(obs.tracer.len(), 0);
+        assert!(!obs.spans.enabled());
+        let g = GroupKey { client: 1, seq: 1 };
+        assert!(obs.spans.start(g, "a", "stage", 0, None).is_none());
+        assert!(obs.spans.is_empty());
+    }
+
+    #[test]
+    fn profiling_bundle_records_spans() {
+        let obs = Obs::with_profiling(128);
+        assert!(obs.tracer.enabled());
+        assert!(obs.spans.enabled());
+        let g = GroupKey { client: 1, seq: 1 };
+        let id = obs.spans.start(g, "client-1", "vfs.write", 0, None);
+        obs.spans.end(id, 5);
+        assert_eq!(obs.clone().spans.len(), 1); // clones share the table
     }
 
     #[test]

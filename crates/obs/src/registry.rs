@@ -127,11 +127,23 @@ impl Histogram {
         self.cell.max.load(Ordering::Relaxed)
     }
 
-    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear
-    /// interpolation inside the bucket holding the target rank; the
-    /// overflow bucket reports the observed maximum (the upper bound a
-    /// fixed-bucket histogram actually knows). Returns `None` when the
-    /// histogram is empty.
+    /// Estimates the `q`-quantile (`q` is clamped into `[0.0, 1.0]`).
+    ///
+    /// The interpolation rule: the target rank is
+    /// `max(1, ceil(q * count))`, counted from the smallest bucket.
+    /// Inside the finite bucket holding that rank the estimate moves
+    /// linearly from the bucket's lower bound (exclusive, 0 for the
+    /// first bucket) to its inclusive upper bound, proportional to the
+    /// rank's position among the bucket's observations — so `q = 0.0`
+    /// reports the first bucket's upper bound scaled by `1/n` of its
+    /// width, not 0. Edge cases:
+    ///
+    /// * empty histogram → `None` for every `q`;
+    /// * rank in the overflow (+Inf) bucket → the observed
+    ///   [`Histogram::max`], the only upper bound a fixed-bucket
+    ///   histogram actually knows;
+    /// * a single-observation bucket reports that bucket's upper bound
+    ///   (the interpolation fraction is `1/1`).
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let total = self.count();
         if total == 0 {
@@ -246,12 +258,31 @@ impl Registry {
     /// Panics if `bounds` is empty or not strictly increasing, or if the
     /// name is already registered as a different kind.
     pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
+        self.histogram_labeled(name, help, bounds, None)
+    }
+
+    /// Registers (or retrieves) a histogram carrying one `key="value"`
+    /// label — the same name may be registered under several labels
+    /// (e.g. one per pipeline stage). Same bound rules as
+    /// [`Registry::histogram`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing, or if the
+    /// name+label is already registered as a different kind.
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        label: Option<(&str, &str)>,
+    ) -> Histogram {
         assert!(!bounds.is_empty(), "histogram {name} needs buckets");
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram {name} bounds must be strictly increasing"
         );
-        let key = make_key(name, None);
+        let key = make_key(name, label);
         let mut metrics = self.inner.metrics.lock().expect("registry poisoned");
         let entry = metrics.entry(key).or_insert_with(|| Entry::Histogram {
             help: help.to_string(),
@@ -459,10 +490,10 @@ impl Snapshot {
             let label = |extra: Option<(&str, String)>| -> String {
                 let mut parts = Vec::new();
                 if let Some((k, v)) = &e.label {
-                    parts.push(format!("{k}=\"{v}\""));
+                    parts.push(format!("{k}=\"{}\"", prom_label_value(v)));
                 }
                 if let Some((k, v)) = extra {
-                    parts.push(format!("{k}=\"{v}\""));
+                    parts.push(format!("{k}=\"{}\"", prom_label_value(&v)));
                 }
                 if parts.is_empty() {
                     String::new()
@@ -510,8 +541,27 @@ impl Snapshot {
     }
 }
 
+/// Escapes a label value for the Prometheus text exposition format: in
+/// quoted label values, backslash, double quote, and line feed must be
+/// written `\\`, `\"`, and `\n` respectively (any other byte passes
+/// through verbatim). Without this, a path or client label containing
+/// one of those characters would break the exposition line.
+fn prom_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Escapes a string into a JSON string literal (quotes included).
-fn json_str(s: &str) -> String {
+/// Shared with the span profiler's Chrome trace export.
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -624,6 +674,85 @@ mod tests {
         assert_eq!(h.quantile(0.99), Some(999));
         // Rank 1 interpolates inside the first bucket.
         assert_eq!(h.quantile(0.0), Some(100));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let reg = Registry::new();
+        // Empty: no quantile at any q, including the extremes.
+        let empty = reg.histogram("empty", "", &[10]);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), None);
+        }
+        // Every observation in one finite bucket: all quantiles
+        // interpolate inside it and q=1.0 reports its upper bound.
+        let single = reg.histogram("single", "", &[100, 200]);
+        for _ in 0..4 {
+            single.observe(150);
+        }
+        assert_eq!(single.quantile(0.0), Some(125)); // rank 1 of 4: 1/4 into (100,200]
+        assert_eq!(single.quantile(0.5), Some(150));
+        assert_eq!(single.quantile(1.0), Some(200));
+        // One observation: rank 1 is the whole bucket, so every q
+        // reports the bucket's upper bound.
+        let one = reg.histogram("one", "", &[50]);
+        one.observe(3);
+        assert_eq!(one.quantile(0.0), Some(50));
+        assert_eq!(one.quantile(1.0), Some(50));
+        // Everything in the overflow bucket: the observed max is the
+        // only honest answer at any q.
+        let over = reg.histogram("over", "", &[10]);
+        over.observe(500);
+        over.observe(900);
+        assert_eq!(over.quantile(0.0), Some(900));
+        assert_eq!(over.quantile(0.5), Some(900));
+        assert_eq!(over.quantile(1.0), Some(900));
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(over.quantile(-3.0), Some(900));
+        assert_eq!(over.quantile(7.0), Some(900));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter_labeled("by_path", "", Some(("path", "/a\"b\\c\nd")))
+            .inc();
+        let prom = reg.snapshot().to_prometheus();
+        assert!(
+            prom.contains("by_path{path=\"/a\\\"b\\\\c\\nd\"} 1"),
+            "{prom}"
+        );
+        // The line must stay a single exposition line: the raw newline
+        // may not survive into the output.
+        let line = prom.lines().find(|l| l.starts_with("by_path{")).unwrap();
+        assert!(line.ends_with("} 1"), "{line}");
+        // Histograms escape the shared label on every series they expand to.
+        let h = reg.histogram_labeled("lat_ms", "", &[10], Some(("op", "up\"load")));
+        h.observe(5);
+        let prom = reg.snapshot().to_prometheus();
+        assert!(
+            prom.contains("lat_ms_bucket{op=\"up\\\"load\",le=\"10\"} 1"),
+            "{prom}"
+        );
+        assert!(prom.contains("lat_ms_sum{op=\"up\\\"load\"} 5"), "{prom}");
+    }
+
+    #[test]
+    fn labeled_histograms_keep_series_separate() {
+        let reg = Registry::new();
+        reg.histogram_labeled("stage_ms", "", &[10, 100], Some(("stage", "encode")))
+            .observe(5);
+        reg.histogram_labeled("stage_ms", "", &[10, 100], Some(("stage", "upload")))
+            .observe(50);
+        let snap = reg.snapshot();
+        match snap.get_labeled("stage_ms", "encode") {
+            Some(MetricValue::Histogram { counts, .. }) => assert_eq!(counts, &vec![1, 0, 0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match snap.get_labeled("stage_ms", "upload") {
+            Some(MetricValue::Histogram { counts, .. }) => assert_eq!(counts, &vec![0, 1, 0]),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -108,6 +108,12 @@ fn unified_snapshot_covers_every_subsystem() {
         }
         other => panic!("retry_backoff_ms: {other:?}"),
     }
+    // The flight recorder's drop counter is part of the snapshot, and a
+    // generously sized ring drops nothing on this run.
+    match snap.get("trace_events_dropped") {
+        Some(MetricValue::Counter(v)) => assert_eq!(*v, 0, "ring dropped events"),
+        other => panic!("trace_events_dropped: {other:?}"),
+    }
     // Both export formats include the labeled and histogram series.
     let json = snap.to_json();
     let prom = snap.to_prometheus();
@@ -200,6 +206,9 @@ fn pinned_seed_trace_is_deterministic() {
     assert!(!a.is_empty(), "trace is empty");
     assert_eq!(a.len(), b.len(), "event counts differ");
     assert_eq!(a, b, "event sequences differ");
+    // Determinism only holds when the ring kept everything.
+    assert_eq!(first.obs().tracer.dropped(), 0, "ring dropped events");
+    assert_eq!(second.obs().tracer.dropped(), 0, "ring dropped events");
     assert_eq!(
         first.obs().tracer.dump(),
         second.obs().tracer.dump(),

@@ -20,7 +20,9 @@
 use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
-use deltacfs_delta::{local, segment_bounds, Cost, DeltaParams};
+use deltacfs_delta::{
+    local, segment_bounds, take_hierarchy_stats, Cost, DeltaParams, HierarchyStats,
+};
 use deltacfs_kvstore::{KeyValue, MemStore};
 use deltacfs_net::{SimClock, SimTime};
 use deltacfs_obs::Obs;
@@ -108,6 +110,11 @@ pub struct DeltaCfsClient<K: KeyValue = MemStore> {
     /// relation triggers and delta encodes mark here and drain into
     /// parented spans at pack time.
     span_marks: HashMap<String, PathSpanMarks>,
+    /// Accumulated hierarchical-matcher statistics across this client's
+    /// delta encodes (drained from the per-thread accumulator right
+    /// after each diff call). Wall-clock bookkeeping only — the diff
+    /// [`Cost`] stays byte-identical to the plain matcher's by contract.
+    hierarchy_stats: HierarchyStats,
 }
 
 /// Pending span marks for one path (see `DeltaCfsClient::span_marks`).
@@ -117,6 +124,8 @@ struct PathSpanMarks {
     relation_ms: Option<u64>,
     /// Start/end of the local delta encode for the path.
     encode: Option<(u64, u64)>,
+    /// When the hierarchical matcher engaged for the path's encode.
+    hierarchy_ms: Option<u64>,
 }
 
 impl DeltaCfsClient<MemStore> {
@@ -155,7 +164,29 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             obs: Obs::new(),
             actor: format!("client-{}", id.0),
             span_marks: HashMap::new(),
+            hierarchy_stats: HierarchyStats::default(),
         }
+    }
+
+    /// The delta tuning this client's config selects, shared by every
+    /// diff site so the hierarchy/parallelism gates cannot drift.
+    fn delta_params(&self) -> DeltaParams {
+        DeltaParams::with_block_size(self.cfg.block_size)
+            .with_min_parallel_bytes(self.cfg.min_parallel_bytes)
+            .with_hierarchy(self.cfg.hierarchy_params())
+    }
+
+    /// Drains the hierarchy stats the just-finished diff recorded on this
+    /// thread into the client accumulator, returning what was added.
+    fn absorb_hierarchy_stats(&mut self) -> HierarchyStats {
+        let stats = take_hierarchy_stats();
+        self.hierarchy_stats.merge(&stats);
+        stats
+    }
+
+    /// Cumulative hierarchical-matcher statistics for this client.
+    pub fn hierarchy_stats(&self) -> HierarchyStats {
+        self.hierarchy_stats
     }
 
     /// Marks a relation-table trigger on `path` for span assembly; a
@@ -707,8 +738,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             ids.extend(src_ids);
         }
 
-        let params = DeltaParams::with_block_size(self.cfg.block_size)
-            .with_min_parallel_bytes(self.cfg.min_parallel_bytes);
+        let params = self.delta_params();
         self.obs
             .tracer
             .enter(now.as_millis(), &self.actor, "delta.encode", || {
@@ -739,12 +769,28 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             self.cfg.parallelism,
             &mut self.cost,
         );
+        let hstats = self.absorb_hierarchy_stats();
+        if hstats.engaged() {
+            self.obs
+                .tracer
+                .event(now.as_millis(), &self.actor, "delta.hierarchy", || {
+                    format!(
+                        "{path}: {} span(s) matched wholesale, {} bytes skipped, {} leaf-walked",
+                        hstats.levels_matched(),
+                        hstats.bytes_skipped,
+                        hstats.leaf_walk_bytes
+                    )
+                });
+        }
         if self.obs.spans.enabled() {
             // Encode CPU never advances the simulated clock, so the
             // span is zero-width at `now`; the streaming bench path
             // (Pace::Measured) is where encode time becomes visible.
-            self.span_marks.entry(path.to_string()).or_default().encode =
-                Some((now.as_millis(), now.as_millis()));
+            let marks = self.span_marks.entry(path.to_string()).or_default();
+            marks.encode = Some((now.as_millis(), now.as_millis()));
+            if hstats.engaged() {
+                marks.hierarchy_ms = Some(now.as_millis());
+            }
         }
         let chose_delta = delta.wire_size() < new_content.len() as u64;
         self.obs
@@ -931,6 +977,20 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                                 || m.path.clone(),
                             );
                         }
+                        if let Some(t) = marks.hierarchy_ms {
+                            // Recorded before delta.encode so the
+                            // coarse→fine pass shows up ahead of the walk
+                            // it accelerates in the stage ordering.
+                            self.obs.spans.record(
+                                key,
+                                &self.actor,
+                                "delta.hierarchy",
+                                t,
+                                t,
+                                Some(root),
+                                || m.path.clone(),
+                            );
+                        }
                         if let Some((s, e)) = marks.encode {
                             self.obs.spans.record(
                                 key,
@@ -1011,10 +1071,10 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             let undo = self.undo.get(path).expect("checked above");
             let old = undo.reconstruct(&current);
             self.cost.bytes_copied += old.len() as u64;
-            let params = DeltaParams::with_block_size(self.cfg.block_size)
-            .with_min_parallel_bytes(self.cfg.min_parallel_bytes);
+            let params = self.delta_params();
             let delta =
                 local::diff_parallel(&old, &current, &params, self.cfg.parallelism, &mut self.cost);
+            self.absorb_hierarchy_stats();
             self.clear_undo(path);
             if delta.wire_size() < raw_size {
                 return UpdatePayload::Delta {
@@ -1292,8 +1352,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
             if base_matches && initial_len > 0 {
                 let old = self.undo[&path].reconstruct(&current);
                 self.cost.bytes_copied += old.len() as u64;
-                let params = DeltaParams::with_block_size(self.cfg.block_size)
-            .with_min_parallel_bytes(self.cfg.min_parallel_bytes);
+                let params = self.delta_params();
                 let delta = local::diff_parallel(
                     &old,
                     &current,
@@ -1301,6 +1360,7 @@ impl<K: KeyValue> DeltaCfsClient<K> {
                     self.cfg.parallelism,
                     &mut self.cost,
                 );
+                self.absorb_hierarchy_stats();
                 if delta.wire_size() < current.len() as u64 {
                     self.queue.push(
                         NodeKind::Delta {

@@ -81,6 +81,24 @@ pub struct DeltaCfsConfig {
     /// default; applied content, costs, and outcomes are identical
     /// either way, only traffic and timing improve.
     pub wire_compression: bool,
+    /// Hierarchical coarse→fine delta matching for huge files: a
+    /// content-defined shingle tree pairs identical old/new spans
+    /// wholesale so only divergent leaf ranges reach the byte-level
+    /// walk. On by default; deltas and [`Cost`] totals are byte-identical
+    /// to the plain matcher by contract, only wall-clock time and the
+    /// `hierarchy_*` metrics change.
+    ///
+    /// [`Cost`]: deltacfs_delta::Cost
+    pub hierarchy: bool,
+    /// Shingle-tree fan-out: how many coarse→fine levels (1–3) the
+    /// hierarchical matcher descends through.
+    pub hierarchy_levels: usize,
+    /// New-file sizes below this take the plain matcher even when
+    /// [`hierarchy`](DeltaCfsConfig::hierarchy) is on — the huge-file
+    /// analogue of
+    /// [`min_parallel_bytes`](DeltaCfsConfig::min_parallel_bytes)
+    /// (small files never pay the shingle-tree overhead).
+    pub hierarchy_min_bytes: usize,
 }
 
 impl DeltaCfsConfig {
@@ -100,7 +118,46 @@ impl DeltaCfsConfig {
             chunk_budget: 256 * 1024,
             pipeline_depth: 4,
             wire_compression: false,
+            hierarchy: true,
+            hierarchy_levels: 2,
+            hierarchy_min_bytes: deltacfs_delta::HierarchyParams::DEFAULT_MIN_FILE_BYTES,
         }
+    }
+
+    /// Enables or disables hierarchical matching for huge files.
+    pub fn with_hierarchy(mut self, on: bool) -> Self {
+        self.hierarchy = on;
+        self
+    }
+
+    /// Sets the shingle-tree level fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is not in `1..=3`.
+    pub fn with_hierarchy_levels(mut self, levels: usize) -> Self {
+        assert!(
+            (1..=deltacfs_delta::hierarchy::MAX_LEVELS).contains(&levels),
+            "hierarchy levels must be 1..=3"
+        );
+        self.hierarchy_levels = levels;
+        self
+    }
+
+    /// Overrides the hierarchical-matching size floor (`0` engages the
+    /// shingle tree on any input; tests use this).
+    pub fn with_hierarchy_min_bytes(mut self, bytes: usize) -> Self {
+        self.hierarchy_min_bytes = bytes;
+        self
+    }
+
+    /// The [`HierarchyParams`](deltacfs_delta::HierarchyParams) these
+    /// knobs select, or `None` when hierarchy is off.
+    pub fn hierarchy_params(&self) -> Option<deltacfs_delta::HierarchyParams> {
+        self.hierarchy.then(|| {
+            deltacfs_delta::HierarchyParams::with_levels(self.hierarchy_levels)
+                .with_min_file_bytes(self.hierarchy_min_bytes)
+        })
     }
 
     /// Disables the checksum store (the plain `DeltaCFS` row of
@@ -259,6 +316,28 @@ mod tests {
         assert_eq!(c.min_parallel_bytes, 8 << 20);
         assert!(!c.wire_compression, "the wire codec is opt-in");
         assert!(c.with_wire_compression(true).wire_compression);
+        assert!(c.hierarchy, "hierarchical matching defaults on");
+        assert_eq!(c.hierarchy_levels, 2);
+        assert_eq!(c.hierarchy_min_bytes, 64 << 20);
+        let h = c.hierarchy_params().expect("hierarchy params");
+        assert_eq!(h.min_file_bytes, 64 << 20);
+        assert_eq!(h.level_params().count(), 2);
+        assert!(c.with_hierarchy(false).hierarchy_params().is_none());
+    }
+
+    #[test]
+    fn hierarchy_builders() {
+        let c = DeltaCfsConfig::new()
+            .with_hierarchy_levels(3)
+            .with_hierarchy_min_bytes(0);
+        assert_eq!(c.hierarchy_params().unwrap().level_params().count(), 3);
+        assert_eq!(c.hierarchy_min_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hierarchy levels")]
+    fn zero_hierarchy_levels_rejected() {
+        let _ = DeltaCfsConfig::new().with_hierarchy_levels(0);
     }
 
     #[test]

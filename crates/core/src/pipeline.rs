@@ -36,7 +36,8 @@ use std::sync::{Condvar, Mutex};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Sender};
 use deltacfs_delta::{
-    local, Cost, Delta, DeltaChunk, DeltaOp, DeltaParams, OP_HEADER_BYTES,
+    local, record_hierarchy_stats, take_hierarchy_stats, Cost, Delta, DeltaChunk, DeltaOp,
+    DeltaParams, HierarchyStats, OP_HEADER_BYTES,
 };
 use deltacfs_net::{Link, SimTime};
 use deltacfs_obs::Obs;
@@ -707,6 +708,11 @@ pub fn upload_delta_streaming(
     let encode_span = spans.start(gkey, "pipeline", "delta.encode", at_ms, None);
     let mut encode_end_ms = at_ms;
     let mut stage_first_ms: Option<u64> = None;
+    // The diff runs on the encoder thread; its hierarchy stats land in
+    // *that* thread's accumulator, so the encoder drains them here and
+    // the tail below re-records them on the caller's thread.
+    let mut hstats = HierarchyStats::default();
+    let hstats_out = &mut hstats;
     let mut report = run_pipeline(
         *cfg,
         Pace::Measured,
@@ -722,6 +728,7 @@ pub fn upload_delta_streaming(
                 };
                 sender.send(frame);
             });
+            *hstats_out = take_hierarchy_stats();
         },
         |frame, ready| {
             let busy_before = link.upload_busy_until();
@@ -773,6 +780,19 @@ pub fn upload_delta_streaming(
     let parts_done = report.done;
     report.done = link.upload_end_msg(report.done);
     link.download(ACK_WIRE_BYTES, now);
+    if hstats.engaged() {
+        record_hierarchy_stats(&hstats);
+        if span_on {
+            spans.record(gkey, "pipeline", "delta.hierarchy", at_ms, at_ms, None, || {
+                format!(
+                    "{} span(s) matched wholesale, {} bytes skipped, {} leaf-walked",
+                    hstats.levels_matched(),
+                    hstats.bytes_skipped,
+                    hstats.leaf_walk_bytes
+                )
+            });
+        }
+    }
     if span_on {
         spans.end_detail(encode_span, encode_end_ms, || {
             format!("{} frame(s) emitted", report.frames)

@@ -741,6 +741,12 @@ pub(crate) fn finish_op_stream(buf: &mut Vec<u8>) {
 mod tests {
     use super::*;
 
+    /// A frame that is garbage at every framing layer: wrong magic for the
+    /// message decoder, wrong codec tag for the envelope decoder, and too
+    /// short for either header. Shared by the frame- and envelope-rejection
+    /// tests so they provably exercise the same hostile input.
+    const MALFORMED_FRAME: &[u8] = &[0xDE, 0xAD, 0xBE, 0xEF];
+
     fn v(c: u32, n: u64) -> Version {
         Version {
             client: ClientId(c),
@@ -1009,8 +1015,7 @@ mod tests {
         let mut buf = encode(&sample_msgs()[0]);
         buf[4] = 0xFE; // opcode
         assert!(matches!(decode(&buf), Err(WireError::Malformed(_))));
-        let buf = b"XXXX".to_vec();
-        assert!(decode(&buf).is_err());
+        assert!(decode(MALFORMED_FRAME).is_err());
     }
 
     #[test]
@@ -1018,7 +1023,7 @@ mod tests {
         // Header layout for sample 0: magic(4) opcode(1) path(2+2)
         // base(1) version(13) txn(8) — the group tag sits at offset 31.
         let mut buf = encode(&sample_msgs()[0]);
-        buf[31] = 0xFE;
+        buf[31..35].copy_from_slice(MALFORMED_FRAME);
         assert_eq!(decode(&buf), Err(WireError::Malformed("group tag")));
     }
 
@@ -1047,6 +1052,7 @@ mod tests {
         // Empty buffer, wrong tag, unterminated varint, overlong varint.
         assert!(decode_codec_envelope(&[]).is_err());
         assert!(decode_codec_envelope(&[0x02, 0x00]).is_err());
+        assert!(decode_codec_envelope(MALFORMED_FRAME).is_err());
         assert!(decode_codec_envelope(&[CODEC_LZ77, 0x80]).is_err());
         let mut overlong = vec![CODEC_LZ77];
         overlong.extend_from_slice(&[0xff; 10]);

@@ -60,6 +60,7 @@ pub mod compress;
 mod cost;
 pub mod dedup;
 mod delta_ops;
+pub mod hierarchy;
 pub mod local;
 mod md5_impl;
 mod parallel;
@@ -69,6 +70,9 @@ mod stream;
 mod weak_index;
 
 pub use cost::Cost;
+pub use hierarchy::{
+    record_hierarchy_stats, take_hierarchy_stats, HierarchyParams, HierarchyStats,
+};
 pub use parallel::segment_bounds;
 pub use delta_ops::{ApplyError, Delta, DeltaOp, OP_HEADER_BYTES};
 pub use md5_impl::{md5, md5_hex, Md5};
@@ -92,6 +96,13 @@ pub struct DeltaParams {
     /// win on small inputs — BENCH_3 measured 0.76–0.84x at 4 MiB.
     /// Output and [`Cost`] are unaffected either way, by contract.
     pub min_parallel_bytes: usize,
+
+    /// Hierarchical coarse→fine matching for huge files ([`hierarchy`]):
+    /// `Some` enables the shingle tree for new files at least
+    /// [`HierarchyParams::min_file_bytes`] long. Output and [`Cost`] are
+    /// byte-identical to the sequential matcher either way, by contract —
+    /// only wall-clock time and [`HierarchyStats`] change.
+    pub hierarchy: Option<HierarchyParams>,
 }
 
 impl DeltaParams {
@@ -118,6 +129,7 @@ impl DeltaParams {
         DeltaParams {
             block_size,
             min_parallel_bytes: Self::DEFAULT_MIN_PARALLEL_BYTES,
+            hierarchy: None,
         }
     }
 
@@ -126,6 +138,13 @@ impl DeltaParams {
     /// small inputs).
     pub fn with_min_parallel_bytes(mut self, min_parallel_bytes: usize) -> Self {
         self.min_parallel_bytes = min_parallel_bytes;
+        self
+    }
+
+    /// Enables (or with `None`, disables) hierarchical coarse→fine
+    /// matching for huge files.
+    pub fn with_hierarchy(mut self, hierarchy: Option<HierarchyParams>) -> Self {
+        self.hierarchy = hierarchy;
         self
     }
 }

@@ -19,11 +19,12 @@ use std::collections::HashMap;
 
 use crate::cost::Cost;
 use crate::delta_ops::Delta;
+use crate::hierarchy::{diff_hier_sink, HierarchyParams};
 use crate::parallel::{replay_matches, replay_with, scan_matches, scan_streaming, ProbeOutcome};
 use crate::rolling::RollingChecksum;
 use crate::rsync::diff_with_sink;
 use crate::stream::{ChunkSink, DeltaChunk, MaterializeSink, OpSink};
-use crate::weak_index::{insert_candidate, CandidateSet, WeakIndex};
+use crate::weak_index::{insert_candidate, CandidateSet, WeakFilter, WeakIndex};
 use crate::DeltaParams;
 
 /// Indexes old-file blocks by weak checksum only, charging the canonical
@@ -49,10 +50,12 @@ fn diff_sink<S: OpSink>(
     weak_map: &HashMap<u32, CandidateSet>,
     sink: &mut S,
 ) {
+    let filter = WeakFilter::from_weak_keys(weak_map.keys().copied());
     diff_with_sink(
         new,
         bs,
         cost,
+        Some(&filter),
         |weak| weak_map.get(&weak),
         |window, candidates, cost| {
             confirm_bitwise(old, bs, window, candidates, |bytes, ops| {
@@ -100,6 +103,11 @@ pub fn diff_parallel(
     workers: usize,
     cost: &mut Cost,
 ) -> Delta {
+    if let Some(h) = hierarchy_gate(params, new) {
+        let mut sink = MaterializeSink::new();
+        diff_hier_local(old, new, params.block_size, &h, workers, cost, &mut sink);
+        return sink.into_delta();
+    }
     if workers <= 1 || new.len() < params.min_parallel_bytes {
         return diff(old, new, params, cost);
     }
@@ -126,6 +134,73 @@ pub fn diff_parallel(
             probe(RollingChecksum::new(window).digest(), window)
         },
     )
+}
+
+/// The hierarchy gate: `Some(params)` when hierarchical matching is
+/// configured and the new file clears its size floor.
+fn hierarchy_gate(params: &DeltaParams, new: &[u8]) -> Option<HierarchyParams> {
+    params
+        .hierarchy
+        .filter(|h| new.len() >= h.min_file_bytes && new.len() >= params.block_size)
+}
+
+/// Hierarchical coarse→fine walk with bitwise confirmation: shares the
+/// canonical index charge and probe with [`diff_parallel`], hands the
+/// rest to [`diff_hier_sink`]. Byte-identical output and [`Cost`] to
+/// [`diff`], by contract.
+fn diff_hier_local<S: OpSink>(
+    old: &[u8],
+    new: &[u8],
+    bs: usize,
+    h: &HierarchyParams,
+    workers: usize,
+    cost: &mut Cost,
+    sink: &mut S,
+) {
+    let workers = workers.max(1);
+    let index = WeakIndex::build_parallel(old, bs, workers);
+    cost.bytes_rolled += old.len() as u64;
+    cost.ops += old.len().div_ceil(bs) as u64;
+    let probe = probe_bitwise(old, bs, &index);
+    // Metadata self-probe: a span-aligned window IS old block `block`
+    // (full length), so its weak digest is in the index's census. When
+    // the block is the sole candidate of its digest class, the
+    // sequential confirm compares it against itself — equal, all
+    // `bs` bytes, one op — so the outcome is known without touching a
+    // byte. Collision classes rerun the real candidate compares (the
+    // window checksum alone is skipped; the digest is the census entry).
+    let self_probe_meta = |block: u32| -> Option<ProbeOutcome> {
+        let candidates = index.lookup(index.block_weak(block))?;
+        let mut it = candidates.iter();
+        if it.next() == Some(block) && it.next().is_none() {
+            return Some((Some(block), bs as u64, 1));
+        }
+        let start = block as usize * bs;
+        let window = &old[start..start + bs];
+        let mut bytes = 0u64;
+        let mut ops = 0u64;
+        let matched = confirm_bitwise(old, bs, window, candidates, |b, o| {
+            bytes += b;
+            ops += o;
+        });
+        Some((matched, bytes, ops))
+    };
+    diff_hier_sink(
+        old,
+        new,
+        bs,
+        h,
+        workers,
+        &probe,
+        self_probe_meta,
+        cost,
+        |cost, bytes, ops| {
+            cost.bytes_compared += bytes;
+            cost.ops += ops;
+        },
+        |block_idx| block_range(old.len(), bs, block_idx),
+        sink,
+    );
 }
 
 /// The bitwise-confirming probe shared by the parallel and streaming
@@ -169,7 +244,9 @@ pub fn diff_streaming(
 ) {
     let bs = params.block_size;
     let mut sink = ChunkSink::new(chunk_budget, emit);
-    if workers <= 1 || new.len() < params.min_parallel_bytes {
+    if let Some(h) = hierarchy_gate(params, new) {
+        diff_hier_local(old, new, bs, &h, workers, cost, &mut sink);
+    } else if workers <= 1 || new.len() < params.min_parallel_bytes {
         let weak_map = index_old(old, bs, cost);
         diff_sink(old, new, bs, cost, &weak_map, &mut sink);
     } else {
@@ -454,6 +531,83 @@ mod tests {
         let d_par = diff_parallel(&old, &new, &params, 8, &mut c_par);
         assert_eq!(d_par, d_seq);
         assert_eq!(c_par, c_seq);
+    }
+
+    fn tiny_hierarchy() -> HierarchyParams {
+        use crate::cdc::CdcParams;
+        HierarchyParams::from_levels(&[
+            CdcParams {
+                min_size: 128,
+                mask_bits: 7,
+                max_size: 2048,
+            },
+            CdcParams {
+                min_size: 32,
+                mask_bits: 5,
+                max_size: 512,
+            },
+        ])
+        .with_min_file_bytes(0)
+    }
+
+    #[test]
+    fn hierarchical_output_is_byte_identical() {
+        let old: Vec<u8> = (0..30_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        // A prepend (shift), a splice, a point edit and a tail append —
+        // exercises prescan, shingle descent and the leaf walk at once.
+        let mut new = vec![0xCD; 777];
+        new.extend_from_slice(&old);
+        new.splice(5_000..5_000, [0xEE; 37]);
+        new[70_000] ^= 0xFF;
+        new.extend_from_slice(&[0xBB; 3_000]);
+        let params = DeltaParams::with_block_size(512);
+        let mut c_seq = Cost::new();
+        let d_seq = diff(&old, &new, &params, &mut c_seq);
+        let hier = params.with_hierarchy(Some(tiny_hierarchy()));
+        for workers in [1, 2, 4] {
+            let mut c_h = Cost::new();
+            let d_h = diff_parallel(&old, &new, &hier, workers, &mut c_h);
+            let stats = crate::take_hierarchy_stats();
+            assert_eq!(d_h, d_seq, "delta differs ({workers} workers)");
+            assert_eq!(c_h, c_seq, "cost differs ({workers} workers)");
+            assert!(stats.engaged());
+            assert!(stats.bytes_skipped > 0, "hierarchy never skipped");
+        }
+    }
+
+    #[test]
+    fn hierarchical_streaming_respects_budget_and_identity() {
+        let old: Vec<u8> = (0..30_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut new = old.clone();
+        new.splice(40_000..40_000, [0x11; 999]);
+        let params = DeltaParams::with_block_size(512);
+        let mut c_seq = Cost::new();
+        let d_seq = diff(&old, &new, &params, &mut c_seq);
+        let hier = params.with_hierarchy(Some(tiny_hierarchy()));
+        for budget in [64usize, 4096] {
+            let mut c_h = Cost::new();
+            let mut chunks = Vec::new();
+            diff_streaming(&old, &new, &hier, 2, &mut c_h, budget, |c| chunks.push(c));
+            let _ = crate::take_hierarchy_stats();
+            assert!(chunks.iter().all(|c| c.literal_bytes() <= budget as u64));
+            assert_eq!(chunks.last().map(|c| c.last), Some(true));
+            assert_eq!(Delta::from_chunks(chunks), d_seq, "budget {budget}");
+            assert_eq!(c_h, c_seq, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_min_size_gate_uses_plain_matcher() {
+        let old: Vec<u8> = (0..8_192u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut new = old.clone();
+        new[1000] ^= 0xFF;
+        // Default 64 MiB floor: a 32 KB file must not engage the tree.
+        let params =
+            DeltaParams::with_block_size(512).with_hierarchy(Some(HierarchyParams::default()));
+        let mut c = Cost::new();
+        let d = diff_parallel(&old, &new, &params, 4, &mut c);
+        assert!(!crate::take_hierarchy_stats().engaged());
+        assert_eq!(d.apply(&old).unwrap(), new);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub(crate) struct ScanTable {
 }
 
 impl ScanTable {
-    fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         ScanTable {
             records: Vec::new(),
             unprobed: Vec::new(),
@@ -236,7 +236,7 @@ where
 
 /// Greedily scans window positions `start..end`, deriving the rolling
 /// checksum at `start` and after every block jump.
-fn scan_segment<P>(
+pub(crate) fn scan_segment<P>(
     new: &[u8],
     block_size: usize,
     start: usize,

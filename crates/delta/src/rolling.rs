@@ -71,6 +71,27 @@ impl RollingChecksum {
         self.a | (self.b << 16)
     }
 
+    /// Non-committing 8-step lookahead: returns the checksum states after
+    /// rolling 1, 2, …, 8 bytes forward (`outs[i]` leaves as `ins[i]`
+    /// enters), without mutating `self`.
+    ///
+    /// `states[i]` is exactly what `i + 1` successive [`roll`] calls would
+    /// produce — the miss loops use this to test a whole word of upcoming
+    /// window positions against the weak filter and jump straight to the
+    /// first plausible one.
+    ///
+    /// [`roll`]: RollingChecksum::roll
+    #[inline]
+    pub fn peek8(&self, outs: &[u8; 8], ins: &[u8; 8]) -> [RollingChecksum; 8] {
+        let mut rc = *self;
+        let mut states = [rc; 8];
+        for i in 0..8 {
+            rc.roll(outs[i], ins[i]);
+            states[i] = rc;
+        }
+        states
+    }
+
     /// Window length this checksum was built over.
     pub fn window_len(&self) -> usize {
         self.window as usize
@@ -120,5 +141,29 @@ mod tests {
     #[test]
     fn window_len_reported() {
         assert_eq!(RollingChecksum::new(b"abcd").window_len(), 4);
+    }
+
+    #[test]
+    fn peek8_matches_sequential_rolls_at_every_offset() {
+        let data: Vec<u8> = (0..500).map(|i| (i * 131 % 251) as u8).collect();
+        for win in [4usize, 8, 64] {
+            let mut rc = RollingChecksum::new(&data[..win]);
+            let mut pos = 0usize;
+            while pos + win + 8 <= data.len() {
+                let outs: [u8; 8] = data[pos..pos + 8].try_into().unwrap();
+                let ins: [u8; 8] = data[pos + win..pos + win + 8].try_into().unwrap();
+                let states = rc.peek8(&outs, &ins);
+                let before = rc;
+                for (i, state) in states.iter().enumerate() {
+                    let fresh = RollingChecksum::new(&data[pos + i + 1..pos + i + 1 + win]);
+                    assert_eq!(state.digest(), fresh.digest(), "win {win} pos {pos} step {i}");
+                }
+                // Non-committing: self unchanged.
+                assert_eq!(rc, before);
+                rc.roll(data[pos], data[pos + win]);
+                assert_eq!(rc, states[0], "single roll equals first peeked state");
+                pos += 1;
+            }
+        }
     }
 }

@@ -15,11 +15,12 @@ use std::collections::HashMap;
 
 use crate::cost::Cost;
 use crate::delta_ops::Delta;
+use crate::hierarchy::{diff_hier_sink, HierarchyParams};
 use crate::md5_impl::md5;
 use crate::parallel::{replay_matches, replay_with, scan_matches, scan_streaming, ProbeOutcome};
 use crate::rolling::RollingChecksum;
 use crate::stream::{ChunkSink, DeltaChunk, MaterializeSink, OpSink};
-use crate::weak_index::{insert_candidate, CandidateSet};
+use crate::weak_index::{insert_candidate, CandidateSet, WeakFilter};
 use crate::DeltaParams;
 
 /// Per-block wire overhead of a transmitted signature entry:
@@ -32,9 +33,17 @@ pub struct Signature {
     block_size: usize,
     /// Strong checksum of each block, indexed by block number.
     strong: Vec<[u8; 16]>,
+    /// Weak checksum of each block, indexed by block number. Part of the
+    /// wire signature already (each entry ships weak + strong); kept
+    /// per-block so the hierarchical matcher's metadata self-probe can
+    /// answer a span-aligned block's own probe without hashing.
+    weak: Vec<u32>,
     /// Weak checksum -> block numbers with that weak checksum (first
     /// candidate inline, overflow allocated only on collision).
     weak_map: HashMap<u32, CandidateSet>,
+    /// Superset membership filter over `weak_map`'s keys: a filter miss
+    /// proves a map miss, which lets the scan's miss loop word-skip.
+    filter: WeakFilter,
     old_len: u64,
 }
 
@@ -66,6 +75,17 @@ impl Signature {
         let len = (self.old_len - start).min(self.block_size as u64);
         (start, len)
     }
+
+    /// Weak-map lookup behind the filter fast-path; by the
+    /// [`WeakFilter`] superset invariant the result equals a direct map
+    /// probe.
+    #[inline]
+    fn lookup_weak(&self, weak: u32) -> Option<&CandidateSet> {
+        if !self.filter.plausible(weak) {
+            return None;
+        }
+        self.weak_map.get(&weak)
+    }
 }
 
 /// Computes the block [`Signature`] of `old`.
@@ -76,7 +96,9 @@ pub fn signature(old: &[u8], params: &DeltaParams, cost: &mut Cost) -> Signature
     let bs = params.block_size;
     let nblocks = old.len().div_ceil(bs);
     let mut strong = Vec::with_capacity(nblocks);
+    let mut weaks = Vec::with_capacity(nblocks);
     let mut weak_map: HashMap<u32, CandidateSet> = HashMap::with_capacity(nblocks);
+    let mut filter = WeakFilter::new();
     for (i, block) in old.chunks(bs).enumerate() {
         let weak = RollingChecksum::new(block).digest();
         cost.bytes_rolled += block.len() as u64;
@@ -84,12 +106,16 @@ pub fn signature(old: &[u8], params: &DeltaParams, cost: &mut Cost) -> Signature
         cost.bytes_strong_hashed += block.len() as u64;
         cost.ops += 2;
         strong.push(digest);
+        weaks.push(weak);
         insert_candidate(&mut weak_map, weak, i as u32);
+        filter.insert(weak);
     }
     Signature {
         block_size: bs,
         strong,
+        weak: weaks,
         weak_map,
+        filter,
         old_len: old.len() as u64,
     }
 }
@@ -104,7 +130,8 @@ pub fn diff(sig: &Signature, new: &[u8], params: &DeltaParams, cost: &mut Cost) 
         new,
         params.block_size,
         cost,
-        |weak| sig.weak_map.get(&weak),
+        Some(&sig.filter),
+        |weak| sig.lookup_weak(weak),
         |window, candidates, cost| {
             let digest = md5(window);
             cost.bytes_strong_hashed += window.len() as u64;
@@ -157,7 +184,7 @@ pub fn diff_parallel(
 /// The md5-confirming probe shared by the parallel and streaming paths.
 fn probe_md5<'a>(sig: &'a Signature) -> impl Fn(u32, &[u8]) -> Option<ProbeOutcome> + Sync + 'a {
     |weak: u32, window: &[u8]| {
-        sig.weak_map.get(&weak).map(|candidates| {
+        sig.lookup_weak(weak).map(|candidates| {
             let digest = md5(window);
             let matched = candidates.iter().find(|&b| sig.strong[b as usize] == digest);
             (matched, window.len() as u64, 1u64)
@@ -191,7 +218,8 @@ pub fn diff_streaming(
             new,
             bs,
             cost,
-            |weak| sig.weak_map.get(&weak),
+            Some(&sig.filter),
+            |weak| sig.lookup_weak(weak),
             |window, candidates, cost| {
                 let digest = md5(window);
                 cost.bytes_strong_hashed += window.len() as u64;
@@ -225,6 +253,100 @@ pub fn diff_streaming(
     sink.finish();
 }
 
+/// Hierarchical coarse→fine variant of [`diff_parallel`].
+///
+/// Unlike the other rsync entry points this needs the *old file content*
+/// (`old`), not just its [`Signature`] — the shingle tree pairs old and
+/// new spans byte-for-byte. That is exactly the paper's client-side
+/// offloading setting (§IV-B): the machine running the diff holds both
+/// versions, and the signature is only reused so the `Cost` model and
+/// output stay those of rsync. `old` must be the file `sig` was computed
+/// from. Output and [`Cost`] are byte-identical to [`diff`]'s.
+pub fn diff_hierarchical(
+    sig: &Signature,
+    old: &[u8],
+    new: &[u8],
+    h: &HierarchyParams,
+    params: &DeltaParams,
+    workers: usize,
+    cost: &mut Cost,
+) -> Delta {
+    debug_assert_eq!(sig.block_size, params.block_size);
+    debug_assert_eq!(sig.old_len, old.len() as u64);
+    if new.len() < h.min_file_bytes || new.len() < params.block_size {
+        return diff_parallel(sig, new, params, workers, cost);
+    }
+    let mut sink = MaterializeSink::new();
+    diff_hier_md5(sig, old, new, h, workers, cost, &mut sink);
+    sink.into_delta()
+}
+
+/// Streaming form of [`diff_hierarchical`]: chunked like
+/// [`diff_streaming`], same identity contract.
+#[allow(clippy::too_many_arguments)] // mirrors diff_streaming's signature plus the hierarchy knobs
+pub fn diff_hierarchical_streaming(
+    sig: &Signature,
+    old: &[u8],
+    new: &[u8],
+    h: &HierarchyParams,
+    params: &DeltaParams,
+    workers: usize,
+    cost: &mut Cost,
+    chunk_budget: usize,
+    emit: impl FnMut(DeltaChunk),
+) {
+    debug_assert_eq!(sig.block_size, params.block_size);
+    debug_assert_eq!(sig.old_len, old.len() as u64);
+    if new.len() < h.min_file_bytes || new.len() < params.block_size {
+        return diff_streaming(sig, new, params, workers, cost, chunk_budget, emit);
+    }
+    let mut sink = ChunkSink::new(chunk_budget, emit);
+    diff_hier_md5(sig, old, new, h, workers, cost, &mut sink);
+    sink.finish();
+}
+
+/// The md5-confirming hierarchical walk behind both entry points.
+fn diff_hier_md5<S: OpSink>(
+    sig: &Signature,
+    old: &[u8],
+    new: &[u8],
+    h: &HierarchyParams,
+    workers: usize,
+    cost: &mut Cost,
+    sink: &mut S,
+) {
+    let bs = sig.block_size;
+    let probe = probe_md5(sig);
+    // Metadata self-probe: a span-aligned window IS old block `block`
+    // (full length), so its MD5 equals the signature's stored strong sum
+    // and its weak digest is the stored weak sum. The sequential probe's
+    // answer — first candidate whose strong sum equals the window's —
+    // is therefore derivable from signature metadata alone, with the
+    // same `(window.len(), 1)` charge `probe_md5` reports.
+    let self_probe_meta = |block: u32| -> Option<ProbeOutcome> {
+        let candidates = sig.lookup_weak(sig.weak[block as usize])?;
+        let digest = sig.strong[block as usize];
+        let matched = candidates.iter().find(|&b| sig.strong[b as usize] == digest);
+        Some((matched, bs as u64, 1))
+    };
+    diff_hier_sink(
+        old,
+        new,
+        bs,
+        h,
+        workers.max(1),
+        &probe,
+        self_probe_meta,
+        cost,
+        |cost, bytes, ops| {
+            cost.bytes_strong_hashed += bytes;
+            cost.ops += ops;
+        },
+        |block_idx| sig.block_range(block_idx),
+        sink,
+    );
+}
+
 /// Shared rolling-window matcher used by both the remote ([`diff`]) and the
 /// local bitwise variant (`local::diff`).
 ///
@@ -235,21 +357,34 @@ pub(crate) fn diff_with<'a>(
     new: &[u8],
     block_size: usize,
     cost: &mut Cost,
+    filter: Option<&WeakFilter>,
     lookup: impl Fn(u32) -> Option<&'a CandidateSet>,
     confirm: impl FnMut(&[u8], &CandidateSet, &mut Cost) -> Option<u32>,
     block_range: impl Fn(u32) -> (u64, u64),
 ) -> Delta {
     let mut sink = MaterializeSink::new();
-    diff_with_sink(new, block_size, cost, lookup, confirm, block_range, &mut sink);
+    diff_with_sink(
+        new, block_size, cost, filter, lookup, confirm, block_range, &mut sink,
+    );
     sink.into_delta()
 }
 
 /// Sink-generic form of [`diff_with`]: identical walk, but ops go to an
 /// [`OpSink`] so the streaming paths reuse the exact traversal.
+///
+/// With a `filter`, the miss loop advances word-wise: instead of rolling
+/// one byte at a time, it peeks the next 8 window positions
+/// ([`RollingChecksum::peek8`]) and jumps straight to the first whose
+/// weak digest the filter deems plausible. Filter-implausible positions
+/// are *provably* lookup misses — and a lookup miss charges nothing but
+/// its one rolled byte, which the jump still charges per position skipped
+/// — so output and [`Cost`] are identical to the byte-at-a-time walk.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn diff_with_sink<'a, S: OpSink>(
     new: &[u8],
     block_size: usize,
     cost: &mut Cost,
+    filter: Option<&WeakFilter>,
     lookup: impl Fn(u32) -> Option<&'a CandidateSet>,
     mut confirm: impl FnMut(&[u8], &CandidateSet, &mut Cost) -> Option<u32>,
     block_range: impl Fn(u32) -> (u64, u64),
@@ -286,6 +421,27 @@ pub(crate) fn diff_with_sink<'a, S: OpSink>(
             } else {
                 if pos + block_size >= new.len() {
                     break;
+                }
+                if let Some(filter) = filter {
+                    if pos + block_size + 8 <= new.len() {
+                        let outs: [u8; 8] =
+                            new[pos..pos + 8].try_into().expect("8-byte out window");
+                        let ins: [u8; 8] = new[pos + block_size..pos + block_size + 8]
+                            .try_into()
+                            .expect("8-byte in window");
+                        let states = rc.peek8(&outs, &ins);
+                        // Jump to the first plausible upcoming position, or
+                        // past all 8 when none is; each skipped position is
+                        // a proven miss and charges its one rolled byte.
+                        let k = states
+                            .iter()
+                            .position(|s| filter.plausible(s.digest()))
+                            .unwrap_or(7);
+                        rc = states[k];
+                        cost.bytes_rolled += k as u64 + 1;
+                        pos += k + 1;
+                        continue;
+                    }
                 }
                 rc.roll(new[pos], new[pos + block_size]);
                 cost.bytes_rolled += 1;
@@ -422,6 +578,120 @@ mod tests {
             let d_par = diff_parallel(&sig, &new, &params, workers, &mut c_par);
             assert_eq!(d_par, d_seq, "delta differs with {workers} workers");
             assert_eq!(c_par, c_seq, "cost differs with {workers} workers");
+        }
+    }
+
+    /// Runs the sink walk with and without the weak filter and demands
+    /// identical deltas and identical `Cost` totals — the skip must be
+    /// decision-neutral at every boundary (tiny blocks, block sizes under
+    /// the 8-byte lookahead, tails shorter than a word, dense matches).
+    fn assert_filter_is_decision_neutral(old: &[u8], new: &[u8], bs: usize) {
+        use crate::stream::MaterializeSink;
+        let params = DeltaParams::with_block_size(bs);
+        let mut c_sig = Cost::new();
+        let sig = signature(old, &params, &mut c_sig);
+        let run = |filter: Option<&WeakFilter>| {
+            let mut cost = Cost::new();
+            let mut sink = MaterializeSink::new();
+            diff_with_sink(
+                new,
+                bs,
+                &mut cost,
+                filter,
+                |weak| sig.weak_map.get(&weak),
+                |window, candidates, cost| {
+                    let digest = md5(window);
+                    cost.bytes_strong_hashed += window.len() as u64;
+                    cost.ops += 1;
+                    candidates.iter().find(|&b| sig.strong[b as usize] == digest)
+                },
+                |block_idx| sig.block_range(block_idx),
+                &mut sink,
+            );
+            (sink.into_delta(), cost)
+        };
+        let (d_plain, c_plain) = run(None);
+        let (d_filt, c_filt) = run(Some(&sig.filter));
+        assert_eq!(d_filt, d_plain, "delta drifted (bs {bs})");
+        assert_eq!(c_filt, c_plain, "cost drifted (bs {bs})");
+        assert_eq!(d_filt.apply(old).unwrap(), new);
+    }
+
+    #[test]
+    fn filter_skip_is_decision_neutral_on_boundaries() {
+        let mut state = 0xB5297A4Du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u8
+        };
+        let old: Vec<u8> = (0..4_096).map(|_| next()).collect();
+        // Disjoint new: every position is a miss, maximal skipping.
+        let disjoint: Vec<u8> = (0..4_096).map(|_| next()).collect();
+        // Shifted new: matches resume mid-walk after an unaligned insert.
+        let mut shifted = old.clone();
+        shifted.splice(333..333, [0xAB; 11]);
+        // Dense-match new: every window hits (no skipping possible).
+        let dense = old.clone();
+        for new in [&disjoint, &shifted, &dense] {
+            // Block sizes straddling the 8-byte lookahead, plus lengths
+            // that leave 0..8 tail bytes after the last full window.
+            for bs in [4usize, 7, 8, 9, 64] {
+                assert_filter_is_decision_neutral(&old, new, bs);
+                for trim in 1..9 {
+                    assert_filter_is_decision_neutral(&old, &new[..new.len() - trim], bs);
+                }
+            }
+        }
+        // Degenerate inputs around the lookahead guard.
+        for len in [0usize, 3, 8, 9, 15, 16, 17] {
+            assert_filter_is_decision_neutral(&old, &disjoint[..len], 8);
+        }
+    }
+
+    #[test]
+    fn hierarchical_output_is_byte_identical() {
+        use crate::cdc::CdcParams;
+        let old: Vec<u8> = (0..20_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut new = vec![0x42; 333];
+        new.extend_from_slice(&old);
+        new.splice(3_000..3_000, b"SHIFTED".iter().copied());
+        new[60_000] ^= 0x55;
+        let params = DeltaParams::with_block_size(256);
+        let h = HierarchyParams::from_levels(&[
+            CdcParams {
+                min_size: 128,
+                mask_bits: 7,
+                max_size: 2048,
+            },
+            CdcParams {
+                min_size: 32,
+                mask_bits: 5,
+                max_size: 512,
+            },
+        ])
+        .with_min_file_bytes(0);
+        let mut c_sig = Cost::new();
+        let sig = signature(&old, &params, &mut c_sig);
+        let mut c_seq = Cost::new();
+        let d_seq = diff(&sig, &new, &params, &mut c_seq);
+        for workers in [1, 2, 4] {
+            let mut c_h = Cost::new();
+            let d_h = diff_hierarchical(&sig, &old, &new, &h, &params, workers, &mut c_h);
+            let stats = crate::take_hierarchy_stats();
+            assert_eq!(d_h, d_seq, "delta differs ({workers} workers)");
+            assert_eq!(c_h, c_seq, "cost differs ({workers} workers)");
+            assert!(stats.engaged());
+        }
+        for budget in [128usize, 4096] {
+            let mut c_h = Cost::new();
+            let mut chunks = Vec::new();
+            diff_hierarchical_streaming(&sig, &old, &new, &h, &params, 2, &mut c_h, budget, |c| {
+                chunks.push(c)
+            });
+            let _ = crate::take_hierarchy_stats();
+            assert!(chunks.iter().all(|c| c.literal_bytes() <= budget as u64));
+            assert_eq!(Delta::from_chunks(chunks), d_seq, "budget {budget}");
+            assert_eq!(c_h, c_seq, "budget {budget}");
         }
     }
 

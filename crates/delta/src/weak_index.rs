@@ -12,6 +12,13 @@
 //!   Candidates are inserted in increasing block-index order globally, so
 //!   candidate iteration order — and therefore match selection — is
 //!   identical to the sequential single-map build.
+//! * [`WeakFilter`] — a pair of 64 Kbit membership bitmaps over the two
+//!   16-bit halves of the weak digest. A filter miss *proves* a weak-map
+//!   miss (the filter is a superset of the map's key set), so the hot
+//!   miss loops can skip the hash probe — and, with
+//!   [`RollingChecksum::peek8`](crate::RollingChecksum::peek8), skip whole
+//!   words of implausible positions — without ever changing a match
+//!   decision.
 
 use std::collections::HashMap;
 
@@ -61,18 +68,92 @@ pub(crate) fn insert_candidate(map: &mut HashMap<u32, CandidateSet>, weak: u32, 
         .or_insert_with(|| CandidateSet::new(idx));
 }
 
+/// A conservative membership test over weak digests: two 64 Kbit bitmaps,
+/// one indexed by the low 16 bits of the digest (`a`, the byte sum) and
+/// one by the high 16 bits (`b`, the positional sum).
+///
+/// The invariant the miss-skip optimization rests on: every weak digest
+/// inserted sets both its bits, so `!plausible(weak)` **implies** the weak
+/// map has no entry for `weak`. False positives (both bits set by
+/// different digests) merely fall through to the map probe; false
+/// negatives cannot occur, so consulting the filter first can never
+/// change a lookup result — only skip provably-fruitless probes.
+#[derive(Debug, Clone)]
+pub(crate) struct WeakFilter {
+    lo: Box<[u64; 1024]>,
+    hi: Box<[u64; 1024]>,
+}
+
+impl WeakFilter {
+    /// An empty filter (rejects everything).
+    pub(crate) fn new() -> Self {
+        WeakFilter {
+            lo: Box::new([0u64; 1024]),
+            hi: Box::new([0u64; 1024]),
+        }
+    }
+
+    /// Builds a filter covering every digest in `weaks`.
+    pub(crate) fn from_weak_keys(weaks: impl Iterator<Item = u32>) -> Self {
+        let mut f = Self::new();
+        for weak in weaks {
+            f.insert(weak);
+        }
+        f
+    }
+
+    /// Marks `weak` as present.
+    #[inline]
+    pub(crate) fn insert(&mut self, weak: u32) {
+        let a = (weak & 0xffff) as usize;
+        let b = (weak >> 16) as usize;
+        self.lo[a / 64] |= 1 << (a % 64);
+        self.hi[b / 64] |= 1 << (b % 64);
+    }
+
+    /// Whether `weak` *might* be in the map. `false` is definitive.
+    #[inline]
+    pub(crate) fn plausible(&self, weak: u32) -> bool {
+        let a = (weak & 0xffff) as usize;
+        let b = (weak >> 16) as usize;
+        (self.lo[a / 64] >> (a % 64)) & 1 == 1 && (self.hi[b / 64] >> (b % 64)) & 1 == 1
+    }
+}
+
 /// A weak map sharded by `weak % nshards`, safe to share read-only across
 /// the diff worker pool.
 #[derive(Debug)]
 pub(crate) struct WeakIndex {
     shards: Vec<HashMap<u32, CandidateSet>>,
+    filter: WeakFilter,
+    /// Weak digest of each old block, indexed by block number — the
+    /// census the hierarchical matcher's metadata self-probe reads so a
+    /// span-aligned block answers its own probe without re-checksumming.
+    digests: Vec<u32>,
 }
 
 impl WeakIndex {
-    /// Looks up the candidate set for `weak`, if any.
+    /// Looks up the candidate set for `weak`, if any. The filter
+    /// fast-path rejects most misses without touching a shard map; by the
+    /// [`WeakFilter`] superset invariant the result is unchanged.
     #[inline]
     pub(crate) fn lookup(&self, weak: u32) -> Option<&CandidateSet> {
+        if !self.filter.plausible(weak) {
+            return None;
+        }
         self.shards[weak as usize % self.shards.len()].get(&weak)
+    }
+
+    /// The miss filter covering this index's weak digests.
+    #[cfg(test)]
+    pub(crate) fn filter(&self) -> &WeakFilter {
+        &self.filter
+    }
+
+    /// Weak digest of old block `idx`, from the build-time census.
+    #[inline]
+    pub(crate) fn block_weak(&self, idx: u32) -> u32 {
+        self.digests[idx as usize]
     }
 
     /// Indexes the blocks of `old` across `workers` threads.
@@ -133,7 +214,16 @@ impl WeakIndex {
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect();
         });
-        WeakIndex { shards }
+        let filter =
+            WeakFilter::from_weak_keys(pairs.iter().flatten().map(|&(weak, _)| weak));
+        // Ranges are contiguous and in block order, so flattening yields
+        // the per-block digest census already sorted by block index.
+        let digests = pairs.iter().flatten().map(|&(weak, _)| weak).collect();
+        WeakIndex {
+            shards,
+            filter,
+            digests,
+        }
     }
 }
 
@@ -183,5 +273,45 @@ mod tests {
     fn empty_old_builds_empty_index() {
         let index = WeakIndex::build_parallel(&[], 16, 4);
         assert_eq!(index.lookup(0), None);
+    }
+
+    #[test]
+    fn filter_never_rejects_an_indexed_digest() {
+        // The superset invariant: every digest actually in the map must be
+        // plausible — including digests whose halves collide across blocks.
+        let old: Vec<u8> = (0..5_000).map(|i| (i * 37 % 251) as u8).collect();
+        let bs = 8;
+        let index = WeakIndex::build_parallel(&old, bs, 3);
+        for block in old.chunks(bs) {
+            let weak = RollingChecksum::new(block).digest();
+            assert!(index.filter().plausible(weak), "false negative at {weak:#x}");
+            assert!(index.lookup(weak).is_some());
+        }
+    }
+
+    #[test]
+    fn filter_rejects_definitively() {
+        let mut f = WeakFilter::new();
+        assert!(!f.plausible(0));
+        assert!(!f.plausible(0xDEADBEEF));
+        f.insert(0x0001_0002);
+        assert!(f.plausible(0x0001_0002));
+        // Same low half, absent high half: one bitmap hits, the other
+        // rejects.
+        assert!(!f.plausible(0x0099_0002));
+        assert!(!f.plausible(0x0001_0099));
+        // Cross-product false positive is allowed (and expected): after a
+        // second insert, the halves of the two digests combine.
+        f.insert(0x0099_0099);
+        assert!(f.plausible(0x0001_0099));
+    }
+
+    #[test]
+    fn filter_covers_bitmap_edges() {
+        let mut f = WeakFilter::new();
+        for weak in [0u32, 0xffff, 0xffff_0000, 0xffff_ffff, 0x0040_0040] {
+            f.insert(weak);
+            assert!(f.plausible(weak), "edge digest {weak:#x}");
+        }
     }
 }

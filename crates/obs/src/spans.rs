@@ -333,9 +333,10 @@ impl SpanRecorder {
 /// index, and overlapping spans resolve to the highest rank (the
 /// downstream stage wins the overlapped slice). Stages outside this
 /// list rank below all of them.
-pub const STAGE_ORDER: [&str; 8] = [
+pub const STAGE_ORDER: [&str; 9] = [
     "vfs.write",
     "relation.trigger",
+    "delta.hierarchy",
     "delta.encode",
     "wire.compress",
     "wire.upload",

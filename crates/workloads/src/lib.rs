@@ -30,11 +30,13 @@
 
 pub mod filebench;
 mod gen;
+mod huge;
 mod json;
 mod replay;
 mod traces;
 
 pub use gen::ContentGen;
+pub use huge::HugeFile;
 pub use json::{RecordedTrace, TraceJsonError};
 pub use replay::{replay, ReplayReport, TAIL_MS};
 pub use traces::{

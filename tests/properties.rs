@@ -119,6 +119,92 @@ proptest! {
         prop_assert_eq!(st.apply(&old).unwrap(), new);
     }
 
+    /// The hierarchical coarse→fine matcher is byte-identical to the
+    /// sequential greedy walk — same `Delta`, same `Cost` totals — for
+    /// local and rsync, across level fan-outs, worker counts, and chunk
+    /// budgets (including the streaming paths). The shingle tree may only
+    /// change wall-clock time, never output or accounting. `new` is
+    /// derived from `old` (prefix shift + XOR edit + tail) so identical
+    /// spans actually exist for the tree to pair; the tiny level params
+    /// make the tree engage on kilobyte inputs.
+    #[test]
+    fn hierarchical_diff_is_byte_identical(
+        old in buffer(16384),
+        prefix in proptest::collection::vec(any::<u8>(), 0..128),
+        tail in proptest::collection::vec(any::<u8>(), 0..256),
+        edit_at in 0usize..16384,
+        edit_len in 0usize..64,
+        bs in 1usize..256,
+        levels in 1usize..4,
+        workers in 1usize..5,
+        budget in 1usize..4096,
+    ) {
+        use deltacfs::delta::{take_hierarchy_stats, Delta, HierarchyParams};
+
+        let mut new = prefix.clone();
+        new.extend_from_slice(&old);
+        if !old.is_empty() {
+            let at = prefix.len() + edit_at % old.len();
+            let end = (at + edit_len).min(new.len());
+            for b in &mut new[at..end] {
+                *b ^= 0x5A;
+            }
+        }
+        new.extend_from_slice(&tail);
+
+        let tiny = [
+            cdc::CdcParams { min_size: 64, mask_bits: 6, max_size: 1024 },
+            cdc::CdcParams { min_size: 16, mask_bits: 4, max_size: 256 },
+            cdc::CdcParams { min_size: 4, mask_bits: 2, max_size: 64 },
+        ];
+        let h = HierarchyParams::from_levels(&tiny[..levels]).with_min_file_bytes(0);
+        let params = DeltaParams::with_block_size(bs);
+        let hier_params = params.with_hierarchy(Some(h));
+
+        let mut seq_cost = Cost::new();
+        let seq = local::diff(&old, &new, &params, &mut seq_cost);
+
+        let mut h_cost = Cost::new();
+        let hd = local::diff_parallel(&old, &new, &hier_params, workers, &mut h_cost);
+        let _ = take_hierarchy_stats();
+        prop_assert_eq!(&hd, &seq);
+        prop_assert_eq!(h_cost, seq_cost);
+
+        let mut st_cost = Cost::new();
+        let mut chunks = Vec::new();
+        local::diff_streaming(&old, &new, &hier_params, workers, &mut st_cost, budget, |c| {
+            chunks.push(c);
+        });
+        let _ = take_hierarchy_stats();
+        let st = Delta::from_chunks(chunks);
+        prop_assert_eq!(&st, &seq);
+        prop_assert_eq!(st_cost, seq_cost);
+        prop_assert_eq!(st.apply(&old).unwrap(), new.clone());
+
+        let mut seq_cost = Cost::new();
+        let sig = rsync::signature(&old, &params, &mut seq_cost);
+        let seq_r = rsync::diff(&sig, &new, &params, &mut seq_cost);
+
+        let mut h_cost = Cost::new();
+        let sig_h = rsync::signature(&old, &params, &mut h_cost);
+        let hd = rsync::diff_hierarchical(&sig_h, &old, &new, &h, &params, workers, &mut h_cost);
+        let _ = take_hierarchy_stats();
+        prop_assert_eq!(&hd, &seq_r);
+        prop_assert_eq!(h_cost, seq_cost);
+
+        let mut st_cost = Cost::new();
+        let sig_s = rsync::signature(&old, &params, &mut st_cost);
+        let mut chunks = Vec::new();
+        rsync::diff_hierarchical_streaming(
+            &sig_s, &old, &new, &h, &params, workers, &mut st_cost, budget, |c| chunks.push(c),
+        );
+        let _ = take_hierarchy_stats();
+        let st = Delta::from_chunks(chunks);
+        prop_assert_eq!(&st, &seq_r);
+        prop_assert_eq!(st_cost, seq_cost);
+        prop_assert_eq!(st.apply(&old).unwrap(), new);
+    }
+
     /// Local and remote rsync produce deltas of identical output length
     /// (they may differ in matching choices but must rebuild the same file).
     #[test]
